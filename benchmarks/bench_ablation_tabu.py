@@ -1,0 +1,93 @@
+"""Ablation — tabu-list placement and representation (kernel v4 vs v5).
+
+Table II's version 5 moves the tabu list into shared memory (a win while the
+word layout fits) but degrades to bit-packing on large instances, whose
+modulo/shift arithmetic and occupancy cost eventually *lose* to the
+global-memory version — v5 is slower than v4 on pr2392 in the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core import ACOParams, AntSystem
+from repro.core.construction.nnlist import tabu_layout
+from repro.experiments.harness import construction_model_time
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.util.tables import Table
+
+pytestmark = pytest.mark.benchmark(group="ablation-tabu")
+
+
+def test_layout_table():
+    table = Table(
+        ["instance", "n", "C1060 layout", "ants/block", "M2050 layout", "ants/block"],
+        title="tabu representation chosen per instance",
+    )
+    from repro.tsp.suite import PAPER_INSTANCE_NAMES, suite_entry
+
+    for name in PAPER_INSTANCE_NAMES:
+        n = suite_entry(name).n
+        lc = tabu_layout(n, TESLA_C1060)
+        lm = tabu_layout(n, TESLA_M2050)
+        table.add_row([name, n, lc.mode, lc.ants_per_block, lm.mode, lm.ants_per_block])
+    print("\n" + table.render(), file=sys.stderr)
+
+
+def test_shared_tabu_wins_and_bitwise_costs_are_modeled():
+    """Version 5 beats version 4 wherever the word layout fits (the paper's
+    small/medium rows), and the large-instance bit-packing costs — extra
+    integer ops, shrinking ants-per-block — are present in the ledgers.
+
+    Note: the paper's outright v5-slower-than-v4 *inversion* at pr2392 is a
+    known model gap (the fitted occupancy knees under-penalise the resident-
+    warp collapse; see EXPERIMENTS.md "Known gaps") — asserted here is the
+    structural machinery, not the inversion itself.
+    """
+    small_v4 = construction_model_time(4, "kroC100", TESLA_C1060)
+    small_v5 = construction_model_time(5, "kroC100", TESLA_C1060)
+    assert small_v5 < small_v4
+
+    # At pr2392 the C1060 is forced to the bit-packed layout with far fewer
+    # ants per block than the word layout would allow.
+    layout = tabu_layout(2392, TESLA_C1060)
+    assert layout.mode == "bitwise"
+    assert layout.ants_per_block < 64
+    # ... which drops the effective parallelism of the v5 launch well below
+    # the v4 launch on the same instance.
+    from repro.core.construction.nnlist import (
+        NNListConstruction,
+        NNListSharedConstruction,
+    )
+
+    _, l4 = NNListConstruction().predict_stats(2392, 2392, 30, TESLA_C1060)
+    _, l5 = NNListSharedConstruction().predict_stats(2392, 2392, 30, TESLA_C1060)
+    occ4 = l4.occupancy(TESLA_C1060)
+    occ5 = l5.occupancy(TESLA_C1060)
+    # v4 keeps full SM occupancy (it is merely grid-limited); v5's 16 KB
+    # tabu block pins it to ~2 resident warps per SM.
+    assert occ5.occupancy < 0.2 * occ4.occupancy
+    assert occ5.effective_parallelism < occ4.effective_parallelism
+
+
+def test_bitwise_layout_integer_overhead():
+    from repro.core.construction.nnlist import NNListSharedConstruction
+
+    word_stats, _ = NNListSharedConstruction().predict_stats(100, 100, 30, TESLA_C1060)
+    bit_stats, _ = NNListSharedConstruction().predict_stats(1002, 1002, 30, TESLA_C1060)
+    # per-candidate int ops are strictly higher in bitwise mode
+    per_cand_word = word_stats.int_ops / (100 * 99 * 30)
+    per_cand_bit = bit_stats.int_ops / (1002 * 1001 * 30)
+    assert per_cand_bit > per_cand_word
+
+
+@pytest.mark.parametrize("version", [4, 5])
+def test_functional_tabu_placement(benchmark, kroC100, version):
+    colony = AntSystem(
+        kroC100, ACOParams(seed=1234), device=TESLA_C1060, construction=version
+    )
+    colony.run_iteration()
+    benchmark.extra_info["version"] = version
+    benchmark(colony.run_iteration)

@@ -1,0 +1,42 @@
+"""Figure 4(a) — NN-list tour construction speed-up (kernel v6 vs ACOTSP).
+
+Regenerates the speed-up curves for both devices from the calibrated models
+and benchmarks the two comparands functionally: the simulated GPU kernel
+(vectorised) and the sequential engine, both on kroC100 with nn = 30.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_result
+from repro.core import AntSystem
+from repro.experiments.harness import run_experiment
+from repro.seq import SequentialAntSystem
+from repro.simt.device import TESLA_C1060
+
+pytestmark = pytest.mark.benchmark(group="fig4a")
+
+
+def test_regenerate_fig4a(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("fig4a",), rounds=1, iterations=1)
+    emit_result(result)
+    for dev in ("c1060", "m2050"):
+        assert result.metrics[dev]["crossover_match"]
+        assert result.metrics[dev]["rise_monotone_fraction"] >= 0.8
+
+
+def test_gpu_nnlist_construction(benchmark, kroC100, bench_params):
+    colony = AntSystem(
+        kroC100, bench_params, device=TESLA_C1060, construction=6, pheromone=1
+    )
+    colony.run_iteration()
+    benchmark.extra_info["side"] = "gpu_v6"
+    benchmark(colony.run_iteration)
+
+
+def test_sequential_nnlist_construction(benchmark, kroC100):
+    engine = SequentialAntSystem(kroC100, seed=1234, nn=30)
+    engine.run_iteration(mode="nnlist")
+    benchmark.extra_info["side"] = "sequential"
+    benchmark(engine.run_iteration, "nnlist")

@@ -1,0 +1,38 @@
+"""Figure 4(b) — data-parallel construction speed-up (kernel v8 vs the
+fully probabilistic sequential code)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_result
+from repro.core import AntSystem
+from repro.experiments.harness import run_experiment
+from repro.seq import SequentialAntSystem
+from repro.simt.device import TESLA_M2050
+
+pytestmark = pytest.mark.benchmark(group="fig4b")
+
+
+def test_regenerate_fig4b(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("fig4b",), rounds=1, iterations=1)
+    emit_result(result)
+    for dev in ("c1060", "m2050"):
+        assert result.metrics[dev]["crossover_match"]
+        assert result.metrics[dev]["peak_log_error"] < 0.35
+
+
+def test_gpu_dataparallel_construction(benchmark, kroC100, bench_params):
+    colony = AntSystem(
+        kroC100, bench_params, device=TESLA_M2050, construction=8, pheromone=1
+    )
+    colony.run_iteration()
+    benchmark.extra_info["side"] = "gpu_v8"
+    benchmark(colony.run_iteration)
+
+
+def test_sequential_full_construction(benchmark, kroC100):
+    engine = SequentialAntSystem(kroC100, seed=1234, nn=30)
+    engine.run_iteration(mode="full")
+    benchmark.extra_info["side"] = "sequential"
+    benchmark(engine.run_iteration, "full")

@@ -1,0 +1,50 @@
+"""Table II — tour-construction kernel versions 1-8 (Tesla C1060).
+
+``test_regenerate_table2`` reproduces the paper's table through the
+calibrated model (all seven instances, printed + saved); the benchmark
+cases time the real functional kernels on att48 and kroC100, preserving the
+paper's version ordering in measured wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_result
+from repro.core import AntSystem
+from repro.experiments.harness import run_experiment
+from repro.simt.device import TESLA_C1060
+
+pytestmark = pytest.mark.benchmark(group="table2")
+
+
+def test_regenerate_table2(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("table2",), rounds=1, iterations=1)
+    emit_result(result)
+    assert result.metrics["ordering"]["mean"] >= 0.9
+    assert result.metrics["v8_beats_v6_small"]
+    assert result.metrics["v6_beats_v8_large"]
+
+
+@pytest.mark.parametrize("version", range(1, 9))
+def test_construction_kernel_att48(benchmark, att48, bench_params, version):
+    """Functional simulation of one construction iteration, per version."""
+    colony = AntSystem(
+        att48, bench_params, device=TESLA_C1060, construction=version, pheromone=1
+    )
+    colony.run_iteration()  # warm caches / choice info
+
+    benchmark.extra_info["version"] = version
+    benchmark.extra_info["label"] = colony.construction.label
+    benchmark(colony.run_iteration)
+
+
+@pytest.mark.parametrize("version", [3, 6, 8])
+def test_construction_kernel_kroC100(benchmark, kroC100, bench_params, version):
+    """The three regime representatives on the 100-city instance."""
+    colony = AntSystem(
+        kroC100, bench_params, device=TESLA_C1060, construction=version, pheromone=1
+    )
+    colony.run_iteration()
+    benchmark.extra_info["version"] = version
+    benchmark(colony.run_iteration)

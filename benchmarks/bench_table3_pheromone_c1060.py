@@ -1,0 +1,42 @@
+"""Table III — pheromone-update kernel versions 1-5 (Tesla C1060)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_result
+from repro.core import ACOParams
+from repro.core.pheromone import make_pheromone
+from repro.core.state import ColonyState
+from repro.experiments.harness import run_experiment
+from repro.simt.device import TESLA_C1060
+from repro.tsp.tour import random_tour, tour_lengths
+
+pytestmark = pytest.mark.benchmark(group="table3")
+
+
+def test_regenerate_table3(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("table3",), rounds=1, iterations=1)
+    emit_result(result)
+    assert result.metrics["ordering"]["mean"] >= 0.9
+    assert result.metrics["slowdown_grows_with_n"]
+
+
+@pytest.fixture(scope="module")
+def update_inputs(att48):
+    state = ColonyState.create(att48, ACOParams(seed=5), TESLA_C1060)
+    rng = np.random.default_rng(42)
+    tours = np.stack([random_tour(state.n, rng) for _ in range(state.m)])
+    lengths = tour_lengths(tours, state.dist)
+    return state, tours, lengths
+
+
+@pytest.mark.parametrize("version", range(1, 6))
+def test_pheromone_update_att48(benchmark, update_inputs, version):
+    """Functional simulation of one pheromone update, per version."""
+    state, tours, lengths = update_inputs
+    strategy = make_pheromone(version)
+    benchmark.extra_info["version"] = version
+    benchmark.extra_info["label"] = strategy.label
+    benchmark(strategy.update, state, tours, lengths)

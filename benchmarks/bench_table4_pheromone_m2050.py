@@ -1,0 +1,51 @@
+"""Table IV — pheromone-update kernel versions 1-5 (Tesla M2050)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_result
+from repro.core import ACOParams
+from repro.core.pheromone import make_pheromone
+from repro.core.state import ColonyState
+from repro.experiments.harness import run_experiment
+from repro.simt.device import TESLA_M2050
+from repro.tsp.tour import random_tour, tour_lengths
+
+pytestmark = pytest.mark.benchmark(group="table4")
+
+
+def test_regenerate_table4(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("table4",), rounds=1, iterations=1)
+    emit_result(result)
+    assert result.metrics["ordering"]["mean"] >= 0.9
+    assert result.metrics["mean_abs_log_ratio"] < 0.35
+
+
+def test_atomics_native_vs_emulated_model():
+    """The C1060/M2050 atomic gap (Table III row 1 vs Table IV row 1)."""
+    from repro.experiments.harness import pheromone_model_time
+    from repro.simt.device import TESLA_C1060
+
+    for name in ("pcb442", "pr1002"):
+        t_c = pheromone_model_time(1, name, TESLA_C1060)
+        t_m = pheromone_model_time(1, name, TESLA_M2050)
+        assert t_c > 2.0 * t_m
+
+
+@pytest.fixture(scope="module")
+def update_inputs(kroC100):
+    state = ColonyState.create(kroC100, ACOParams(seed=5), TESLA_M2050)
+    rng = np.random.default_rng(43)
+    tours = np.stack([random_tour(state.n, rng) for _ in range(state.m)])
+    lengths = tour_lengths(tours, state.dist)
+    return state, tours, lengths
+
+
+@pytest.mark.parametrize("version", range(1, 6))
+def test_pheromone_update_kroC100(benchmark, update_inputs, version):
+    state, tours, lengths = update_inputs
+    strategy = make_pheromone(version)
+    benchmark.extra_info["version"] = version
+    benchmark(strategy.update, state, tours, lengths)

@@ -1,0 +1,65 @@
+"""Device scaling: the C1060-vs-M2050 story across the whole suite.
+
+Prices the paper's best kernels (construction v8, pheromone v1) and the
+sequential baseline on every benchmark instance through the calibrated
+models, reproducing the figures' speed-up curves — including the float
+atomic emulation cliff that caps the C1060's pheromone speed-up (Fig. 5)
+and the small-instance regime where the CPU wins (Figs. 4(a)/5).
+
+Run:  python examples/device_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import DEVICES
+from repro.experiments.harness import (
+    construction_model_time,
+    pheromone_model_time,
+    sequential_model_time,
+)
+from repro.tsp.suite import TABLE3_INSTANCES
+from repro.util.tables import Table
+
+
+def main() -> None:
+    c1060, m2050 = DEVICES["c1060"], DEVICES["m2050"]
+
+    construction = Table(
+        ["instance", "seq (ms)", "C1060 (ms)", "speedup", "M2050 (ms)", "speedup"],
+        title="fully probabilistic tour construction (kernel v8 vs sequential)",
+    )
+    pheromone = Table(
+        ["instance", "seq (ms)", "C1060 (ms)", "speedup", "M2050 (ms)", "speedup"],
+        title="pheromone update (atomic + shared kernel vs sequential)",
+    )
+
+    for name in TABLE3_INSTANCES:
+        seq_c = sequential_model_time("construct_full", name) * 1e3
+        t_c = construction_model_time(8, name, c1060) * 1e3
+        t_m = construction_model_time(8, name, m2050) * 1e3
+        construction.add_row(
+            [name, f"{seq_c:.1f}", f"{t_c:.2f}", f"{seq_c / t_c:.1f}x",
+             f"{t_m:.2f}", f"{seq_c / t_m:.1f}x"]
+        )
+
+        seq_p = sequential_model_time("update", name) * 1e3
+        p_c = pheromone_model_time(1, name, c1060) * 1e3
+        p_m = pheromone_model_time(1, name, m2050) * 1e3
+        pheromone.add_row(
+            [name, f"{seq_p:.2f}", f"{p_c:.2f}", f"{seq_p / p_c:.2f}x",
+             f"{p_m:.2f}", f"{seq_p / p_m:.2f}x"]
+        )
+
+    print(construction.render())
+    print()
+    print(pheromone.render())
+    print(
+        "\nReading guide: construction speed-ups grow into the double digits on "
+        "both GPUs (paper Fig. 4(b): up to 22x / 29x);\nthe pheromone speed-up "
+        "splits by an order of magnitude between the devices because the C1060 "
+        "emulates float atomicAdd\nwith a CAS loop (paper Fig. 5: 3.87x vs 18.77x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Kernel showdown: all eight tour-construction strategies head to head.
+
+Reproduces the *structure* of the paper's Table II on a medium instance:
+every kernel version runs functionally (same seed), and the calibrated cost
+model prices each one on both simulated devices.  Watch for the paper's two
+headline effects:
+
+* every refinement (choice kernel, device RNG, candidate lists, shared
+  memory, texture) beats the baseline;
+* the data-parallel kernels (7-8) dominate on small instances but lose to
+  the best nn-list kernel on the biggest (run with ``--instance pr1002``
+  in model-only mode to see the reversal).
+
+Run:  python examples/kernel_showdown.py [--instance a280] [--iterations 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ACOParams, AntSystem, DEVICES, load_instance
+from repro.core.construction import CONSTRUCTION_VERSIONS
+from repro.experiments.harness import construction_model_time
+from repro.tsp.suite import PAPER_INSTANCE_NAMES
+from repro.util.tables import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instance", default="kroC100", choices=PAPER_INSTANCE_NAMES)
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument(
+        "--model-only",
+        action="store_true",
+        help="skip functional runs (needed for pr1002/pr2392 task-based kernels)",
+    )
+    args = parser.parse_args()
+
+    instance = load_instance(args.instance)
+    c1060, m2050 = DEVICES["c1060"], DEVICES["m2050"]
+
+    table = Table(
+        ["v", "kernel", "C1060 model ms", "M2050 model ms", "best length"],
+        title=f"tour construction showdown on {instance.name} (n={instance.n})",
+    )
+
+    for version in sorted(CONSTRUCTION_VERSIONS):
+        label = CONSTRUCTION_VERSIONS[version].label
+        t_c = construction_model_time(version, instance.name, c1060) * 1e3
+        t_m = construction_model_time(version, instance.name, m2050) * 1e3
+
+        if args.model_only:
+            best = "-"
+        else:
+            colony = AntSystem(
+                instance, ACOParams(seed=11, nn=30), construction=version, pheromone=1
+            )
+            best = colony.run(args.iterations).best_length
+        table.add_row([version, label, f"{t_c:.2f}", f"{t_m:.2f}", best])
+
+    print(table.render())
+    print(
+        "\nNote: modeled times are per iteration; the functional best-lengths "
+        f"use {args.iterations} iterations with a shared seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: lets `python setup.py develop` work where pip's PEP-517
+editable path is unavailable (offline environments without the `wheel`
+package).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

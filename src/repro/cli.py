@@ -1,0 +1,151 @@
+"""The ``gpu-aco`` console command.
+
+Subcommands
+-----------
+``solve``
+    Run the simulated GPU Ant System on a TSP instance and report the best
+    tour, per-stage modeled kernel times and solution quality.
+``experiments ...``
+    Forward to ``python -m repro.experiments`` (tables, figures, report,
+    calibrate).
+``devices``
+    Print the simulated device inventory (the paper's Table I).
+
+Examples
+--------
+::
+
+    gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
+    gpu-aco solve /path/to/berlin52.tsp --device c1060
+    gpu-aco experiments table2
+    gpu-aco devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core import ACOParams, AntSystem
+from repro.simt.device import DEVICES
+from repro.tsp import load_instance, parse_tsplib
+from repro.tsp.suite import PAPER_INSTANCE_NAMES
+from repro.util.tables import Table, format_ms
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-aco",
+        description="GPU Ant System for the TSP on a simulated Tesla C1060/M2050",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run the colony on an instance")
+    solve.add_argument(
+        "instance",
+        help=f"paper instance name ({', '.join(PAPER_INSTANCE_NAMES)}) or a .tsp file path",
+    )
+    solve.add_argument("--iterations", type=int, default=20)
+    solve.add_argument(
+        "--construction", type=int, default=8, choices=range(1, 9), metavar="1-8"
+    )
+    solve.add_argument(
+        "--pheromone", type=int, default=1, choices=range(1, 6), metavar="1-5"
+    )
+    solve.add_argument("--device", choices=sorted(DEVICES), default="m2050")
+    solve.add_argument("--ants", type=int, default=None, help="colony size (default m = n)")
+    solve.add_argument("--nn", type=int, default=30, help="candidate-list width")
+    solve.add_argument("--seed", type=int, default=1)
+
+    exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
+    exps.add_argument("args", nargs=argparse.REMAINDER)
+
+    sub.add_parser("devices", help="print the simulated device inventory")
+    return parser
+
+
+def _load(name_or_path: str):
+    if os.path.exists(name_or_path):
+        return parse_tsplib(name_or_path)
+    return load_instance(name_or_path)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = _load(args.instance)
+    device = DEVICES[args.device]
+    params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
+    colony = AntSystem(
+        instance,
+        params=params,
+        device=device,
+        construction=args.construction,
+        pheromone=args.pheromone,
+    )
+    print(
+        f"solving {instance.name} (n={instance.n}) on {device.name} "
+        f"with construction v{colony.construction.version} "
+        f"({colony.construction.label}) + pheromone v{colony.pheromone.version} "
+        f"({colony.pheromone.label})"
+    )
+    result = colony.run(args.iterations)
+    cost = colony.cost_params()
+
+    print(f"best tour length: {result.best_length}")
+    print(f"iteration bests:  first={result.iteration_best_lengths[0]} "
+          f"last={result.iteration_best_lengths[-1]}")
+    t = Table(["stage", "modeled ms/iter"], title="modeled kernel times")
+    for stage in ("choice", "construction", "pheromone"):
+        mean = result.mean_stage_time(stage, cost)
+        if mean > 0.0:
+            t.add_row([stage, format_ms(mean)])
+    t.add_row(["total", format_ms(result.mean_iteration_time(cost))])
+    print(t.render())
+    print(f"wall-clock (functional simulation): {result.wall_seconds:.2f}s "
+          f"for {args.iterations} iterations")
+    return 0
+
+
+def _cmd_devices() -> int:
+    t = Table(
+        ["key", "name", "CC", "SMs", "SPs", "clock MHz", "shared/SM", "BW GB/s",
+         "fp32 atomics"],
+        title="simulated devices (paper Table I)",
+    )
+    for key, dev in sorted(DEVICES.items()):
+        t.add_row(
+            [
+                key,
+                dev.name,
+                f"{dev.compute_capability:.1f}",
+                dev.sm_count,
+                dev.total_sps,
+                f"{dev.clock_hz / 1e6:.0f}",
+                f"{dev.shared_mem_per_sm // 1024} KB",
+                f"{dev.bandwidth_bytes_s / 1e9:.0f}",
+                "yes" if dev.has_fp32_global_atomics else "no (emulated)",
+            ]
+        )
+    print(t.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "devices":
+        return _cmd_devices()
+    if args.command == "experiments":
+        from repro.experiments.__main__ import main as exp_main
+
+        return exp_main(args.args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The Choice kernel: precompute ``choice_info = tau^alpha * eta^beta``.
+
+Table II's version 2 introduces this kernel: instead of every ant
+recomputing ``[tau]^alpha [eta]^beta`` for every candidate at every step
+(version 1's "redundant calculations"), a dedicated n²-thread kernel
+evaluates the matrix once per iteration and the construction kernels read it
+back.  This mirrors ACOTSP's ``compute_total_information``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+from repro.simt.kernel import Kernel, LaunchConfig, grid_for
+from repro.simt.memory import AccessPattern, GlobalMemory
+
+__all__ = ["ChoiceKernel"]
+
+
+class ChoiceKernel(Kernel):
+    """n²-thread kernel filling the choice-info matrix.
+
+    Each thread handles one matrix cell: coalesced loads of ``tau[i][j]``
+    and ``d[i][j]``, two ``powf`` and one divide on the SFU path, one
+    multiply, one coalesced store.
+    """
+
+    name = "choice_info"
+
+    def __init__(self, block: int = 256) -> None:
+        self.block = int(block)
+
+    def launch_config(self, device: DeviceSpec, *, n: int) -> LaunchConfig:
+        block = min(self.block, device.max_threads_per_block)
+        return LaunchConfig(grid=grid_for(n * n, block), block=block)
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, state: ColonyState) -> StageReport:
+        """Compute ``state.choice_info`` in place and account the kernel."""
+        params = state.params
+        choice = np.power(state.pheromone, params.alpha) * np.power(
+            state.eta, params.beta
+        )
+        np.fill_diagonal(choice, 0.0)
+        state.choice_info = choice
+
+        stats, launch = self.predict_stats(state.n, state.device)
+        return StageReport(stage="choice", kernel=self.name, stats=stats, launch=launch)
+
+    def predict_stats(
+        self, n: int, device: DeviceSpec
+    ) -> tuple[KernelStats, LaunchConfig]:
+        """Closed-form ledger of one choice-kernel launch."""
+        stats = KernelStats()
+        launch = self.launch_config(device, n=n)
+        self.record_launch(stats, launch)
+        cells = float(n) * n
+        gmem = GlobalMemory(device, stats)
+        gmem.load(2.0 * cells, 4, AccessPattern.COALESCED)  # tau, dist
+        gmem.store(cells, 4, AccessPattern.COALESCED)  # choice_info
+        stats.special_ops += 3.0 * cells  # 2 powf + 1 divide (eta from d)
+        stats.flops += cells  # product
+        stats.int_ops += 2.0 * cells  # index arithmetic
+        return stats, launch

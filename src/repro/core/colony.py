@@ -1,0 +1,179 @@
+"""The :class:`AntSystem` colony: composition root of the GPU simulation.
+
+An ``AntSystem`` wires together a TSP instance, the AS parameters, a target
+device, one of the eight tour-construction strategies and one of the five
+pheromone-update strategies, and runs iterations:
+
+1. (if the construction strategy uses it) the **Choice kernel** refreshes
+   ``choice_info = tau^alpha * eta^beta``;
+2. the **construction** strategy builds one tour per ant;
+3. tour lengths are evaluated;
+4. the **pheromone** strategy evaporates and deposits.
+
+Each stage yields a :class:`~repro.core.report.StageReport`; modeled kernel
+times come from the calibrated cost model (or an explicit
+:class:`~repro.simt.timing.CostParams`).
+
+Examples
+--------
+>>> from repro.tsp import uniform_instance
+>>> from repro.core import AntSystem
+>>> colony = AntSystem(uniform_instance(40, seed=1), construction=7, pheromone=1)
+>>> result = colony.run(iterations=3)
+>>> result.best_length > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.choice import ChoiceKernel
+from repro.core.construction import TourConstruction, make_construction
+from repro.core.params import ACOParams
+from repro.core.pheromone import PheromoneUpdate, make_pheromone
+from repro.core.report import IterationReport
+from repro.core.state import ColonyState
+from repro.errors import ACOConfigError
+from repro.rng import make_rng
+from repro.simt.device import TESLA_M2050, DeviceSpec
+from repro.simt.timing import CostParams
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import tour_lengths
+from repro.util.timer import WallClock
+
+__all__ = ["AntSystem", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Summary of an :meth:`AntSystem.run` call."""
+
+    best_tour: np.ndarray
+    best_length: int
+    iteration_best_lengths: list[int]
+    reports: list[IterationReport]
+    wall_seconds: float
+    device: DeviceSpec
+
+    def mean_stage_time(self, stage: str, params: CostParams) -> float:
+        """Mean modeled seconds per iteration of one stage family."""
+        if not self.reports:
+            return 0.0
+        total = 0.0
+        for rep in self.reports:
+            total += sum(
+                s.modeled_time(self.device, params)
+                for s in rep.stages
+                if s.stage == stage
+            )
+        return total / len(self.reports)
+
+    def mean_iteration_time(self, params: CostParams) -> float:
+        """Mean modeled seconds per full iteration."""
+        if not self.reports:
+            return 0.0
+        return sum(r.total_time(self.device, params) for r in self.reports) / len(
+            self.reports
+        )
+
+
+class AntSystem:
+    """GPU-simulated Ant System for the symmetric TSP.
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance to solve.
+    params:
+        AS parameters; defaults to the paper's settings.
+    device:
+        Simulated GPU (default: Tesla M2050, the newer paper device).
+    construction:
+        Construction strategy — version number 1-8, registry key, or
+        instance (see :func:`repro.core.construction.make_construction`).
+        Default 8, the paper's best data-parallel kernel.
+    pheromone:
+        Pheromone strategy — version 1-5, key, or instance.  Default 1,
+        the paper's best (atomics + shared memory).
+    construction_options / pheromone_options:
+        Extra constructor arguments for the strategies (e.g. ``tile=512``,
+        ``theta=128``).
+    """
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        params: ACOParams | None = None,
+        device: DeviceSpec = TESLA_M2050,
+        construction: int | str | TourConstruction = 8,
+        pheromone: int | str | PheromoneUpdate = 1,
+        construction_options: dict | None = None,
+        pheromone_options: dict | None = None,
+    ) -> None:
+        self.params = params or ACOParams()
+        self.device = device
+        self.construction = make_construction(
+            construction, **(construction_options or {})
+        )
+        self.pheromone = make_pheromone(pheromone, **(pheromone_options or {}))
+        self.state = ColonyState.create(instance, self.params, device)
+        self.choice_kernel = ChoiceKernel()
+        streams = self.construction.rng_streams(self.state.n, self.state.m)
+        self.rng = make_rng(self.construction.rng_kind, streams, self.params.seed)
+
+    # ------------------------------------------------------------ iteration
+
+    def run_iteration(self) -> IterationReport:
+        """Execute one full AS iteration on the simulated device."""
+        state = self.state
+        stages = []
+
+        if self.construction.needs_choice_info:
+            stages.append(self.choice_kernel.run(state))
+
+        result = self.construction.build(state, self.rng)
+        stages.append(result.report)
+        lengths = tour_lengths(result.tours, state.dist)
+
+        stages.append(self.pheromone.update(state, result.tours, lengths))
+
+        state.record_tours(result.tours, lengths)
+        state.iteration += 1
+        return IterationReport(
+            iteration=state.iteration,
+            tours=result.tours,
+            lengths=lengths,
+            stages=stages,
+        )
+
+    def run(self, iterations: int) -> RunResult:
+        """Run several iterations, tracking the best tour found."""
+        if iterations < 1:
+            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        reports: list[IterationReport] = []
+        bests: list[int] = []
+        with WallClock() as clock:
+            for _ in range(iterations):
+                rep = self.run_iteration()
+                reports.append(rep)
+                bests.append(rep.best_length)
+        assert self.state.best_tour is not None and self.state.best_length is not None
+        return RunResult(
+            best_tour=self.state.best_tour,
+            best_length=self.state.best_length,
+            iteration_best_lengths=bests,
+            reports=reports,
+            wall_seconds=clock.elapsed,
+            device=self.device,
+        )
+
+    # -------------------------------------------------------------- costing
+
+    def cost_params(self) -> CostParams:
+        """The calibrated cost constants for this colony's device."""
+        from repro.experiments.calibration import gpu_cost_params
+
+        return gpu_cost_params(self.device)

@@ -1,0 +1,135 @@
+"""Tour-construction strategy interface.
+
+All eight Table II variants implement :class:`TourConstruction`:
+
+* :meth:`~TourConstruction.build` — the functional simulation: produce one
+  valid closed tour per ant and a :class:`~repro.core.report.StageReport`
+  whose ledger records the kernel work;
+* :meth:`~TourConstruction.predict_stats` — the closed-form ledger for a
+  problem size, used by the experiment harness at sizes where a functional
+  run is unnecessary and by tests to cross-check the simulation.
+
+The task-based variants (1-6) share the *exact* random-proportional rule
+(they differ in where the data lives and how randoms are produced); the
+shared construction loop lives in
+:mod:`repro.core.construction.taskbased`.  The data-parallel variants (7-8)
+replace the selection with the block-reduction "independent roulette" of the
+paper's Figure 1 (:mod:`repro.core.construction.dataparallel`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.errors import ACOConfigError
+from repro.rng.streams import DeviceRNG
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+from repro.simt.kernel import Kernel, LaunchConfig
+
+__all__ = ["TourConstruction", "ConstructionResult"]
+
+
+@dataclass
+class ConstructionResult:
+    """Functional output of a construction build."""
+
+    tours: np.ndarray  # (m, n + 1) int32 closed tours
+    report: StageReport
+    fallback_steps: float = 0.0  # candidate-list exhaustions (nnlist rules)
+
+
+class TourConstruction(Kernel, abc.ABC):
+    """Base class for the Table II tour-construction kernels.
+
+    Class attributes identify the paper row: ``version`` (1-8), ``key``
+    (stable registry id) and ``label`` (the row label as printed in the
+    paper).  ``needs_choice_info`` tells the colony whether to run the
+    Choice kernel first (version 1 famously does not, recomputing the
+    heuristic on the fly); ``rng_kind`` selects the random stream the colony
+    hands to :meth:`build`.
+    """
+
+    version: int = 0
+    key: str = ""
+    label: str = ""
+    needs_choice_info: bool = True
+    rng_kind: str = "lcg"  # "lcg" | "curand"
+
+    # ------------------------------------------------------------ interface
+
+    @abc.abstractmethod
+    def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
+        """Construct one tour per ant, recording kernel work."""
+
+    @abc.abstractmethod
+    def predict_stats(
+        self,
+        n: int,
+        m: int,
+        nn: int,
+        device: DeviceSpec,
+        *,
+        fallback_steps: float = 0.0,
+    ) -> tuple[KernelStats, LaunchConfig]:
+        """Closed-form ledger + dominant launch shape for a problem size.
+
+        ``fallback_steps`` injects the (stochastic) number of candidate-list
+        exhaustions for the nn-list rules; pass a measured value or a model
+        such as :func:`expected_fallback_steps`.
+        """
+
+    # -------------------------------------------------------------- helpers
+
+    def rng_streams(self, n: int, m: int) -> int:
+        """Random streams the kernel needs (task-based: one per ant-thread;
+        the data-parallel kernels override with one per (ant, city))."""
+        return m
+
+    @staticmethod
+    def _validate_state(state: ColonyState) -> None:
+        if state.choice_info is None:
+            raise ACOConfigError(
+                "construction requires choice_info; run the Choice kernel first "
+                "(the colony does this automatically)"
+            )
+
+    @staticmethod
+    def close_tours(tours_body: np.ndarray) -> np.ndarray:
+        """Append the closing city column to an ``(m, n)`` permutation set."""
+        return np.concatenate([tours_body, tours_body[:, :1]], axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} v{self.version} {self.label!r}>"
+
+
+#: Fitted constant of the fallback model: fallbacks per ant per iteration
+#: ≈ FALLBACK_COEFF * n / nn.  Measured functionally on the synthetic suite
+#: (att48..d657, nn ∈ {10, 20, 30, 40}): the product ``phi * nn`` sits in
+#: 0.60-0.64 across the whole grid (tests/core/test_construction_fallback.py
+#: re-validates the band).
+FALLBACK_COEFF = 0.62
+
+
+def expected_fallback_steps(n: int, m: int, nn: int) -> float:
+    """Expected candidate-list exhaustion count per iteration.
+
+    An exhaustion happens when all ``nn`` candidates of the current city are
+    already visited, forcing ACOTSP's ``choose_best_next`` full scan.
+    Functional measurement across instance sizes and list widths shows the
+    per-ant count is very close to ``0.62 * n / nn``::
+
+        E[fallbacks] ≈ m * 0.62 * n / nn   (clipped to the step count)
+
+    Exhaustions grow with the tour length (more opportunities to stand in a
+    depleted neighbourhood) and shrink with the candidate width.
+    """
+    if n <= 1:
+        return 0.0
+    per_ant = min(float(n - 1), FALLBACK_COEFF * float(n) / float(nn))
+    return float(m) * per_ant

@@ -1,0 +1,262 @@
+"""Data-parallel tour construction: Table II versions 7-8 (paper Fig. 1).
+
+The paper's main construction contribution: instead of a thread per ant, a
+**thread block per ant** with a **thread per city**.  Each step:
+
+1. every thread loads the choice value of its city (``choice_info[cur][j]``
+   — a *coalesced* row read, unlike the task-based kernels' scattered
+   gathers),
+2. generates a random number ``U_j in [0, 1)``,
+3. multiplies it by a 0/1 visited flag kept in a register (no branch — the
+   warp-divergence killer of the task-based kernels),
+4. writes the product to shared memory, and a tree reduction selects the
+   winning city.
+
+When ``n`` exceeds the block size, cities are processed in **tiles**: each
+tile elects a partial winner, and the final city is chosen among the tile
+winners.  With the default ``tile_rule="product"`` the winner is the global
+argmax of the products (exactly what a single huge block would compute);
+``tile_rule="heuristic"`` picks among tile winners by raw choice value —
+the paper's more literal reading — and is exposed as an ablation.  In the
+tiled regime the per-thread visited flags are **bit-packed** into a register
+word, one bit per tile (the paper's register tabu).
+
+This selection — dubbed *I-Roulette* in the authors' follow-up work — is not
+the exact proportional rule; it preserves the monotone preference for high
+``choice_info`` values while drawing ``n`` randoms per step.  Solution
+quality remains statistically indistinguishable from the sequential code on
+the paper's benchmarks (tests/integration cover this).
+
+Version 8 reads ``choice_info`` through the texture path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.construction.base import ConstructionResult, TourConstruction
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.errors import ACOConfigError
+from repro.rng.streams import DeviceRNG
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+from repro.simt.kernel import LaunchConfig
+from repro.simt.memory import AccessPattern, GlobalMemory, TextureMemory
+from repro.simt.reduction import block_argmax, reduction_stage_count
+
+__all__ = ["DataParallelConstruction", "DataParallelTextureConstruction"]
+
+_TILE_RULES = ("product", "heuristic")
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+class DataParallelConstruction(TourConstruction):
+    """Version 7 — one block per ant, one thread per city, tiled.
+
+    Parameters
+    ----------
+    tile:
+        Preferred tile width (threads per block); clipped to the device's
+        block limit and rounded to warp multiples.
+    tile_rule:
+        ``"product"`` (default; global argmax of ``choice × U × unvisited``)
+        or ``"heuristic"`` (tile winners compared by raw choice value).
+    """
+
+    version = 7
+    key = "data_parallel"
+    label = "Increasing Data Parallelism"
+    needs_choice_info = True
+    rng_kind = "lcg"
+    choice_via_texture = False
+
+    def __init__(self, tile: int = 256, tile_rule: str = "product") -> None:
+        if tile < 32:
+            raise ACOConfigError(f"tile must be >= 32, got {tile}")
+        if tile_rule not in _TILE_RULES:
+            raise ACOConfigError(f"tile_rule must be one of {_TILE_RULES}, got {tile_rule!r}")
+        self.tile = int(tile)
+        self.tile_rule = tile_rule
+
+    # ------------------------------------------------------------- geometry
+
+    def rng_streams(self, n: int, m: int) -> int:
+        """One stream per (ant, city) pair — a thread-private generator."""
+        return m * n
+
+    def tile_width(self, device: DeviceSpec, n: int) -> int:
+        width = min(self.tile, device.max_threads_per_block, _round_up(n, 32))
+        return max(32, width)
+
+    def launch_config(self, device: DeviceSpec, *, n: int, m: int) -> LaunchConfig:
+        theta = self.tile_width(device, n)
+        # Shared memory: the reduction scratch (value + index per thread).
+        return LaunchConfig(
+            grid=m, block=theta, smem_per_block=8 * theta, regs_per_thread=20
+        )
+
+    def _tile_spans(self, n: int, theta: int) -> list[tuple[int, int]]:
+        return [(t, min(t + theta, n)) for t in range(0, n, theta)]
+
+    # ----------------------------------------------------------------- build
+
+    def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
+        self._validate_state(state)
+        assert state.choice_info is not None
+        n, m, device = state.n, state.m, state.device
+        if rng.n_streams < m * n:
+            raise ACOConfigError(
+                f"data-parallel construction needs m*n={m * n} rng streams, "
+                f"got {rng.n_streams}"
+            )
+        choice = state.choice_info
+        theta = self.tile_width(device, n)
+        spans = self._tile_spans(n, theta)
+
+        stats = KernelStats()
+        launch = self.launch_config(device, n=n, m=m)
+        self.record_launch(stats, launch)
+        gmem = GlobalMemory(device, stats)
+        tex = TextureMemory(device, stats)
+
+        ant_idx = np.arange(m)
+        tours = np.empty((m, n + 1), dtype=np.int32)
+        visited = np.zeros((m, n), dtype=bool)
+
+        start = np.minimum((rng.uniform()[:m] * n).astype(np.int64), n - 1)
+        stats.rng_lcg += m
+        tours[:, 0] = start
+        visited[ant_idx, start] = True
+        cur = start
+
+        for step in range(1, n):
+            u = rng.uniform().reshape(m, n)
+            stats.rng_lcg += float(m) * n
+
+            rows = choice[cur]  # (m, n) coalesced row reads
+            if self.choice_via_texture:
+                tex.load(float(m) * n, 4)
+            else:
+                gmem.load(float(m) * n, 4, AccessPattern.COALESCED)
+
+            w = rows * u * ~visited
+            stats.flops += 2.0 * m * n  # two multiplies per thread
+            stats.int_ops += 2.0 * m * n  # register-tabu bit select + index
+            stats.smem_accesses += float(m) * n  # product written to shared
+
+            # Per-tile partial winners via the block reduction.
+            tile_city = np.empty((m, len(spans)), dtype=np.int64)
+            tile_val = np.empty((m, len(spans)), dtype=np.float64)
+            for t, (lo, hi) in enumerate(spans):
+                idx, val = block_argmax(w[:, lo:hi], stats)
+                tile_city[:, t] = idx + lo
+                tile_val[:, t] = val
+            stats.serial_barriers += float(
+                sum(reduction_stage_count(hi - lo) + 1 for lo, hi in spans)
+            )
+
+            # Final selection among tile winners.
+            stats.int_ops += float(m) * len(spans)
+            if self.tile_rule == "product" or len(spans) == 1:
+                pick = np.argmax(tile_val, axis=1)
+            else:
+                # Heuristic rule: compare winners by raw choice value, but a
+                # tile whose every city is visited (value 0) cannot win.
+                winner_choice = choice[cur[:, None], tile_city]
+                winner_choice = np.where(tile_val > 0.0, winner_choice, -np.inf)
+                pick = np.argmax(winner_choice, axis=1)
+                stats.int_ops += float(m) * len(spans)
+            nxt = tile_city[ant_idx, pick]
+
+            visited[ant_idx, nxt] = True
+            tours[:, step] = nxt
+            gmem.store(float(m), 4, AccessPattern.RANDOM)
+            cur = nxt
+
+        tours[:, n] = tours[:, 0]
+        report = StageReport(
+            stage="construction", kernel=self.key, stats=stats, launch=launch
+        )
+        return ConstructionResult(tours=tours, report=report, fallback_steps=0.0)
+
+    # --------------------------------------------------------------- ledger
+
+    def predict_stats(
+        self,
+        n: int,
+        m: int,
+        nn: int,
+        device: DeviceSpec,
+        *,
+        fallback_steps: float = 0.0,
+    ) -> tuple[KernelStats, LaunchConfig]:
+        """Closed-form ledger mirroring :meth:`build` exactly.
+
+        Derived independently from the kernel geometry (tiles, reduction
+        depths); ``tests/core`` asserts simulate == predict.
+        """
+        stats = KernelStats()
+        launch = self.launch_config(device, n=n, m=m)
+        self.record_launch(stats, launch)
+        gmem = GlobalMemory(device, stats)
+
+        theta = self.tile_width(device, n)
+        spans = self._tile_spans(n, theta)
+        steps = float(n - 1)
+        mn = float(m) * n
+
+        # Choice loads.
+        if self.choice_via_texture:
+            stats.tex_bytes += 4.0 * steps * mn
+        else:
+            gmem.load(steps * mn, 4, AccessPattern.COALESCED)
+
+        # RNG: initial placement + one per thread per step.
+        stats.rng_lcg += m + steps * mn
+
+        # Per-thread work and the product writes.
+        stats.flops += steps * 2.0 * mn
+        stats.int_ops += steps * 2.0 * mn
+        stats.smem_accesses += steps * mn
+
+        # Reductions: replicate simt.reduction's accounting per tile.
+        red_flops = red_smem = red_sync = red_steps = serial = 0.0
+        for lo, hi in spans:
+            width = hi - lo
+            stages = reduction_stage_count(width)
+            participating = 0
+            w = width
+            for _ in range(stages):
+                w = (w + 1) // 2
+                participating += w
+            red_steps += stages
+            red_smem += width + 2 * participating
+            red_flops += participating
+            red_sync += stages
+            serial += stages + 1
+        stats.reduction_steps += steps * m * (red_steps / 1.0)
+        stats.smem_accesses += steps * m * red_smem
+        stats.flops += steps * m * red_flops
+        stats.syncthreads += steps * m * red_sync
+        stats.serial_barriers += steps * serial
+
+        # Final pick among tile winners.
+        final_int = float(len(spans)) * (2.0 if self.tile_rule == "heuristic" and len(spans) > 1 else 1.0)
+        stats.int_ops += steps * m * final_int
+
+        # Tour writes (thread 0 of each block).
+        gmem.store(steps * m, 4, AccessPattern.RANDOM)
+        return stats, launch
+
+
+class DataParallelTextureConstruction(DataParallelConstruction):
+    """Version 8 — data parallelism with ``choice_info`` served by texture."""
+
+    version = 8
+    key = "data_parallel_texture"
+    label = "Data Parallelism + Texture Memory"
+    choice_via_texture = True

@@ -1,0 +1,276 @@
+"""MAX-MIN Ant System (MMAS) — the variant behind the paper's related work.
+
+Jiening et al. (cited in Section III) GPU-ported the *Max-Min Ant System*;
+this module supplies that algorithm on our substrates, reusing the paper's
+GPU tour-construction kernels unchanged (MMAS differs from AS only in trail
+management, exactly the pheromone stage this repository models in detail).
+
+MMAS (Stützle & Hoos, 2000) modifies the Ant System in three ways:
+
+1. **Best-only deposit** — per iteration only one ant deposits: the
+   iteration-best tour, or periodically the best-so-far tour (the
+   ``use_best_so_far_every`` schedule).
+2. **Trail limits** — after every update, pheromone is clamped into
+   ``[tau_min, tau_max]`` with ``tau_max = 1 / (rho * C_best)`` and
+   ``tau_min = tau_max / (2 n)``, preventing stagnation on one tour.
+3. **Optimistic initialisation** — trails start at ``tau_max`` (computed
+   from the greedy nearest-neighbour tour), encouraging early exploration.
+
+On the GPU, the deposit kernel shrinks from m blocks to a single block (one
+tour), making the *evaporation* sweep the dominant pheromone cost — the
+ledger reflects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.choice import ChoiceKernel
+from repro.core.construction import TourConstruction, make_construction
+from repro.core.params import ACOParams
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.errors import ACOConfigError
+from repro.rng import make_rng
+from repro.simt.counters import KernelStats
+from repro.simt.device import TESLA_M2050, DeviceSpec
+from repro.simt.kernel import Kernel, LaunchConfig, grid_for
+from repro.simt.memory import AccessPattern, GlobalMemory
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import nearest_neighbor_tour, tour_length, tour_lengths, validate_tour
+from repro.util.timer import WallClock
+
+__all__ = ["MMASParams", "MaxMinAntSystem", "MMASRunResult"]
+
+
+@dataclass(frozen=True)
+class MMASParams:
+    """MMAS-specific knobs.
+
+    Attributes
+    ----------
+    use_best_so_far_every:
+        Every k-th iteration deposits the best-so-far tour instead of the
+        iteration best (0 disables best-so-far deposits entirely).
+    tau_min_divisor:
+        ``tau_min = tau_max / (tau_min_divisor * n)`` — the classical
+        choice is 2.
+    """
+
+    use_best_so_far_every: int = 5
+    tau_min_divisor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.use_best_so_far_every < 0:
+            raise ACOConfigError(
+                f"use_best_so_far_every must be >= 0, got {self.use_best_so_far_every}"
+            )
+        if self.tau_min_divisor <= 0:
+            raise ACOConfigError(
+                f"tau_min_divisor must be > 0, got {self.tau_min_divisor}"
+            )
+
+
+@dataclass
+class MMASRunResult:
+    """Summary of a MMAS run."""
+
+    best_tour: np.ndarray
+    best_length: int
+    iteration_best_lengths: list[int]
+    wall_seconds: float
+    trail_reinitialisations: int = 0
+
+
+class MaxMinAntSystem(Kernel):
+    """GPU-simulated MAX-MIN Ant System.
+
+    Parameters
+    ----------
+    instance:
+        TSP instance.
+    params:
+        Base parameters (MMAS classically uses a lower rho, e.g. 0.2, but
+        the default AS settings work).
+    mmas:
+        MMAS schedule/limit knobs.
+    construction:
+        Any of the paper's construction kernels (version 1-8, key, or
+        instance); default 8.
+    device:
+        Simulated device.
+
+    Examples
+    --------
+    >>> from repro.tsp import uniform_instance
+    >>> mmas = MaxMinAntSystem(uniform_instance(30, seed=4))
+    >>> res = mmas.run(iterations=5)
+    >>> res.best_length > 0
+    True
+    """
+
+    name = "mmas"
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        params: ACOParams | None = None,
+        mmas: MMASParams | None = None,
+        construction: int | str | TourConstruction = 8,
+        device: DeviceSpec = TESLA_M2050,
+    ) -> None:
+        self.params = params or ACOParams()
+        self.mmas = mmas or MMASParams()
+        self.device = device
+        self.construction = make_construction(construction)
+        self.choice_kernel = ChoiceKernel()
+        self.state = ColonyState.create(instance, self.params, device)
+
+        # Optimistic initialisation: tau_max from the greedy tour.
+        c_nn = tour_length(nearest_neighbor_tour(self.state.dist), self.state.dist)
+        self._set_limits(float(c_nn))
+        self.state.pheromone[:, :] = self.tau_max
+        np.fill_diagonal(self.state.pheromone, 0.0)
+
+        streams = self.construction.rng_streams(self.state.n, self.state.m)
+        self.rng = make_rng(self.construction.rng_kind, streams, self.params.seed)
+        self.trail_reinitialisations = 0
+
+    # -------------------------------------------------------------- limits
+
+    def _set_limits(self, best_length: float) -> None:
+        """Recompute ``tau_max``/``tau_min`` from the current best length."""
+        self.tau_max = 1.0 / (self.params.rho * best_length)
+        self.tau_min = self.tau_max / (self.mmas.tau_min_divisor * self.state.n)
+
+    def clamp_trails(self) -> None:
+        """Clamp pheromone into ``[tau_min, tau_max]`` (diagonal stays 0)."""
+        np.clip(self.state.pheromone, self.tau_min, self.tau_max, out=self.state.pheromone)
+        np.fill_diagonal(self.state.pheromone, 0.0)
+
+    def reinitialise_trails(self) -> None:
+        """Reset all trails to ``tau_max`` (stagnation escape)."""
+        self.state.pheromone[:, :] = self.tau_max
+        np.fill_diagonal(self.state.pheromone, 0.0)
+        self.trail_reinitialisations += 1
+
+    def branching_factor(self, lam: float = 0.05) -> float:
+        """Mean λ-branching factor — the classical MMAS stagnation gauge.
+
+        For each city, counts edges whose trail exceeds
+        ``tau_min_row + lam * (tau_max_row - tau_min_row)``; values near 2
+        mean the colony has converged onto a single tour.
+        """
+        tau = self.state.pheromone
+        n = self.state.n
+        off = ~np.eye(n, dtype=bool)
+        rows = np.where(off, tau, np.nan)
+        row_min = np.nanmin(rows, axis=1, keepdims=True)
+        row_max = np.nanmax(rows, axis=1, keepdims=True)
+        threshold = row_min + lam * (row_max - row_min)
+        counts = np.nansum(rows >= threshold, axis=1)
+        return float(counts.mean())
+
+    # ------------------------------------------------------------- geometry
+
+    def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
+        n = problem.get("n", self.state.n)
+        return LaunchConfig(grid=grid_for(n * n, 256), block=256)
+
+    # --------------------------------------------------------------- update
+
+    def update_pheromone(self, deposit_tour: np.ndarray, deposit_length: int) -> StageReport:
+        """Evaporate everywhere, deposit on one tour, clamp to the limits."""
+        st = self.state
+        stats = KernelStats()
+        launch = self.launch_config(self.device, n=st.n)
+        gmem = GlobalMemory(self.device, stats)
+
+        # Evaporation sweep (the dominant kernel: n^2 cells).
+        self.record_launch(stats, launch)
+        st.pheromone *= 1.0 - self.params.rho
+        cells = float(st.n) * st.n
+        gmem.load(cells, 4, AccessPattern.COALESCED)
+        gmem.store(cells, 4, AccessPattern.COALESCED)
+        stats.flops += cells
+
+        # Single-tour deposit (one block).
+        deposit_launch = LaunchConfig(grid=1, block=min(256, self.device.max_threads_per_block))
+        self.record_launch(stats, deposit_launch)
+        t = deposit_tour.astype(np.int64)
+        a, b = t[:-1], t[1:]
+        delta = 1.0 / float(deposit_length)
+        st.pheromone[a, b] += delta
+        st.pheromone[b, a] += delta
+        stats.atomics_fp += 2.0 * st.n
+        gmem.load(float(st.n + 1), 4, AccessPattern.COALESCED)
+
+        # Clamp kernel (fused in practice; counted as one more sweep).
+        self.clamp_trails()
+        self.record_launch(stats, launch)
+        gmem.load(cells, 4, AccessPattern.COALESCED)
+        gmem.store(cells, 4, AccessPattern.COALESCED)
+        stats.flops += 2.0 * cells  # two compares per cell
+
+        return StageReport(stage="pheromone", kernel="mmas_update", stats=stats, launch=launch)
+
+    # ------------------------------------------------------------ iteration
+
+    def run_iteration(self) -> tuple[int, list[StageReport]]:
+        """One MMAS iteration; returns (iteration best, stage reports)."""
+        st = self.state
+        stages: list[StageReport] = []
+        if self.construction.needs_choice_info:
+            stages.append(self.choice_kernel.run(st))
+
+        result = self.construction.build(st, self.rng)
+        stages.append(result.report)
+        lengths = tour_lengths(result.tours, st.dist)
+
+        it_best = int(np.argmin(lengths))
+        improved = st.best_length is None or int(lengths[it_best]) < st.best_length
+        st.record_tours(result.tours, lengths)
+        if improved:
+            assert st.best_length is not None
+            self._set_limits(float(st.best_length))
+
+        # Deposit schedule: iteration best, periodically best-so-far.
+        k = self.mmas.use_best_so_far_every
+        use_bsf = k > 0 and st.iteration % k == k - 1
+        if use_bsf:
+            assert st.best_tour is not None and st.best_length is not None
+            stages.append(self.update_pheromone(st.best_tour, st.best_length))
+        else:
+            stages.append(
+                self.update_pheromone(result.tours[it_best], int(lengths[it_best]))
+            )
+        st.iteration += 1
+        return int(lengths[it_best]), stages
+
+    def run(self, iterations: int, *, reinit_branching: float | None = None) -> MMASRunResult:
+        """Run MMAS; optionally reinitialise trails when the branching
+        factor falls below ``reinit_branching`` (e.g. 2.05)."""
+        if iterations < 1:
+            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        bests: list[int] = []
+        with WallClock() as clock:
+            for _ in range(iterations):
+                best, _ = self.run_iteration()
+                bests.append(best)
+                if (
+                    reinit_branching is not None
+                    and self.branching_factor() < reinit_branching
+                ):
+                    self.reinitialise_trails()
+        st = self.state
+        assert st.best_tour is not None and st.best_length is not None
+        validate_tour(st.best_tour, st.n)
+        return MMASRunResult(
+            best_tour=st.best_tour,
+            best_length=st.best_length,
+            iteration_best_lengths=bests,
+            wall_seconds=clock.elapsed,
+            trail_reinitialisations=self.trail_reinitialisations,
+        )

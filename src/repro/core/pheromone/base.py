@@ -1,0 +1,93 @@
+"""Pheromone-update strategy interface and shared functional math.
+
+All five Table III/IV variants compute the *same* mathematical update
+(paper eqs. 2-4):
+
+* evaporation: ``tau <- (1 - rho) tau`` on every edge,
+* deposit: every ant adds ``1/C_k`` to both triangle cells of each edge of
+  its tour.
+
+They differ only in the execution strategy — atomics vs scatter-to-gather,
+tiling, symmetric thread halving — i.e. in the *ledger* they record.  The
+functional arithmetic therefore lives here once, and the test-suite asserts
+all variants leave bit-identical pheromone matrices (up to float addition
+order, which `deposit` makes deterministic by using ``np.add.at``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+from repro.simt.kernel import Kernel, LaunchConfig
+
+__all__ = ["PheromoneUpdate", "evaporate", "deposit_all"]
+
+
+def evaporate(state: ColonyState) -> None:
+    """In-place evaporation ``tau *= (1 - rho)`` (paper eq. 2)."""
+    state.pheromone *= 1.0 - state.params.rho
+
+
+def deposit_all(
+    state: ColonyState, tours: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Symmetric deposit of every ant's ``1/C_k`` (paper eqs. 3-4), in place.
+
+    Returns the flat forward indices, flat backward indices and per-edge
+    deposit values so atomic-flavoured strategies can re-use them for
+    contention accounting.
+    """
+    n = state.n
+    frm = tours[:, :-1].astype(np.int64)
+    to = tours[:, 1:].astype(np.int64)
+    deltas = (1.0 / lengths.astype(np.float64))[:, None]
+    values = np.broadcast_to(deltas, frm.shape).ravel()
+    flat_fw = (frm * n + to).ravel()
+    flat_bw = (to * n + frm).ravel()
+    flat_tau = state.pheromone.reshape(-1)
+    np.add.at(flat_tau, flat_fw, values)
+    np.add.at(flat_tau, flat_bw, values)
+    return flat_fw, flat_bw, values
+
+
+class PheromoneUpdate(Kernel, abc.ABC):
+    """Base class for the Table III/IV pheromone-update kernels.
+
+    Class attributes identify the paper row: ``version`` (1-5), ``key``
+    (registry id) and ``label`` (the row label as printed).  ``theta`` is
+    the tile size for the tiled variants (the paper's θ).
+    """
+
+    version: int = 0
+    key: str = ""
+    label: str = ""
+
+    @abc.abstractmethod
+    def update(
+        self, state: ColonyState, tours: np.ndarray, lengths: np.ndarray
+    ) -> StageReport:
+        """Apply the update in place, returning the stage report."""
+
+    @abc.abstractmethod
+    def predict_stats(
+        self,
+        n: int,
+        m: int,
+        device: DeviceSpec,
+        *,
+        hot_degree: float = 0.0,
+    ) -> tuple[KernelStats, LaunchConfig]:
+        """Closed-form ledger + dominant launch shape.
+
+        ``hot_degree`` injects the measured hottest-cell multiplicity for
+        the atomic variants (a stochastic quantity).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} v{self.version} {self.label!r}>"

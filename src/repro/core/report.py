@@ -1,0 +1,97 @@
+"""Stage and iteration reports: what ran, what it did, what it would cost.
+
+Every strategy returns a :class:`StageReport` per simulated GPU stage; the
+colony aggregates them into an :class:`IterationReport`.  Reports separate
+*facts* (the stats ledger, the launch shape) from *costing* (seconds under a
+:class:`~repro.simt.timing.CostParams`), so one simulated run can be priced
+for both paper devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+from repro.simt.kernel import LaunchConfig
+from repro.simt.timing import CostParams, estimate_time
+
+__all__ = ["StageReport", "IterationReport"]
+
+
+@dataclass
+class StageReport:
+    """One simulated kernel stage (e.g. "tour construction, version 7").
+
+    Attributes
+    ----------
+    stage:
+        Stage family: ``"choice" | "construction" | "pheromone"``.
+    kernel:
+        Kernel/strategy name.
+    stats:
+        Work ledger (merged over the stage's launches).
+    launch:
+        The dominant launch shape (used for the occupancy derate).
+    """
+
+    stage: str
+    kernel: str
+    stats: KernelStats
+    launch: LaunchConfig
+
+    def effective_parallelism(self, device: DeviceSpec) -> float:
+        return self.launch.occupancy(device).effective_parallelism
+
+    def modeled_time(self, device: DeviceSpec, params: CostParams) -> float:
+        """Estimated seconds of this stage on ``device`` under ``params``."""
+        return estimate_time(
+            self.stats,
+            device,
+            params,
+            effective_parallelism=self.effective_parallelism(device),
+        )
+
+
+@dataclass
+class IterationReport:
+    """Everything one Ant System iteration produced."""
+
+    iteration: int
+    tours: np.ndarray
+    lengths: np.ndarray
+    stages: list[StageReport] = field(default_factory=list)
+
+    @property
+    def best_length(self) -> int:
+        return int(self.lengths.min())
+
+    def stage(self, name: str) -> StageReport:
+        """Look up a stage by family name; raises ``KeyError`` when absent."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise KeyError(f"no stage {name!r} in iteration report; have "
+                       f"{[s.stage for s in self.stages]}")
+
+    def construction_time(
+        self, device: DeviceSpec, params: CostParams, *, include_choice: bool = True
+    ) -> float:
+        """Modeled seconds of the construction stage (the paper's Table II
+        rows include the choice kernel's cost where one is used)."""
+        total = 0.0
+        for s in self.stages:
+            if s.stage == "construction" or (include_choice and s.stage == "choice"):
+                total += s.modeled_time(device, params)
+        return total
+
+    def pheromone_time(self, device: DeviceSpec, params: CostParams) -> float:
+        """Modeled seconds of the pheromone-update stage."""
+        return sum(
+            s.modeled_time(device, params) for s in self.stages if s.stage == "pheromone"
+        )
+
+    def total_time(self, device: DeviceSpec, params: CostParams) -> float:
+        return sum(s.modeled_time(device, params) for s in self.stages)

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TSPError",
+    "TSPLIBFormatError",
+    "UnsupportedEdgeWeightError",
+    "InvalidTourError",
+    "SimtError",
+    "LaunchConfigError",
+    "OccupancyError",
+    "MemoryModelError",
+    "DeviceFeatureError",
+    "ACOConfigError",
+    "ExperimentError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# --------------------------------------------------------------------------- TSP
+
+
+class TSPError(ReproError):
+    """Base class for TSP-substrate errors."""
+
+
+class TSPLIBFormatError(TSPError):
+    """A TSPLIB file could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line_no:
+        1-based line number in the source file, when known.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class UnsupportedEdgeWeightError(TSPLIBFormatError):
+    """The instance uses an ``EDGE_WEIGHT_TYPE`` this library does not implement."""
+
+
+class InvalidTourError(TSPError):
+    """A tour fails validation (wrong length, repeated city, out-of-range index)."""
+
+
+# -------------------------------------------------------------------------- SIMT
+
+
+class SimtError(ReproError):
+    """Base class for GPU-simulator errors."""
+
+
+class LaunchConfigError(SimtError):
+    """A kernel launch configuration violates device limits."""
+
+
+class OccupancyError(SimtError):
+    """A block cannot be scheduled at all on the device (0 blocks/SM)."""
+
+
+class MemoryModelError(SimtError):
+    """Illegal interaction with a simulated memory space."""
+
+
+class DeviceFeatureError(SimtError):
+    """A kernel requires a device capability the target device lacks.
+
+    The C1060 (CC 1.3) famously lacks hardware float atomics; kernels that
+    require them either raise this error or fall back to software emulation,
+    depending on their ``strict`` setting.
+    """
+
+
+# --------------------------------------------------------------------------- ACO
+
+
+class ACOConfigError(ReproError):
+    """Invalid Ant System parameterisation."""
+
+
+# -------------------------------------------------------------------- experiments
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown id, bad mode, missing data)."""
+
+
+class CalibrationError(ExperimentError):
+    """Cost-model calibration failed to converge or was given unusable data."""

@@ -1,0 +1,39 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Artefact ids: ``table2``, ``table3``, ``table4``, ``fig4a``, ``fig4b``,
+``fig5``.  Each has a runner in its own module returning an
+:class:`~repro.experiments.harness.ExperimentResult` that carries the
+model-reproduced rows, the paper's reported rows, and shape metrics
+(orderings, trends, crossovers).
+
+Run from the command line::
+
+    python -m repro.experiments table2
+    python -m repro.experiments all
+    python -m repro.experiments calibrate
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import cpu_cost_params, gpu_cost_params
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.scaling import (
+    EXPECTED_EXPONENTS,
+    model_time_series,
+    scaling_exponent,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "gpu_cost_params",
+    "cpu_cost_params",
+    "EXPECTED_EXPONENTS",
+    "model_time_series",
+    "scaling_exponent",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry: ``python -m repro.experiments <command>``.
+
+Commands
+--------
+``table2 | table3 | table4 | fig4a | fig4b | fig5``
+    Run one artefact reproduction and print the model-vs-paper comparison.
+``all``
+    Run every artefact.
+``report [path]``
+    Regenerate EXPERIMENTS.md (default: ./EXPERIMENTS.md).
+``calibrate``
+    Re-run the cost-model fit and print the replacement dictionaries for
+    ``repro/experiments/calibration.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.harness import run_experiment
+from repro.experiments.report import ALL_EXPERIMENT_IDS, generate_experiments_md
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print(__doc__)
+        return 2
+    cmd = args[0]
+
+    if cmd in ALL_EXPERIMENT_IDS:
+        print(run_experiment(cmd).render())
+        return 0
+
+    if cmd == "all":
+        for exp_id in ALL_EXPERIMENT_IDS:
+            print("=" * 100)
+            print(run_experiment(exp_id).render())
+        return 0
+
+    if cmd == "report":
+        path = args[1] if len(args) > 1 else "EXPERIMENTS.md"
+        content = generate_experiments_md()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        print(f"wrote {path} ({len(content.splitlines())} lines)")
+        return 0
+
+    if cmd == "calibrate":
+        from repro.experiments.calibrate import (
+            render_calibration_module,
+            run_calibration,
+        )
+
+        cpu, gpus = run_calibration(verbose=True)
+        print(render_calibration_module(cpu, gpus))
+        return 0
+
+    print(f"unknown command {cmd!r}; see --help below\n")
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

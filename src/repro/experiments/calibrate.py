@@ -1,0 +1,286 @@
+"""Fit the cost-model constants against the paper's own numbers.
+
+Three fits, in dependency order:
+
+1. **CPU** — the sequential constants against the sequential times *implied*
+   by the paper: ``reported speed-up × reported C1060 kernel time`` for
+   Figure 4(a) (× Table II v6), Figure 4(b) (× Table II v8) and Figure 5
+   (× Table III v1).
+2. **C1060** — against every cell of Table II and Table III (86 exact
+   targets).
+3. **M2050** — against every cell of Table IV, plus the construction times
+   implied by the M2050 curves of Figures 4(a)/4(b) and the fitted CPU model
+   (down-weighted: the figure points are digitised).
+
+All fits are log-space least squares (``scipy.optimize.least_squares``):
+parameters are optimised as logarithms (guaranteeing positivity), residuals
+are ``ln(model / target)``, so a residual of 0.69 is a factor-of-2 error.
+Fractional parameters (efficiencies, knees, hit rates) are bounded below 1.
+
+Only *constants* are fitted; every count, formula and launch shape stays
+analytic, so the fit cannot manufacture orderings the model does not
+structurally produce (see DESIGN.md).
+
+Run ``python -m repro.experiments calibrate`` to reproduce the committed
+values in :mod:`repro.experiments.calibration`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.errors import CalibrationError
+from repro.experiments import paper_data as pd
+from repro.experiments.calibration import CPU_CALIBRATION, GPU_CALIBRATION
+from repro.experiments.harness import (
+    construction_model_time,
+    device_by_key,
+    pheromone_model_time,
+    sequential_model_time,
+)
+from repro.seq.cost import CpuCostParams
+from repro.simt.timing import CostParams
+
+__all__ = [
+    "fit_cpu",
+    "fit_gpu",
+    "calibration_targets_cpu",
+    "calibration_targets_gpu",
+    "render_calibration_module",
+]
+
+#: CostParams fields fitted for each GPU, with physically sensible bounds —
+#: the fit must stay inside the regime where the model's *shape* guarantees
+#: hold (e.g. a CURAND sample can never be cheaper than an LCG sample, so
+#: CURAND is parameterised as ``lcg × ratio`` with ratio >= 1.1).  The rest
+#: of the fields stay at their committed values (cpi_flop is degenerate with
+#: issue_efficiency).
+GPU_FIT_BOUNDS: dict[str, tuple[float, float]] = {
+    "cpi_int": (0.5, 8.0),
+    "cpi_special": (4.0, 400.0),
+    "cycles_rng_lcg": (4.0, 80.0),
+    "rng_curand_ratio": (1.1, 20.0),  # pseudo-field: curand = lcg * ratio
+    "mem_efficiency": (0.2, 0.95),
+    "random_derate": (0.5, 8.0),
+    "atomic_ns": (0.5, 20.0),
+    "launch_overhead_s": (2e-6, 2e-4),
+    "barrier_latency_s": (5e-8, 1e-5),
+    "smem_words_per_cycle_per_sm": (4.0, 64.0),
+    "memory_occ_knee": (0.02, 0.9),
+    "compute_occ_knee": (0.02, 0.9),
+    "divergence_penalty_cycles": (1.0, 64.0),
+}
+
+GPU_FIT_FIELDS: tuple[str, ...] = tuple(GPU_FIT_BOUNDS)
+
+CPU_FIT_BOUNDS: dict[str, tuple[float, float]] = {
+    "arith_ns": (0.1, 5.0),
+    "mem_seq_ns": (0.2, 5.0),
+    "mem_rand_ns": (1.0, 60.0),
+    "rng_ns": (2.0, 50.0),
+    "pow_ns": (10.0, 300.0),
+    "branch_ns": (0.2, 8.0),
+}
+
+CPU_FIT_FIELDS: tuple[str, ...] = tuple(CPU_FIT_BOUNDS)
+
+
+# --------------------------------------------------------------- CPU targets
+
+
+def calibration_targets_cpu() -> list[tuple[str, str, float, float]]:
+    """(kind, instance, target_seconds, weight) for the CPU fit."""
+    targets: list[tuple[str, str, float, float]] = []
+    # Fig 4(a): sequential NN-list construction = speedup × Table II v6.
+    fig = pd.FIG4A["c1060"]
+    for i, name in enumerate(fig.instances):
+        gpu_ms = pd.TABLE2_MS[6][i]
+        targets.append(("construct_nnlist", name, fig.speedups[i] * gpu_ms * 1e-3, 1.0))
+    # Fig 4(b): sequential fully probabilistic = speedup × Table II v8.
+    fig = pd.FIG4B["c1060"]
+    for i, name in enumerate(fig.instances):
+        gpu_ms = pd.TABLE2_MS[8][i]
+        targets.append(("construct_full", name, fig.speedups[i] * gpu_ms * 1e-3, 1.0))
+    # Fig 5: sequential pheromone update = speedup × Table III v1.
+    fig = pd.FIG5["c1060"]
+    for i, name in enumerate(fig.instances):
+        gpu_ms = pd.TABLE3_MS[1][i]
+        targets.append(("update", name, fig.speedups[i] * gpu_ms * 1e-3, 1.0))
+    return targets
+
+
+def fit_cpu(*, verbose: bool = False) -> CpuCostParams:
+    """Least-squares fit of the CPU constants; returns the fitted params."""
+    targets = calibration_targets_cpu()
+    base = CPU_CALIBRATION
+
+    def unpack(x: np.ndarray) -> CpuCostParams:
+        vals = np.exp(x)
+        return base.with_overrides(**dict(zip(CPU_FIT_FIELDS, vals)))
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        params = unpack(x)
+        res = []
+        for kind, name, target, weight in targets:
+            model = sequential_model_time(kind, name, params=params)
+            res.append(weight * np.log(model / target))
+        return np.asarray(res)
+
+    lo = np.log([CPU_FIT_BOUNDS[f][0] for f in CPU_FIT_FIELDS])
+    hi = np.log([CPU_FIT_BOUNDS[f][1] for f in CPU_FIT_FIELDS])
+    x0 = np.clip(np.log([getattr(base, f) for f in CPU_FIT_FIELDS]), lo, hi)
+    sol = least_squares(residuals, x0, bounds=(lo, hi), method="trf", max_nfev=2000)
+    if not sol.success:  # pragma: no cover - scipy rarely fails here
+        raise CalibrationError(f"CPU fit failed: {sol.message}")
+    fitted = unpack(sol.x)
+    if verbose:  # pragma: no cover - CLI path
+        _report("CPU", residuals(sol.x))
+    return fitted
+
+
+# --------------------------------------------------------------- GPU targets
+
+
+def calibration_targets_gpu(
+    device_key: str, cpu_params: CpuCostParams | None = None
+) -> list[tuple[Callable[[CostParams], float], float, float]]:
+    """(model_fn, target_seconds, weight) for one device's fit."""
+    device = device_by_key(device_key)
+    targets: list[tuple[Callable[[CostParams], float], float, float]] = []
+
+    def add_construction(version: int, name: str, target_s: float, weight: float) -> None:
+        targets.append(
+            (
+                lambda p, v=version, nm=name: construction_model_time(
+                    v, nm, device, params=p
+                ),
+                target_s,
+                weight,
+            )
+        )
+
+    def add_pheromone(version: int, name: str, target_s: float, weight: float) -> None:
+        targets.append(
+            (
+                lambda p, v=version, nm=name: pheromone_model_time(
+                    v, nm, device, params=p
+                ),
+                target_s,
+                weight,
+            )
+        )
+
+    if device_key == "c1060":
+        for version, row in pd.TABLE2_MS.items():
+            for name, ms in zip(pd.TABLE2_INSTANCES, row):
+                add_construction(version, name, ms * 1e-3, 1.0)
+        for version, row in pd.TABLE3_MS.items():
+            for name, ms in zip(pd.TABLE3_INSTANCES, row):
+                add_pheromone(version, name, ms * 1e-3, 1.0)
+    elif device_key == "m2050":
+        for version, row in pd.TABLE4_MS.items():
+            for name, ms in zip(pd.TABLE3_INSTANCES, row):
+                add_pheromone(version, name, ms * 1e-3, 1.0)
+        # Construction on the M2050 appears only through the figures:
+        # implied GPU time = fitted sequential time / figure speed-up.
+        cpu = cpu_params if cpu_params is not None else CPU_CALIBRATION
+        for fig, version, kind in (
+            (pd.FIG4A["m2050"], 6, "construct_nnlist"),
+            (pd.FIG4B["m2050"], 8, "construct_full"),
+        ):
+            for i, name in enumerate(fig.instances):
+                seq_s = sequential_model_time(kind, name, params=cpu)
+                add_construction(version, name, seq_s / fig.speedups[i], 0.5)
+    else:  # pragma: no cover - defensive
+        raise CalibrationError(f"no calibration targets for device {device_key!r}")
+    return targets
+
+
+def fit_gpu(
+    device_key: str,
+    *,
+    cpu_params: CpuCostParams | None = None,
+    verbose: bool = False,
+) -> CostParams:
+    """Least-squares fit of one device's GPU constants."""
+    device = device_by_key(device_key)
+    base = GPU_CALIBRATION[device.name]
+    targets = calibration_targets_gpu(device_key, cpu_params)
+
+    def unpack(x: np.ndarray) -> CostParams:
+        vals = np.exp(x)
+        kw = dict(zip(GPU_FIT_FIELDS, vals))
+        ratio = kw.pop("rng_curand_ratio")
+        kw["cycles_rng_curand"] = kw["cycles_rng_lcg"] * ratio
+        return base.with_overrides(**kw)
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        params = unpack(x)
+        return np.asarray(
+            [w * np.log(fn(params) / target) for fn, target, w in targets]
+        )
+
+    def start_value(field: str) -> float:
+        if field == "rng_curand_ratio":
+            return max(1.2, base.cycles_rng_curand / base.cycles_rng_lcg)
+        return getattr(base, field)
+
+    lo = np.log([GPU_FIT_BOUNDS[f][0] for f in GPU_FIT_FIELDS])
+    hi = np.log([GPU_FIT_BOUNDS[f][1] for f in GPU_FIT_FIELDS])
+    x0 = np.clip(np.log([start_value(f) for f in GPU_FIT_FIELDS]), lo, hi)
+    sol = least_squares(residuals, x0, bounds=(lo, hi), method="trf", max_nfev=4000)
+    if not sol.success:  # pragma: no cover
+        raise CalibrationError(f"{device_key} fit failed: {sol.message}")
+    fitted = unpack(sol.x)
+    if verbose:  # pragma: no cover - CLI path
+        _report(device.name, residuals(sol.x))
+    return fitted
+
+
+def _report(label: str, res: np.ndarray) -> None:  # pragma: no cover - CLI
+    print(
+        f"[{label}] n={res.size} mean|lnr|={np.mean(np.abs(res)):.3f} "
+        f"max|lnr|={np.max(np.abs(res)):.3f}"
+    )
+
+
+# ------------------------------------------------------------------ render
+
+
+def render_calibration_module(
+    cpu: CpuCostParams, gpus: dict[str, CostParams]
+) -> str:
+    """Python source for the fitted dictionaries (paste into calibration.py)."""
+
+    def fmt_params(p, indent: str) -> str:
+        lines = []
+        for f in dataclasses.fields(p):
+            lines.append(f"{indent}{f.name}={getattr(p, f.name):.6g},")
+        return "\n".join(lines)
+
+    parts = ["GPU_CALIBRATION = {"]
+    for name, p in gpus.items():
+        parts.append(f"    {name!r}: CostParams(")
+        parts.append(fmt_params(p, " " * 8))
+        parts.append("    ),")
+    parts.append("}")
+    parts.append("")
+    parts.append("CPU_CALIBRATION = CpuCostParams(")
+    parts.append(fmt_params(cpu, " " * 4))
+    parts.append(")")
+    return "\n".join(parts)
+
+
+def run_calibration(verbose: bool = True) -> tuple[CpuCostParams, dict[str, CostParams]]:
+    """The full three-stage fit; returns (cpu, {device_name: params})."""
+    cpu = fit_cpu(verbose=verbose)
+    c1060 = fit_gpu("c1060", cpu_params=cpu, verbose=verbose)
+    m2050 = fit_gpu("m2050", cpu_params=cpu, verbose=verbose)
+    return cpu, {
+        device_by_key("c1060").name: c1060,
+        device_by_key("m2050").name: m2050,
+    }

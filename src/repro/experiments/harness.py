@@ -1,0 +1,265 @@
+"""Experiment harness: model-mode reproduction of every table and figure.
+
+The harness evaluates the calibrated analytical model over the paper's
+benchmark sizes.  Model mode needs only instance *dimensions* (n, m, nn) —
+never the coordinate data — so reproducing Table II's pr2392 column takes
+milliseconds.  The measured counterpart (functional simulation under
+``pytest-benchmark``) lives in ``benchmarks/``.
+
+Each runner returns an :class:`ExperimentResult` bundling the model rows,
+the paper rows, shape metrics and rendered tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.choice import ChoiceKernel
+from repro.core.construction import expected_fallback_steps, make_construction
+from repro.core.pheromone import make_pheromone
+from repro.errors import ExperimentError
+from repro.experiments.calibration import cpu_cost_params, gpu_cost_params
+from repro.seq.cost import estimate_cpu_time
+from repro.seq.counts import CpuOps
+from repro.seq.engine import (
+    SequentialAntSystem,
+    predict_construction_ops_for,
+    predict_update_ops_for,
+)
+from repro.simt.device import DEVICES, DeviceSpec
+from repro.simt.timing import estimate_time
+from repro.tsp.suite import suite_entry
+from repro.util.tables import Table
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "construction_model_time",
+    "pheromone_model_time",
+    "sequential_model_time",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one artefact reproduction.
+
+    Attributes
+    ----------
+    id / title:
+        Artefact identifier (``table2`` ...) and human title.
+    instances:
+        Column names.
+    model_rows / paper_rows:
+        Row label -> values (milliseconds for tables, speed-up factors for
+        figures).
+    metrics:
+        Shape metrics (orderings, crossovers, log errors).
+    notes:
+        Caveats to surface in reports.
+    """
+
+    id: str
+    title: str
+    instances: tuple[str, ...]
+    model_rows: dict[str, list[float]]
+    paper_rows: dict[str, list[float]]
+    metrics: dict[str, object] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    unit: str = "ms"
+
+    def table(self, *, paper: bool = False) -> Table:
+        """Rendered table of the model (or paper) rows."""
+        source = self.paper_rows if paper else self.model_rows
+        headers = ["version"] + list(self.instances)
+        t = Table(
+            headers,
+            title=f"{self.title} — {'paper' if paper else 'model'} ({self.unit})",
+        )
+        for label, values in source.items():
+            t.add_row([label] + [_fmt(v) for v in values])
+        return t
+
+    def side_by_side(self) -> Table:
+        """Model/paper interleaved, for eyeballing agreement."""
+        headers = ["version", "source"] + list(self.instances)
+        t = Table(headers, title=f"{self.title} — model vs paper ({self.unit})")
+        for label in self.model_rows:
+            t.add_row([label, "model"] + [_fmt(v) for v in self.model_rows[label]])
+            if label in self.paper_rows:
+                t.add_row(["", "paper"] + [_fmt(v) for v in self.paper_rows[label]])
+        return t
+
+    def render(self) -> str:
+        lines = [self.side_by_side().render(), ""]
+        if self.metrics:
+            lines.append("shape metrics:")
+            for key, val in self.metrics.items():
+                lines.append(f"  {key}: {val}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if v >= 1000:
+        return f"{v:.0f}"
+    if v >= 10:
+        return f"{v:.1f}"
+    return f"{v:.2f}"
+
+
+# ------------------------------------------------------------- model pieces
+
+
+def _dims(instance_name: str, nn: int = 30) -> tuple[int, int, int]:
+    """(n, m, nn) for a paper instance, with the paper's m = n."""
+    entry = suite_entry(instance_name)
+    n = entry.n
+    return n, n, min(nn, n - 1)
+
+
+def construction_model_time(
+    version: int,
+    instance_name: str,
+    device: DeviceSpec,
+    *,
+    nn: int = 30,
+    fallback_steps: float | None = None,
+    include_choice: bool = True,
+    params=None,
+    **strategy_options,
+) -> float:
+    """Modeled seconds of one construction iteration (Table II cell).
+
+    ``fallback_steps=None`` uses the closed-form expectation model; pass a
+    measured count for higher fidelity.  ``params`` overrides the calibrated
+    :class:`~repro.simt.timing.CostParams` (used by the calibration fit).
+    """
+    n, m, nn = _dims(instance_name, nn)
+    strategy = make_construction(version, **strategy_options)
+    if fallback_steps is None:
+        fallback_steps = (
+            expected_fallback_steps(n, m, nn) if 4 <= strategy.version <= 6 else 0.0
+        )
+    if params is None:
+        params = gpu_cost_params(device)
+    stats, launch = strategy.predict_stats(n, m, nn, device, fallback_steps=fallback_steps)
+    total = estimate_time(
+        stats,
+        device,
+        params,
+        effective_parallelism=launch.occupancy(device).effective_parallelism,
+    )
+    if include_choice and strategy.needs_choice_info:
+        ck = ChoiceKernel()
+        cstats, claunch = ck.predict_stats(n, device)
+        total += estimate_time(
+            cstats,
+            device,
+            params,
+            effective_parallelism=claunch.occupancy(device).effective_parallelism,
+        )
+    return total
+
+
+def pheromone_model_time(
+    version: int,
+    instance_name: str,
+    device: DeviceSpec,
+    *,
+    hot_degree: float = 0.0,
+    params=None,
+    **strategy_options,
+) -> float:
+    """Modeled seconds of one pheromone update (Table III/IV cell).
+
+    ``params`` overrides the calibrated constants (calibration fit hook).
+    """
+    n, m, _ = _dims(instance_name)
+    strategy = make_pheromone(version, **strategy_options)
+    if params is None:
+        params = gpu_cost_params(device)
+    stats, launch = strategy.predict_stats(n, m, device, hot_degree=hot_degree)
+    return estimate_time(
+        stats,
+        device,
+        params,
+        effective_parallelism=launch.occupancy(device).effective_parallelism,
+    )
+
+
+_SEQ_KINDS = ("construct_nnlist", "construct_full", "update")
+
+
+def sequential_model_time(
+    kind: str,
+    instance_name: str,
+    *,
+    nn: int = 30,
+    fallback_steps: float | None = None,
+    params=None,
+) -> float:
+    """Modeled seconds of the sequential baseline for one stage.
+
+    ``construct_*`` kinds include the per-iteration choice-info pass the C
+    code performs before construction, mirroring what the GPU side counts.
+    ``params`` overrides the calibrated :class:`~repro.seq.cost.CpuCostParams`.
+    """
+    if kind not in _SEQ_KINDS:
+        raise ExperimentError(f"kind must be one of {_SEQ_KINDS}, got {kind!r}")
+    n, m, nn = _dims(instance_name, nn)
+    if params is None:
+        params = cpu_cost_params()
+    if kind == "update":
+        ops = predict_update_ops_for(n, m)
+        return estimate_cpu_time(ops, params)
+    mode = "nnlist" if kind == "construct_nnlist" else "full"
+    if fallback_steps is None:
+        fallback_steps = expected_fallback_steps(n, m, nn) if mode == "nnlist" else 0.0
+    ops = SequentialAntSystem.predict_choice_ops(n) + predict_construction_ops_for(
+        n, m, nn, mode, fallback_steps=fallback_steps
+    )
+    return estimate_cpu_time(ops, params)
+
+
+# ----------------------------------------------------------------- registry
+
+# Populated by the runner modules at import time (they call register()).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(exp_id: str) -> Callable:
+    """Decorator adding a runner to the registry under ``exp_id``."""
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one artefact reproduction by id (``table2`` ... ``fig5``)."""
+    # Import runners lazily so the registry is populated on first use
+    # without import cycles.
+    from repro.experiments import figures, tables  # noqa: F401
+
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)
+
+
+def device_by_key(key: str) -> DeviceSpec:
+    try:
+        return DEVICES[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown device key {key!r}; known: {sorted(DEVICES)}"
+        ) from None

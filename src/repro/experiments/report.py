@@ -1,0 +1,147 @@
+"""EXPERIMENTS.md generation: paper-vs-model record for every artefact.
+
+``python -m repro.experiments report`` regenerates the file at the repo
+root; the committed copy is the output of exactly that command.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.util.tables import Table
+
+__all__ = ["ALL_EXPERIMENT_IDS", "generate_experiments_md", "render_markdown_result"]
+
+ALL_EXPERIMENT_IDS: tuple[str, ...] = (
+    "table2",
+    "table3",
+    "table4",
+    "fig4a",
+    "fig4b",
+    "fig5",
+)
+
+_HEADER = """# EXPERIMENTS — paper vs model
+
+Reproduction record for every table and figure in the evaluation section of
+*Parallelization Strategies for Ant Colony Optimisation on GPUs* (Cecilia et
+al., 2011).  Regenerate with `python -m repro.experiments report`.
+
+**Reading guide.**  GPU kernel times come from the calibrated analytical
+SIMT model (`repro.simt.timing`); sequential times from the calibrated CPU
+model (`repro.seq.cost`).  Absolute numbers are therefore *modelled*, and
+the claim under test is the **shape**: version orderings within each column,
+growth trends, crossovers and peak locations/magnitudes.  `mean |ln r|` is
+the mean absolute natural-log model/paper ratio over the table's cells
+(0.69 = a factor of 2).  Figure reference points are digitised from the
+plots except the peak values, which the paper's text states exactly.
+
+"""
+
+
+def _metrics_lines(result: ExperimentResult) -> list[str]:
+    lines: list[str] = []
+    m = result.metrics
+    if "mean_abs_log_ratio" in m:
+        lines.append(f"- mean |ln(model/paper)| over cells: **{m['mean_abs_log_ratio']:.3f}**")
+        ordering = m.get("ordering", {})
+        if ordering:
+            lines.append(
+                f"- version-ordering agreement (Spearman rho per column, mean): "
+                f"**{ordering['mean']:.3f}**"
+            )
+        for key in (
+            "v8_beats_v6_small",
+            "v6_beats_v8_large",
+            "slowdown_grows_with_n",
+        ):
+            if key in m:
+                lines.append(f"- {key.replace('_', ' ')}: **{m[key]}**")
+        if "model_total_speedup" in m:
+            lines.append(
+                f"- total speed-up row, model: {m['model_total_speedup']} "
+                f"vs paper: {m['paper_total_speedup']}"
+            )
+        if "model_total_slowdown" in m:
+            lines.append(
+                f"- total slow-down row, model: {m['model_total_slowdown']} "
+                f"vs paper: {m['paper_total_slowdown']}"
+            )
+    else:
+        for dev_key, dev_metrics in m.items():
+            parts = []
+            parts.append(f"peak {dev_metrics['model_peak']:.2f}x vs paper {dev_metrics['paper_peak']:.2f}x")
+            parts.append(f"peak |ln r| {dev_metrics['peak_log_error']:.2f}")
+            parts.append(f"crossover match: {dev_metrics['crossover_match']}")
+            parts.append(f"rise monotone: {dev_metrics['rise_monotone_fraction']:.2f}")
+            parts.append(f"spearman {dev_metrics['spearman']:.2f}")
+            lines.append(f"- **{dev_key}**: " + "; ".join(parts))
+    return lines
+
+
+def render_markdown_result(result: ExperimentResult) -> str:
+    """One artefact's markdown section."""
+    buf = io.StringIO()
+    buf.write(f"## {result.id}: {result.title}\n\n")
+    table = Table(
+        ["row", "source"] + list(result.instances),
+        title=None,
+    )
+    for label in result.model_rows:
+        table.add_row(
+            [label, "model"] + [_fmt(v) for v in result.model_rows[label]]
+        )
+        if label in result.paper_rows:
+            table.add_row(
+                ["", "paper"] + [_fmt(v) for v in result.paper_rows[label]]
+            )
+    buf.write(table.render_markdown())
+    buf.write("\n\n")
+    for line in _metrics_lines(result):
+        buf.write(line + "\n")
+    for note in result.notes:
+        buf.write(f"- note: {note}\n")
+    buf.write("\n")
+    return buf.getvalue()
+
+
+def _fmt(v: float) -> str:
+    if v >= 1000:
+        return f"{v:.0f}"
+    if v >= 10:
+        return f"{v:.1f}"
+    return f"{v:.2f}"
+
+
+def generate_experiments_md() -> str:
+    """The full EXPERIMENTS.md content."""
+    buf = io.StringIO()
+    buf.write(_HEADER)
+    for exp_id in ALL_EXPERIMENT_IDS:
+        result = run_experiment(exp_id)
+        buf.write(render_markdown_result(result))
+    buf.write(_FOOTER)
+    return buf.getvalue()
+
+
+_FOOTER = """## Known gaps
+
+- **Figure 4(a) at pr2392**: the paper shows the speed-up *declining* past
+  pr1002 (GPU occupancy collapse plus the bit-packed tabu overhead on the
+  C1060).  The model reproduces the bit-packed cost and the shrinking
+  blocks, but the fitted occupancy knees under-penalise the effect, so the
+  modelled curve keeps rising where the paper's falls.  The crossover
+  (GPU overtakes CPU from a280) and the peak band are reproduced.
+- **Figure 4(b) small instances**: the paper reports ~7x already at att48;
+  the model gives ~2x (C1060).  The paper's sequential side appears to
+  carry per-call overheads that a size-independent linear op model cannot
+  express without hurting the large-instance fit.
+- **Table III, Scatter-to-Gather at pr1002**: the paper's 200.2 s cell
+  grows ~14x from d657 where the access-count formula (2 n^4) gives ~5.4x;
+  the remaining factor is likely TLB/partition-camping pathology outside
+  the model.  The modelled cell (107.6 s) still dwarfs every other version
+  by orders of magnitude, which is the finding.
+- CPU constants are identified only as a blend (the op classes co-occur in
+  fixed ratios); individual nanosecond values are not meaningful.
+"""

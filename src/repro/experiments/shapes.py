@@ -1,0 +1,135 @@
+"""Shape metrics: how well the model reproduces the paper's *findings*.
+
+Absolute milliseconds from a calibrated analytical model are not the claim;
+the claim is the shape of the results — which kernel wins, how slow-downs
+grow, where speed-up curves cross 1x and where they peak.  These helpers
+quantify each of those against the paper data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.paper_data import FigureSeries
+from repro.util.stats import (
+    crossover_index,
+    log_ratio,
+    monotone_fraction,
+    spearman_rank_correlation,
+)
+
+__all__ = [
+    "ordering_agreement",
+    "mean_abs_log_ratio",
+    "row_log_errors",
+    "curve_metrics",
+]
+
+
+def ordering_agreement(
+    model_rows: Mapping[int, Sequence[float]],
+    paper_rows: Mapping[int, Sequence[float]],
+) -> dict[str, float]:
+    """Version-ordering agreement between model and paper, per column.
+
+    For each instance column, ranks the kernel versions by model time and by
+    paper time and computes Spearman's rho.  Returns per-column rho plus the
+    mean (key ``"mean"``); 1.0 everywhere means the model reproduces every
+    ordering in the table.
+    """
+    versions = sorted(model_rows)
+    if versions != sorted(paper_rows):
+        raise ValueError("model and paper rows must cover the same versions")
+    n_cols = len(next(iter(model_rows.values())))
+    out: dict[str, float] = {}
+    rhos = []
+    for col in range(n_cols):
+        model_col = [model_rows[v][col] for v in versions]
+        paper_col = [paper_rows[v][col] for v in versions]
+        rho = spearman_rank_correlation(model_col, paper_col)
+        out[f"col{col}"] = rho
+        rhos.append(rho)
+    out["mean"] = float(np.mean(rhos))
+    return out
+
+
+def row_log_errors(
+    model_rows: Mapping[int, Sequence[float]],
+    paper_rows: Mapping[int, Sequence[float]],
+) -> dict[int, float]:
+    """Mean |ln(model/paper)| per version row."""
+    out: dict[int, float] = {}
+    for v in sorted(model_rows):
+        errs = [
+            abs(log_ratio(mv, pv))
+            for mv, pv in zip(model_rows[v], paper_rows[v])
+        ]
+        out[v] = float(np.mean(errs))
+    return out
+
+
+def mean_abs_log_ratio(
+    model_rows: Mapping[int, Sequence[float]],
+    paper_rows: Mapping[int, Sequence[float]],
+) -> float:
+    """Mean |ln(model/paper)| over every table cell.
+
+    0.69 corresponds to a factor of 2; calibrated tables typically sit well
+    below that.
+    """
+    per_row = row_log_errors(model_rows, paper_rows)
+    return float(np.mean(list(per_row.values())))
+
+
+def curve_metrics(
+    model_speedups: Sequence[float],
+    paper: FigureSeries,
+) -> dict[str, float | bool | int | None]:
+    """Shape agreement between a modelled speed-up curve and a figure series.
+
+    Returns
+    -------
+    dict with keys:
+        ``peak_instance_match`` — model peaks at the paper's peak instance;
+        ``model_peak`` / ``paper_peak`` — the peak values;
+        ``peak_log_error`` — |ln(model_peak / paper_peak)|;
+        ``crossover_match`` — first instance above 1x agrees within one
+        position (None-safe: both never crossing also matches);
+        ``rise_monotone_fraction`` — monotone-increase fraction up to the
+        paper's peak position;
+        ``spearman`` — rank correlation of the full curves.
+    """
+    model = np.asarray(model_speedups, dtype=np.float64)
+    ref = np.asarray(paper.speedups, dtype=np.float64)
+    if model.shape != ref.shape:
+        raise ValueError(
+            f"curve length {model.shape} differs from paper series {ref.shape}"
+        )
+    peak_pos = paper.instances.index(paper.peak_instance)
+    model_peak_pos = int(np.argmax(model))
+
+    cross_model = crossover_index(model, 1.0)
+    cross_paper = crossover_index(ref, 1.0)
+    if cross_model is None and cross_paper is None:
+        crossover_match = True
+    elif cross_model is None or cross_paper is None:
+        crossover_match = False
+    else:
+        crossover_match = abs(cross_model - cross_paper) <= 1
+
+    rise = model[: peak_pos + 1]
+    return {
+        "peak_instance_match": model_peak_pos == peak_pos,
+        "model_peak": float(model[peak_pos]),
+        "paper_peak": float(paper.peak_value),
+        "peak_log_error": abs(log_ratio(float(model[peak_pos]), paper.peak_value)),
+        "crossover_model": cross_model,
+        "crossover_paper": cross_paper,
+        "crossover_match": crossover_match,
+        "rise_monotone_fraction": (
+            monotone_fraction(rise, increasing=True) if rise.size >= 2 else 1.0
+        ),
+        "spearman": spearman_rank_correlation(model, ref),
+    }

@@ -1,0 +1,80 @@
+"""Park-Miller minimal-standard LCG — the paper's "device function" RNG.
+
+The sequential ACOTSP code draws its uniforms from ``ran01``, a Park-Miller
+(Lehmer) generator with multiplier 16807 modulo the Mersenne prime 2^31 - 1,
+evaluated with Schrage's trick to avoid 64-bit overflow in 32-bit C.  The
+paper's kernel version 3 replaces CURAND with this same generator compiled as
+a device function and reports a 10-20 % speed-up ("Although randomness could,
+in principle, be compromised, this function is used by the sequential code").
+
+We implement the exact recurrence (including Schrage's decomposition, so the
+intermediate arithmetic stays within the ranges the C code uses) vectorised
+over streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.streams import DeviceRNG, split_seed
+
+__all__ = ["ParkMillerLCG", "LCG_IA", "LCG_IM", "lcg_step"]
+
+LCG_IA = 16807
+LCG_IM = 2147483647  # 2**31 - 1
+_IQ = LCG_IM // LCG_IA  # 127773
+_IR = LCG_IM % LCG_IA  # 2836
+
+
+def lcg_step(state: np.ndarray) -> np.ndarray:
+    """One Park-Miller step via Schrage's method, vectorised.
+
+    Parameters
+    ----------
+    state:
+        ``int64`` array of current states, each in ``[1, IM - 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Next states, same shape/dtype, each in ``[1, IM - 1]``.
+    """
+    k = state // _IQ
+    nxt = LCG_IA * (state - k * _IQ) - _IR * k
+    np.add(nxt, LCG_IM, out=nxt, where=nxt < 0)
+    return nxt
+
+
+class ParkMillerLCG(DeviceRNG):
+    """Stream-parallel Park-Miller generator (ACOTSP's ``ran01``).
+
+    Each stream's state is a positive 31-bit integer; zero is invalid (it is
+    a fixed point of the recurrence), so seeding maps into ``[1, IM - 1]``.
+
+    Examples
+    --------
+    >>> rng = ParkMillerLCG(n_streams=4, seed=42)
+    >>> u = rng.uniform()
+    >>> u.shape, bool((u >= 0).all() and (u < 1).all())
+    ((4,), True)
+    """
+
+    cost_kind = "lcg"
+
+    def __init__(self, n_streams: int, seed: int) -> None:
+        super().__init__(n_streams=n_streams, seed=seed)
+        sub = split_seed(seed, n_streams)
+        # Map 64-bit sub-seeds into the valid state range [1, IM-1].
+        self._state = (sub % np.uint64(LCG_IM - 1)).astype(np.int64) + 1
+
+    def _next_raw(self) -> np.ndarray:
+        self._state = lcg_step(self._state)
+        return self._state
+
+    def _max_raw(self) -> float:
+        return float(LCG_IM)
+
+    @property
+    def state(self) -> np.ndarray:
+        """Copy of the per-stream states (for tests and checkpointing)."""
+        return self._state.copy()

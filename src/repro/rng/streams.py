@@ -1,0 +1,109 @@
+"""Common interface for vectorised per-thread RNG streams.
+
+A GPU kernel gives every thread its own generator state; the simulator mirrors
+that with *stream-parallel* generators: one object holds ``n_streams``
+independent states and every call to :meth:`DeviceRNG.uniform` advances all of
+them by one step, returning a vector of samples.  This is both faithful to the
+CUDA programming model and the numpy-friendly way to generate numbers for
+thousands of simulated threads at once (see the vectorisation guidance in the
+scientific-python optimisation notes).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["DeviceRNG", "split_seed"]
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def split_seed(seed: int, n: int) -> np.ndarray:
+    """Derive ``n`` well-separated 64-bit sub-seeds from a master seed.
+
+    Uses the SplitMix64 finaliser, the standard tool for seeding families of
+    generators from a single integer without correlated low bits.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(n,)``; entries are never zero (zero is a
+        degenerate state for xorshift-family generators).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    z = (np.uint64(seed) + _SPLITMIX_GAMMA * np.arange(1, n + 1, dtype=np.uint64))
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    z[z == 0] = np.uint64(1)
+    return z
+
+
+class DeviceRNG(abc.ABC):
+    """Abstract stream-parallel uniform generator.
+
+    Subclasses implement :meth:`_next_raw`, producing one ``uint32``/``int32``
+    word per stream; the base class converts to floats and tracks how many
+    numbers have been drawn (the cost model charges per generated sample, and
+    the charge differs between the library generator and the device LCG).
+    """
+
+    #: modelled device cost class, read by the SIMT cost model
+    cost_kind: str = "lcg"
+
+    def __init__(self, n_streams: int, seed: int) -> None:
+        if n_streams <= 0:
+            raise ValueError(f"n_streams must be positive, got {n_streams}")
+        self.n_streams = int(n_streams)
+        self.seed = int(seed)
+        self.samples_drawn = 0
+
+    # -- subclass interface -------------------------------------------------
+
+    @abc.abstractmethod
+    def _next_raw(self) -> np.ndarray:
+        """Advance every stream one step; return ``(n_streams,)`` raw words."""
+
+    @abc.abstractmethod
+    def _max_raw(self) -> float:
+        """Exclusive upper bound of the raw word range (for normalisation)."""
+
+    # -- public API ----------------------------------------------------------
+
+    def uniform(self) -> np.ndarray:
+        """One uniform ``float64`` in ``[0, 1)`` per stream, shape ``(n_streams,)``."""
+        raw = self._next_raw()
+        self.samples_drawn += self.n_streams
+        return raw.astype(np.float64) / self._max_raw()
+
+    def uniform_block(self, rounds: int) -> np.ndarray:
+        """Draw ``rounds`` successive vectors; shape ``(rounds, n_streams)``.
+
+        Streams advance in lockstep, so row ``r`` holds the ``r``-th draw of
+        every stream — exactly the access pattern of a construction step that
+        needs one number per (step, thread) pair.
+        """
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        out = np.empty((rounds, self.n_streams), dtype=np.float64)
+        for r in range(rounds):
+            out[r] = self.uniform()
+        return out
+
+    def uniform_scalar(self, stream: int = 0) -> float:
+        """Draw one vector but return only ``stream``'s sample.
+
+        Convenience for scalar consumers (e.g. the sequential code path);
+        note that *all* streams still advance, mirroring a warp in which one
+        lane's value is used.
+        """
+        return float(self.uniform()[stream])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(n_streams={self.n_streams}, seed={self.seed}, "
+            f"samples_drawn={self.samples_drawn})"
+        )

@@ -1,0 +1,84 @@
+"""XORWOW generator — CURAND's default engine, standing in for the library RNG.
+
+The baseline kernels in the paper draw their uniforms from the NVIDIA CURAND
+library, whose default pseudo-random engine is Marsaglia's XORWOW: a 160-bit
+xorshift state plus a Weyl counter (period ~2^192 - 2^32).  Version 3 of the
+tour-construction study removes CURAND in favour of the LCG device function;
+the observed 10-20 % gain is a *cost* difference, not a behavioural one, so we
+reproduce XORWOW exactly (per Marsaglia, "Xorshift RNGs", JSS 2003) and let the
+cost model charge it more per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.streams import DeviceRNG, split_seed
+
+__all__ = ["XorwowRNG"]
+
+_WEYL = np.uint32(362437)
+_TWO32 = float(2**32)
+
+
+class XorwowRNG(DeviceRNG):
+    """Stream-parallel XORWOW (the CURAND default engine).
+
+    State per stream: five 32-bit xorshift words ``x, y, z, w, v`` plus the
+    Weyl counter ``d``.  The update is::
+
+        t = x ^ (x >> 2);  x=y; y=z; z=w; w=v
+        v = (v ^ (v << 4)) ^ (t ^ (t << 1))
+        d += 362437
+        output = v + d
+
+    Examples
+    --------
+    >>> rng = XorwowRNG(n_streams=2, seed=7)
+    >>> rng.uniform().shape
+    (2,)
+    """
+
+    cost_kind = "curand"
+
+    def __init__(self, n_streams: int, seed: int) -> None:
+        super().__init__(n_streams=n_streams, seed=seed)
+        # Six words of state per stream, derived independently.
+        words = [split_seed(seed + i, n_streams) for i in range(6)]
+        self._x = (words[0] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        self._y = (words[1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        self._z = (words[2] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        self._w = (words[3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        self._v = (words[4] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        self._d = (words[5] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        # Guard against the all-zero xorshift state (probability ~2^-160, but
+        # deterministic seeds deserve a deterministic guard).
+        dead = (self._x | self._y | self._z | self._w | self._v) == 0
+        self._x[dead] = np.uint32(1)
+
+    def _next_raw(self) -> np.ndarray:
+        x, v = self._x, self._v
+        t = x ^ (x >> np.uint32(2))
+        self._x = self._y
+        self._y = self._z
+        self._z = self._w
+        self._w = v
+        v_new = (v ^ (v << np.uint32(4))) ^ (t ^ (t << np.uint32(1)))
+        self._v = v_new
+        self._d = self._d + _WEYL
+        return v_new + self._d
+
+    def _max_raw(self) -> float:
+        return _TWO32
+
+    @property
+    def state(self) -> tuple[np.ndarray, ...]:
+        """Copies of the six per-stream state words (x, y, z, w, v, d)."""
+        return (
+            self._x.copy(),
+            self._y.copy(),
+            self._z.copy(),
+            self._w.copy(),
+            self._v.copy(),
+            self._d.copy(),
+        )

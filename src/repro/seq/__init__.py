@@ -1,0 +1,35 @@
+"""Sequential baseline: a Python port of the AS parts of Stützle's ACOTSP.
+
+The paper compares every GPU kernel against "the sequential code, written in
+ANSI C, provided by Stützle" (the ACOTSP package accompanying Dorigo &
+Stützle's book).  This subpackage reproduces the algorithmically relevant
+parts of that code:
+
+* per-iteration ``choice_info`` computation (``tau^alpha * eta^beta``),
+* tour construction with the **nearest-neighbour candidate list** decision
+  rule (roulette over the nn unvisited candidates, falling back to the best
+  ``choice_info`` city when the list is exhausted) — the comparator for
+  Figure 4(a),
+* tour construction with the **fully probabilistic** decision rule (roulette
+  over all unvisited cities) — the comparator for Figure 4(b),
+* the pheromone update (evaporate all edges, deposit ``1/C_k`` per ant edge,
+  symmetric) — the comparator for Figure 5,
+
+together with an instrumented operation ledger (:class:`repro.seq.counts.CpuOps`)
+and a linear CPU cost model (:mod:`repro.seq.cost`) used by the experiment
+harness's model mode.
+"""
+
+from __future__ import annotations
+
+from repro.seq.counts import CpuOps
+from repro.seq.cost import CpuCostParams, estimate_cpu_time
+from repro.seq.engine import IterationResult, SequentialAntSystem
+
+__all__ = [
+    "SequentialAntSystem",
+    "IterationResult",
+    "CpuOps",
+    "CpuCostParams",
+    "estimate_cpu_time",
+]

@@ -1,0 +1,71 @@
+"""Linear CPU cost model for the sequential baseline.
+
+The harness's model mode needs sequential seconds for instances up to
+pr2392, where actually running a Python port wall-clock would measure Python,
+not the paper's ANSI-C program.  Instead the op ledger from the instrumented
+engine (or its closed-form prediction) is priced with per-class nanosecond
+constants::
+
+    time = arith·c_a + mem·c_m + rng·c_r + pow·c_p + branch·c_b
+
+The constants are calibrated once against the sequential times *implied* by
+the paper (reported speed-up × reported GPU time; see
+``repro.experiments.calibrate``) and recorded in
+``repro.experiments.calibration``.  Defaults below are ballpark figures for a
+~2008 Xeon-class core (the paper's era), so the model is sane even
+uncalibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.seq.counts import CpuOps
+
+__all__ = ["CpuCostParams", "estimate_cpu_time"]
+
+
+@dataclass(frozen=True)
+class CpuCostParams:
+    """Per-operation-class costs, in nanoseconds.
+
+    Attributes
+    ----------
+    arith_ns:
+        One ALU op (superscalar cores average well under 1 ns).
+    mem_seq_ns:
+        One streaming reference (sequential scans; mostly L1/L2 hits).
+    mem_rand_ns:
+        One scattered reference into the large arrays (candidate gathers,
+        deposit read-modify-writes; heavy cache-miss blend).
+    rng_ns:
+        One ``ran01`` sample (integer divide chain).
+    pow_ns:
+        One libm ``pow`` call.
+    branch_ns:
+        One data-dependent branch (average over predicted/mispredicted).
+    """
+
+    arith_ns: float = 0.8
+    mem_seq_ns: float = 1.0
+    mem_rand_ns: float = 15.0
+    rng_ns: float = 12.0
+    pow_ns: float = 60.0
+    branch_ns: float = 1.5
+
+    def with_overrides(self, **kw: float) -> "CpuCostParams":
+        """A copy with selected constants replaced (used by calibration)."""
+        return replace(self, **kw)
+
+
+def estimate_cpu_time(ops: CpuOps, params: CpuCostParams) -> float:
+    """Seconds the paper-era sequential C code would need for ``ops``."""
+    ns = (
+        ops.arith_ops * params.arith_ns
+        + ops.mem_seq_refs * params.mem_seq_ns
+        + ops.mem_rand_refs * params.mem_rand_ns
+        + ops.rng_samples * params.rng_ns
+        + ops.pow_calls * params.pow_ns
+        + ops.branch_ops * params.branch_ns
+    )
+    return float(ns) * 1e-9

@@ -1,0 +1,78 @@
+"""Operation ledger for the sequential (CPU) baseline.
+
+The sequential engine accumulates what the equivalent C program would
+execute, in five classes that dominate ACOTSP's profile.  The experiment
+harness's model mode converts a ledger into seconds with the linear model in
+:mod:`repro.seq.cost`; tests cross-check the ledgers against closed forms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+__all__ = ["CpuOps"]
+
+
+@dataclass
+class CpuOps:
+    """Work executed by the sequential baseline.
+
+    Attributes
+    ----------
+    arith_ops:
+        Ordinary arithmetic/logic ops (add, mul, compare).
+    mem_seq_refs:
+        Streaming references: sequential row scans of choice_info, the
+        evaporation sweep — prefetch-friendly, mostly cache hits.
+    mem_rand_refs:
+        Scattered references: candidate-list gathers, tabu flag pokes, the
+        symmetric deposit's random read-modify-writes — the cache-miss
+        carriers.
+    rng_samples:
+        Uniform random numbers drawn (Park-Miller ``ran01``).
+    pow_calls:
+        ``pow()`` libm calls (choice-info recomputation).
+    branch_ops:
+        Data-dependent branches (tabu checks, roulette walk exits).
+    fallback_steps:
+        Construction steps where the candidate list was exhausted and the
+        rule fell back to a full best-next scan (stochastic; measured).
+    """
+
+    arith_ops: float = 0.0
+    mem_seq_refs: float = 0.0
+    mem_rand_refs: float = 0.0
+    rng_samples: float = 0.0
+    pow_calls: float = 0.0
+    branch_ops: float = 0.0
+    fallback_steps: float = 0.0
+
+    def merge(self, other: "CpuOps") -> "CpuOps":
+        """In-place accumulate another ledger."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __add__(self, other: "CpuOps") -> "CpuOps":
+        out = dataclasses.replace(self)
+        return out.merge(other)
+
+    def scaled(self, factor: float) -> "CpuOps":
+        """A copy with every counter multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        out = dataclasses.replace(self)
+        for f in fields(out):
+            setattr(out, f.name, getattr(out, f.name) * factor)
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    def approx_equal(self, other: "CpuOps", *, rtol: float = 1e-9) -> bool:
+        for f in fields(self):
+            a, b = float(getattr(self, f.name)), float(getattr(other, f.name))
+            if abs(a - b) > rtol * max(1.0, abs(a), abs(b)):
+                return False
+        return True

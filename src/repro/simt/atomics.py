@@ -1,0 +1,122 @@
+"""Atomic-operation model, including the CC 1.x float emulation.
+
+The pheromone-deposit kernel needs ``atomicAdd(&tau[i][j], 1/C_k)`` because
+different ants feasibly share edges.  Two hardware facts from the paper:
+
+* atomics serialise colliding updates, "which diminishes the application
+  performance";
+* "those atomic operations are not supported by GPUs with CCC 1.x for
+  floating point operations" — on the Tesla C1060 a float ``atomicAdd`` must
+  be emulated with an integer compare-and-swap loop, which is the reason
+  Figure 5's C1060 speed-ups are an order of magnitude below the M2050's.
+
+:class:`AtomicModel` performs the update *functionally* (numpy ``add.at``,
+which is exactly an atomic-sum semantics) while recording the operation count
+and a contention proxy (the hottest cell's update multiplicity) into the
+stats ledger.  Whether the op is counted as native or emulated depends on the
+device's compute capability; ``strict=True`` turns emulation into an error so
+callers can assert feature requirements instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceFeatureError
+from repro.simt.counters import KernelStats
+from repro.simt.device import DeviceSpec
+
+__all__ = ["AtomicModel"]
+
+
+class AtomicModel:
+    """Functional + accounted atomic operations for one device.
+
+    Parameters
+    ----------
+    device:
+        Target device; decides native vs emulated float atomics.
+    stats:
+        Ledger receiving counts.
+    strict:
+        When True, a float atomic on a device without hardware support raises
+        :class:`~repro.errors.DeviceFeatureError` instead of being emulated.
+    """
+
+    #: cost multiplier for a CAS-emulated float atomic relative to native —
+    #: the CAS loop retries under contention; 1 CAS + 1 read + loop overhead.
+    EMULATION_COST_FACTOR = 4.0
+
+    def __init__(
+        self, device: DeviceSpec, stats: KernelStats, *, strict: bool = False
+    ) -> None:
+        self.device = device
+        self.stats = stats
+        self.strict = strict
+
+    # ----------------------------------------------------------------- float
+
+    def add_float(
+        self,
+        target: np.ndarray,
+        flat_index: np.ndarray,
+        values: np.ndarray | float,
+    ) -> None:
+        """``atomicAdd`` of ``values`` into ``target.flat[flat_index]``.
+
+        ``flat_index`` may contain repeats; repeats are the contention the
+        model accounts.  ``target`` is updated in place.
+        """
+        flat_index = np.asarray(flat_index)
+        if flat_index.size == 0:
+            return
+        if not self.device.has_fp32_global_atomics:
+            if self.strict:
+                raise DeviceFeatureError(
+                    f"{self.device.name} (CC {self.device.compute_capability}) "
+                    "has no hardware float atomics; use emulation or another kernel"
+                )
+            # Emulated: each logical op is counted, and the ledger's
+            # *emulated* nature is captured by the device at costing time
+            # (CostParams applies EMULATION_COST_FACTOR for CC < 2.0).
+        np.add.at(target.reshape(-1), flat_index.reshape(-1), values)
+        ops = float(flat_index.size)
+        self.stats.atomics_fp += ops
+        self._record_contention(flat_index)
+
+    # ------------------------------------------------------------------- int
+
+    def add_int(
+        self,
+        target: np.ndarray,
+        flat_index: np.ndarray,
+        values: np.ndarray | int,
+    ) -> None:
+        """Integer ``atomicAdd`` (supported natively on both paper devices)."""
+        flat_index = np.asarray(flat_index)
+        if flat_index.size == 0:
+            return
+        np.add.at(target.reshape(-1), flat_index.reshape(-1), values)
+        self.stats.atomics_int += float(flat_index.size)
+        self._record_contention(flat_index)
+
+    # ----------------------------------------------------- counting helpers
+
+    def count_float_ops(self, count: float, hot_degree: float = 1.0) -> None:
+        """Closed-form accounting without a functional array update.
+
+        Used by predictors and by kernels whose functional effect was already
+        applied through a vectorised equivalent.
+        """
+        if count < 0:
+            raise ValueError(f"atomic count must be >= 0, got {count}")
+        self.stats.atomics_fp += float(count)
+        self.stats.atomic_hot_degree = max(self.stats.atomic_hot_degree, hot_degree)
+
+    def _record_contention(self, flat_index: np.ndarray) -> None:
+        # The hottest single address is the serialisation bound for a wave of
+        # concurrent atomics; bincount over a compacted index range is O(k).
+        _, counts = np.unique(flat_index.reshape(-1), return_counts=True)
+        self.stats.atomic_hot_degree = max(
+            self.stats.atomic_hot_degree, float(counts.max())
+        )

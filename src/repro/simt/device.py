@@ -1,0 +1,164 @@
+"""Device specifications — the paper's Table I, verbatim.
+
+Each :class:`DeviceSpec` is a frozen record of hardware facts.  Calibrated
+*cost-model* constants live separately in :class:`repro.simt.timing.CostParams`
+so that the hardware description stays a faithful transcription of the paper.
+
+===============================  ===========  ===========
+feature                          Tesla C1060  Tesla M2050
+===============================  ===========  ===========
+Streaming cores per SM                     8           32
+Number of SMs                             30           14
+Total SPs                                240          448
+Clock frequency                    1 296 MHz    1 147 MHz
+Max threads per multiprocessor         1 024        1 536
+Max threads per block                    512        1 024
+Threads per warp                          32           32
+32-bit registers per SM                 16 K         32 K
+Shared memory per SM                   16 KB     16/48 KB
+L1 cache per SM                           no     48/16 KB
+Global memory size                      4 GB         3 GB
+Memory speed                        2x800 MHz  2x1500 MHz
+Memory bus width                    512 bits     384 bits
+Memory bandwidth                    102 GB/s     144 GB/s
+Technology                             GDDR3        GDDR5
+===============================  ===========  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TESLA_C1060", "TESLA_M2050", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a CUDA device, per the paper's Table I.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Tesla C1060"``.
+    compute_capability:
+        CUDA compute capability as a float (1.3, 2.0).  CC < 2.0 lacks
+        hardware float atomics on global memory — the pivotal fact behind
+        the paper's Figure 5 discussion.
+    sm_count / sp_per_sm:
+        Streaming multiprocessors and scalar processors per SM.
+    clock_hz:
+        SP clock in Hz.
+    max_threads_per_sm / max_threads_per_block / warp_size:
+        Scheduling limits.
+    registers_per_sm:
+        32-bit registers per SM.
+    shared_mem_per_sm:
+        Shared memory per SM in bytes (Fermi: the 48 KB configuration).
+    l1_cache_per_sm:
+        L1 data cache per SM in bytes; 0 when the architecture has none.
+    global_mem_bytes / bandwidth_bytes_s / bus_width_bits:
+        DRAM size, peak bandwidth (bytes/s) and bus width.
+    max_blocks_per_sm:
+        Hardware limit on resident blocks per SM (8 on both CC 1.3 / 2.0).
+    technology:
+        Memory technology string, for reports.
+    """
+
+    name: str
+    compute_capability: float
+    sm_count: int
+    sp_per_sm: int
+    clock_hz: float
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    warp_size: int
+    registers_per_sm: int
+    shared_mem_per_sm: int
+    l1_cache_per_sm: int
+    global_mem_bytes: int
+    bandwidth_bytes_s: float
+    bus_width_bits: int
+    max_blocks_per_sm: int = 8
+    technology: str = ""
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def total_sps(self) -> int:
+        """Total scalar processors (GPU cores)."""
+        return self.sm_count * self.sp_per_sm
+
+    @property
+    def peak_ips(self) -> float:
+        """Peak scalar instructions per second (1 instruction/SP/clock)."""
+        return self.total_sps * self.clock_hz
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def has_fp32_global_atomics(self) -> bool:
+        """Hardware ``atomicAdd`` on ``float`` in global memory (CC >= 2.0)."""
+        return self.compute_capability >= 2.0
+
+    @property
+    def has_l1_cache(self) -> bool:
+        return self.l1_cache_per_sm > 0
+
+    def validate_block(self, threads_per_block: int) -> None:
+        """Raise :class:`~repro.errors.LaunchConfigError` for illegal blocks."""
+        from repro.errors import LaunchConfigError
+
+        if threads_per_block <= 0:
+            raise LaunchConfigError(
+                f"threads per block must be positive, got {threads_per_block}"
+            )
+        if threads_per_block > self.max_threads_per_block:
+            raise LaunchConfigError(
+                f"{threads_per_block} threads/block exceeds {self.name} limit "
+                f"of {self.max_threads_per_block}"
+            )
+
+
+TESLA_C1060 = DeviceSpec(
+    name="Tesla C1060",
+    compute_capability=1.3,
+    sm_count=30,
+    sp_per_sm=8,
+    clock_hz=1_296e6,
+    max_threads_per_sm=1_024,
+    max_threads_per_block=512,
+    warp_size=32,
+    registers_per_sm=16 * 1024,
+    shared_mem_per_sm=16 * 1024,
+    l1_cache_per_sm=0,
+    global_mem_bytes=4 * 1024**3,
+    bandwidth_bytes_s=102e9,
+    bus_width_bits=512,
+    technology="GDDR3",
+)
+
+TESLA_M2050 = DeviceSpec(
+    name="Tesla M2050",
+    compute_capability=2.0,
+    sm_count=14,
+    sp_per_sm=32,
+    clock_hz=1_147e6,
+    max_threads_per_sm=1_536,
+    max_threads_per_block=1_024,
+    warp_size=32,
+    registers_per_sm=32 * 1024,
+    shared_mem_per_sm=48 * 1024,
+    l1_cache_per_sm=16 * 1024,
+    global_mem_bytes=3 * 1024**3,
+    bandwidth_bytes_s=144e9,
+    bus_width_bits=384,
+    technology="GDDR5",
+)
+
+#: Registry keyed by the short names used in experiment configs.
+DEVICES: dict[str, DeviceSpec] = {
+    "c1060": TESLA_C1060,
+    "m2050": TESLA_M2050,
+}

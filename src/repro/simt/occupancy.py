@@ -1,0 +1,139 @@
+"""CUDA occupancy calculator.
+
+Occupancy — resident warps per SM relative to the hardware maximum — is the
+latency-hiding budget of a kernel.  The paper leans on it twice: the
+task-based construction kernel "requires a relatively low number of threads"
+(m = n ants is far too few to fill a C1060 at small n), and past pr1002 "the
+GPU occupancy is drastically affected" once per-block shared usage grows.
+
+Residency per SM is the minimum over four limits (threads, blocks, registers,
+shared memory), exactly like NVIDIA's spreadsheet; allocation granularities
+are simplified to exact division since the paper never exercises the rounding
+corner cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OccupancyError
+from repro.simt.device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy_for"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy report for one kernel on one device.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Concurrent resident blocks per SM.
+    active_warps_per_sm:
+        Resident warps per SM.
+    occupancy:
+        ``active_warps_per_sm / device.max_warps_per_sm`` in [0, 1].
+    limiting_factor:
+        Which resource bound residency: ``"threads" | "blocks" | "registers"
+        | "shared_mem"``.
+    grid_fill:
+        Fraction of the device the *grid* can keep busy in the steady state:
+        min(1, total_blocks / (blocks_per_sm × sm_count)).  A 48-block launch
+        on a 30-SM C1060 cannot fill the machine no matter the occupancy —
+        this is the small-instance effect in Figure 4(a).
+    """
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiting_factor: str
+    grid_fill: float
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Occupancy × grid fill: the scheduler's usable fraction of the GPU."""
+        return self.occupancy * self.grid_fill
+
+
+def occupancy_for(
+    device: DeviceSpec,
+    threads_per_block: int,
+    *,
+    regs_per_thread: int = 16,
+    smem_per_block: int = 0,
+    total_blocks: int | None = None,
+) -> Occupancy:
+    """Compute occupancy for a launch shape on a device.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    threads_per_block:
+        Block size in threads (validated against the device limit).
+    regs_per_thread:
+        Register footprint per thread (default 16, a typical value for the
+        paper's kernels).
+    smem_per_block:
+        Shared-memory bytes per block.
+    total_blocks:
+        Grid size; when given, ``grid_fill`` reflects whether the grid can
+        populate every SM.
+
+    Raises
+    ------
+    OccupancyError
+        When a single block already exceeds a per-SM resource.
+    """
+    device.validate_block(threads_per_block)
+    if regs_per_thread <= 0:
+        raise OccupancyError(f"regs_per_thread must be positive, got {regs_per_thread}")
+    if smem_per_block < 0:
+        raise OccupancyError(f"smem_per_block must be >= 0, got {smem_per_block}")
+
+    limits: dict[str, float] = {
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    regs_per_block = regs_per_thread * threads_per_block
+    if regs_per_block > device.registers_per_sm:
+        raise OccupancyError(
+            f"one block needs {regs_per_block} registers, "
+            f"{device.name} has {device.registers_per_sm} per SM"
+        )
+    limits["registers"] = device.registers_per_sm // regs_per_block
+    if smem_per_block > 0:
+        if smem_per_block > device.shared_mem_per_sm:
+            raise OccupancyError(
+                f"one block needs {smem_per_block} B shared, "
+                f"{device.name} has {device.shared_mem_per_sm} B per SM"
+            )
+        limits["shared_mem"] = device.shared_mem_per_sm // smem_per_block
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = int(limits[limiting])
+    if blocks < 1:
+        raise OccupancyError(
+            f"block of {threads_per_block} threads cannot be scheduled on {device.name}"
+        )
+
+    warps_per_block = -(-threads_per_block // device.warp_size)  # ceil div
+    active_warps = min(blocks * warps_per_block, device.max_warps_per_sm)
+    occ = active_warps / device.max_warps_per_sm
+
+    if total_blocks is None:
+        grid_fill = 1.0
+    else:
+        if total_blocks <= 0:
+            raise OccupancyError(f"total_blocks must be positive, got {total_blocks}")
+        capacity = blocks * device.sm_count
+        grid_fill = min(1.0, total_blocks / capacity)
+
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=int(active_warps),
+        occupancy=float(occ),
+        limiting_factor=limiting,
+        grid_fill=float(grid_fill),
+    )

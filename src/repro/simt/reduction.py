@@ -1,0 +1,74 @@
+"""Block-wide tree reductions with accounting.
+
+The data-parallel tour-construction kernel (paper Fig. 1) ends every step
+with a shared-memory reduction: each thread writes its
+``choice × random × unvisited`` product to shared memory and a log2-depth
+tree selects the maximum (the next city).  These helpers perform the
+reduction functionally over a vectorised ``(blocks, width)`` value matrix and
+record the equivalent work: ``ceil(log2 width)`` stages, each touching shared
+memory and issuing one compare per active thread, plus the barrier per stage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simt.counters import KernelStats
+
+__all__ = ["block_argmax", "block_sum", "reduction_stage_count"]
+
+
+def reduction_stage_count(width: int) -> int:
+    """Number of tree stages for a block of ``width`` threads (ceil log2)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return max(1, math.ceil(math.log2(width))) if width > 1 else 0
+
+
+def _account(stats: KernelStats, blocks: int, width: int) -> None:
+    stages = reduction_stage_count(width)
+    # Each stage: half the remaining lanes compare-and-keep; we charge one
+    # shared read+write pair and one compare per participating lane.
+    participating = 0
+    w = width
+    for _ in range(stages):
+        w = (w + 1) // 2
+        participating += w
+    stats.reduction_steps += float(blocks * stages)
+    stats.smem_accesses += float(blocks * (width + 2 * participating))
+    stats.flops += float(blocks * participating)
+    stats.syncthreads += float(blocks * stages)
+
+
+def block_argmax(
+    values: np.ndarray, stats: KernelStats | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block argmax over a ``(blocks, width)`` matrix.
+
+    Ties resolve to the lowest index, matching a deterministic tree reduction
+    that prefers the left operand on equality.
+
+    Returns
+    -------
+    (argmax, max):
+        ``(blocks,)`` winning lane indices and winning values.
+    """
+    vals = np.asarray(values)
+    if vals.ndim != 2:
+        raise ValueError(f"values must be (blocks, width), got shape {vals.shape}")
+    if stats is not None:
+        _account(stats, vals.shape[0], vals.shape[1])
+    idx = np.argmax(vals, axis=1)
+    return idx.astype(np.int64), vals[np.arange(vals.shape[0]), idx]
+
+
+def block_sum(values: np.ndarray, stats: KernelStats | None = None) -> np.ndarray:
+    """Per-block sum over a ``(blocks, width)`` matrix (float64 accumulate)."""
+    vals = np.asarray(values)
+    if vals.ndim != 2:
+        raise ValueError(f"values must be (blocks, width), got shape {vals.shape}")
+    if stats is not None:
+        _account(stats, vals.shape[0], vals.shape[1])
+    return vals.sum(axis=1, dtype=np.float64)

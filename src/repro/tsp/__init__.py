@@ -1,0 +1,73 @@
+"""TSP substrate: instances, TSPLIB I/O, distances, tours, neighbour lists.
+
+The paper evaluates on seven TSPLIB instances (att48, kroC100, a280, pcb442,
+d657, pr1002, pr2392).  This subpackage provides:
+
+* a TSPLIB parser/writer covering the edge-weight types those instances use
+  (and the other common ones), so real TSPLIB files work when available;
+* vectorised distance-matrix construction with TSPLIB-exact integer rounding;
+* nearest-neighbour candidate lists (the paper's ``NNList``, nn = 30);
+* tour utilities (validation, length, nearest-neighbour heuristic tours); and
+* deterministic synthetic generators plus :mod:`repro.tsp.suite`, which
+  recreates the paper's instances by **name and size** when the original data
+  files are not on disk (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from repro.tsp.distances import (
+    EDGE_WEIGHT_FUNCTIONS,
+    att_distance_matrix,
+    ceil2d_distance_matrix,
+    distance_matrix_from_coords,
+    euc2d_distance_matrix,
+    geo_distance_matrix,
+)
+from repro.tsp.generator import (
+    clustered_instance,
+    grid_instance,
+    uniform_instance,
+)
+from repro.tsp.instance import TSPInstance
+from repro.tsp.local_search import TwoOptResult, two_opt
+from repro.tsp.neighbors import nearest_neighbor_lists
+from repro.tsp.optima import KNOWN_OPTIMA, known_optimum, optimality_gap
+from repro.tsp.suite import PAPER_INSTANCE_NAMES, load_instance, paper_suite
+from repro.tsp.tour import (
+    nearest_neighbor_tour,
+    random_tour,
+    tour_edges,
+    tour_length,
+    validate_tour,
+)
+from repro.tsp.tsplib import parse_tsplib, parse_tsplib_text, write_tsplib
+
+__all__ = [
+    "TSPInstance",
+    "parse_tsplib",
+    "parse_tsplib_text",
+    "write_tsplib",
+    "distance_matrix_from_coords",
+    "euc2d_distance_matrix",
+    "ceil2d_distance_matrix",
+    "att_distance_matrix",
+    "geo_distance_matrix",
+    "EDGE_WEIGHT_FUNCTIONS",
+    "nearest_neighbor_lists",
+    "tour_length",
+    "tour_edges",
+    "validate_tour",
+    "random_tour",
+    "nearest_neighbor_tour",
+    "two_opt",
+    "TwoOptResult",
+    "uniform_instance",
+    "clustered_instance",
+    "grid_instance",
+    "load_instance",
+    "paper_suite",
+    "PAPER_INSTANCE_NAMES",
+    "KNOWN_OPTIMA",
+    "known_optimum",
+    "optimality_gap",
+]

@@ -1,0 +1,130 @@
+"""Deterministic synthetic TSP instance generators.
+
+The original TSPLIB data files are not redistributable inside this offline
+environment, so the paper's benchmark suite is recreated from seeded
+generators (see :mod:`repro.tsp.suite`).  Three families are provided:
+
+* :func:`uniform_instance` — i.i.d. uniform points, the classical random
+  Euclidean TSP model (matches the "spread cities" structure of kroC100/pr
+  instances well enough for kernel-cost purposes);
+* :func:`clustered_instance` — Gaussian clusters, mimicking instances derived
+  from real geography (att48, d657);
+* :func:`grid_instance` — jittered grid points, mimicking drilled-board
+  instances (a280, pcb442, pr2392 are drilling/board layouts).
+
+Kernel cost in the reproduced paper depends on the instance *size* (and the
+candidate-list width), not on coordinate values, so any of these preserves
+the relevant behaviour; the families mostly matter for the solution-quality
+examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsp.instance import TSPInstance
+
+__all__ = ["uniform_instance", "clustered_instance", "grid_instance"]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def uniform_instance(
+    n: int,
+    *,
+    seed: int,
+    name: str | None = None,
+    edge_weight_type: str = "EUC_2D",
+    box: float = 10_000.0,
+) -> TSPInstance:
+    """Uniform random points in ``[0, box]^2``.
+
+    Parameters
+    ----------
+    n:
+        Number of cities (>= 3).
+    seed:
+        Generator seed; equal seeds give identical instances.
+    name:
+        Instance name; defaults to ``"uniform<n>"``.
+    edge_weight_type:
+        TSPLIB distance type for the instance.
+    box:
+        Side length of the coordinate square.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    rng = _rng(seed)
+    coords = rng.uniform(0.0, box, size=(n, 2))
+    return TSPInstance(
+        name=name or f"uniform{n}",
+        coords=coords,
+        edge_weight_type=edge_weight_type,
+        comment=f"synthetic uniform instance (seed={seed})",
+    )
+
+
+def clustered_instance(
+    n: int,
+    *,
+    seed: int,
+    clusters: int = 8,
+    name: str | None = None,
+    edge_weight_type: str = "EUC_2D",
+    box: float = 10_000.0,
+    spread: float = 0.06,
+) -> TSPInstance:
+    """Gaussian-cluster points: ``clusters`` centres, isotropic noise.
+
+    ``spread`` is the cluster standard deviation as a fraction of ``box``.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    rng = _rng(seed)
+    centers = rng.uniform(0.15 * box, 0.85 * box, size=(clusters, 2))
+    assign = rng.integers(0, clusters, size=n)
+    coords = centers[assign] + rng.normal(0.0, spread * box, size=(n, 2))
+    coords = np.clip(coords, 0.0, box)
+    return TSPInstance(
+        name=name or f"clustered{n}",
+        coords=coords,
+        edge_weight_type=edge_weight_type,
+        comment=f"synthetic clustered instance (seed={seed}, clusters={clusters})",
+    )
+
+
+def grid_instance(
+    n: int,
+    *,
+    seed: int,
+    name: str | None = None,
+    edge_weight_type: str = "EUC_2D",
+    pitch: float = 100.0,
+    jitter: float = 0.15,
+) -> TSPInstance:
+    """Jittered-grid points, emulating drilled-board TSPLIB instances.
+
+    Cities sit on a near-square grid with spacing ``pitch``; each is
+    displaced by uniform noise of amplitude ``jitter * pitch``.  Excess grid
+    slots are dropped at random so exactly ``n`` cities remain.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    rng = _rng(seed)
+    side = int(np.ceil(np.sqrt(n)))
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    pts = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float64) * pitch
+    keep = rng.permutation(pts.shape[0])[:n]
+    coords = pts[np.sort(keep)]
+    coords = coords + rng.uniform(-jitter * pitch, jitter * pitch, size=coords.shape)
+    coords -= coords.min(axis=0)
+    return TSPInstance(
+        name=name or f"grid{n}",
+        coords=coords,
+        edge_weight_type=edge_weight_type,
+        comment=f"synthetic jittered-grid instance (seed={seed})",
+    )

@@ -1,0 +1,54 @@
+"""Nearest-neighbour candidate lists (the paper's ``NNList``).
+
+Version 4 of the tour-construction study restricts the probabilistic choice
+to each city's ``nn`` nearest neighbours (the paper uses nn = 30, and notes
+values between 15 and 40 are typical).  ACOTSP builds, for every city, the
+list of its ``nn`` closest *other* cities sorted by increasing distance; we
+reproduce that with a vectorised ``argpartition`` + in-partition sort, which
+is O(n^2 + n·nn·log nn) instead of a full O(n^2 log n) sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nearest_neighbor_lists"]
+
+
+def nearest_neighbor_lists(dist: np.ndarray, nn: int) -> np.ndarray:
+    """Compute per-city nearest-neighbour lists.
+
+    Parameters
+    ----------
+    dist:
+        ``(n, n)`` symmetric distance matrix.
+    nn:
+        List length; clipped to ``n - 1`` (a city is never its own neighbour).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, nn)`` ``int32`` array; row ``i`` holds the indices of city
+        ``i``'s nearest neighbours in increasing-distance order (ties broken
+        by city index, matching a stable sort of the C code).
+    """
+    d = np.asarray(dist)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"dist must be square, got shape {d.shape}")
+    n = d.shape[0]
+    if nn <= 0:
+        raise ValueError(f"nn must be positive, got {nn}")
+    nn = min(int(nn), n - 1)
+
+    # Exclude self-loops by masking the diagonal with +inf.
+    work = d.astype(np.float64, copy=True)
+    np.fill_diagonal(work, np.inf)
+
+    # argpartition pulls the nn smallest per row in O(n); a secondary sort of
+    # just those nn entries restores increasing-distance order.
+    part = np.argpartition(work, nn - 1, axis=1)[:, :nn]
+    part_d = np.take_along_axis(work, part, axis=1)
+    # Stable lexicographic order: distance first, then city index.
+    order = np.lexsort((part, part_d), axis=1)
+    out = np.take_along_axis(part, order, axis=1).astype(np.int32)
+    return out

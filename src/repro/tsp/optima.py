@@ -1,0 +1,60 @@
+"""Known optimal tour lengths of the real TSPLIB instances.
+
+The synthetic suite preserves instance *sizes*, so these optima do not apply
+to it — but when real TSPLIB files are supplied through ``REPRO_TSPLIB_DIR``
+(see :mod:`repro.tsp.suite`), solution quality can be reported as a gap to
+the proven optimum.  Values from Reinelt's TSPLIB optimal-solutions index.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+
+__all__ = ["KNOWN_OPTIMA", "known_optimum", "optimality_gap"]
+
+#: Proven optimal tour lengths (TSPLIB's STSP index).
+KNOWN_OPTIMA: dict[str, int] = {
+    "att48": 10628,
+    "kroC100": 20749,
+    "a280": 2579,
+    "pcb442": 50778,
+    "d657": 48912,
+    "pr1002": 259045,
+    "pr2392": 378032,
+}
+
+
+def known_optimum(name: str) -> int:
+    """The proven optimum of a real TSPLIB instance.
+
+    Raises
+    ------
+    TSPError
+        For names outside the paper's suite.
+    """
+    try:
+        return KNOWN_OPTIMA[name]
+    except KeyError:
+        raise TSPError(
+            f"no recorded optimum for {name!r}; known: {sorted(KNOWN_OPTIMA)}"
+        ) from None
+
+
+def optimality_gap(instance: TSPInstance, tour_length: int) -> float | None:
+    """Relative gap to the proven optimum, or ``None`` for synthetic data.
+
+    A gap applies only when the instance carries real TSPLIB coordinates;
+    synthetic suite instances are detected by their generator comment.
+
+    Returns
+    -------
+    float | None
+        ``(tour_length - optimum) / optimum`` when applicable.
+    """
+    if instance.name not in KNOWN_OPTIMA:
+        return None
+    if "synthetic" in (instance.comment or ""):
+        return None
+    opt = KNOWN_OPTIMA[instance.name]
+    return (tour_length - opt) / opt

@@ -1,0 +1,143 @@
+"""The paper's benchmark suite, recreated synthetically by name and size.
+
+Table II uses seven TSPLIB instances; Tables III/IV and the figures use the
+first six.  The original data files are not available offline, so
+:func:`load_instance` produces deterministic synthetic instances with the
+**same name, city count and TSPLIB edge-weight type** (att48 uses the ATT
+pseudo-Euclidean metric; the rest are EUC_2D).  Generator families are chosen
+to mirror the geometric character of the originals (geography vs drilled
+boards); see DESIGN.md's substitution table for the argument why only n and
+nn matter for the kernel-cost results.
+
+If a real TSPLIB file for the requested name is present in the directory
+named by the ``REPRO_TSPLIB_DIR`` environment variable, it is parsed and used
+instead of the synthetic instance.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import TSPError
+from repro.tsp.generator import clustered_instance, grid_instance, uniform_instance
+from repro.tsp.instance import TSPInstance
+
+__all__ = [
+    "PAPER_INSTANCE_NAMES",
+    "TABLE2_INSTANCES",
+    "TABLE3_INSTANCES",
+    "SuiteEntry",
+    "load_instance",
+    "paper_suite",
+]
+
+_GeneratorKind = Literal["uniform", "clustered", "grid"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """Metadata for one named benchmark instance."""
+
+    name: str
+    n: int
+    edge_weight_type: str
+    family: _GeneratorKind
+    seed: int
+    origin: str  # what the real TSPLIB instance is, for documentation
+
+
+#: The suite in the order the paper's tables print it.
+_SUITE: dict[str, SuiteEntry] = {
+    e.name: e
+    for e in [
+        SuiteEntry("att48", 48, "ATT", "clustered", 48001, "48 US state capitals"),
+        SuiteEntry("kroC100", 100, "EUC_2D", "uniform", 100003, "Krolak/Felts/Nelson 100-city"),
+        SuiteEntry("a280", 280, "EUC_2D", "grid", 280001, "drilling problem (Ludwig)"),
+        SuiteEntry("pcb442", 442, "EUC_2D", "grid", 442001, "printed circuit board (Groetschel/Juenger/Reinelt)"),
+        SuiteEntry("d657", 657, "EUC_2D", "clustered", 657001, "drilling problem (Reinelt)"),
+        SuiteEntry("pr1002", 1002, "EUC_2D", "uniform", 1002001, "Padberg/Rinaldi 1002-city"),
+        SuiteEntry("pr2392", 2392, "EUC_2D", "grid", 2392001, "Padberg/Rinaldi 2392-city"),
+    ]
+}
+
+#: Instance names used by Table II (all seven).
+PAPER_INSTANCE_NAMES: tuple[str, ...] = tuple(_SUITE)
+
+#: Table II columns.
+TABLE2_INSTANCES: tuple[str, ...] = PAPER_INSTANCE_NAMES
+
+#: Tables III/IV and the figures stop at pr1002.
+TABLE3_INSTANCES: tuple[str, ...] = PAPER_INSTANCE_NAMES[:-1]
+
+_CACHE: dict[str, TSPInstance] = {}
+
+
+def _generate(entry: SuiteEntry) -> TSPInstance:
+    kwargs = dict(seed=entry.seed, name=entry.name, edge_weight_type=entry.edge_weight_type)
+    if entry.family == "uniform":
+        return uniform_instance(entry.n, **kwargs)
+    if entry.family == "clustered":
+        return clustered_instance(entry.n, clusters=max(4, entry.n // 60), **kwargs)
+    return grid_instance(entry.n, **kwargs)
+
+
+def _try_real_file(name: str) -> TSPInstance | None:
+    directory = os.environ.get("REPRO_TSPLIB_DIR")
+    if not directory:
+        return None
+    path = os.path.join(directory, f"{name}.tsp")
+    if not os.path.isfile(path):
+        return None
+    from repro.tsp.tsplib import parse_tsplib
+
+    return parse_tsplib(path)
+
+
+def load_instance(name: str, *, use_cache: bool = True) -> TSPInstance:
+    """Load a paper-suite instance by name (synthetic unless a real file exists).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`PAPER_INSTANCE_NAMES`.
+    use_cache:
+        Reuse a previously built instance (distance matrices are expensive
+        for pr2392); pass ``False`` to force a rebuild.
+
+    Raises
+    ------
+    TSPError
+        For unknown names.
+    """
+    try:
+        entry = _SUITE[name]
+    except KeyError:
+        raise TSPError(
+            f"unknown paper instance {name!r}; known: {list(_SUITE)}"
+        ) from None
+    if use_cache and name in _CACHE:
+        return _CACHE[name]
+    inst = _try_real_file(name) or _generate(entry)
+    if inst.n != entry.n:
+        raise TSPError(
+            f"instance {name!r} has n={inst.n}, expected {entry.n} "
+            "(a real TSPLIB file with the wrong content?)"
+        )
+    if use_cache:
+        _CACHE[name] = inst
+    return inst
+
+
+def paper_suite(names: tuple[str, ...] = PAPER_INSTANCE_NAMES) -> list[TSPInstance]:
+    """Load several suite instances (default: all of Table II's columns)."""
+    return [load_instance(n) for n in names]
+
+
+def suite_entry(name: str) -> SuiteEntry:
+    """Expose the metadata record for a named instance."""
+    try:
+        return _SUITE[name]
+    except KeyError:
+        raise TSPError(f"unknown paper instance {name!r}") from None

@@ -1,0 +1,304 @@
+"""TSPLIB 95 parser and writer.
+
+Covers the instance classes the paper's benchmarks use (2-D coordinate
+instances with ``EUC_2D``/``ATT`` weights) plus the other common symmetric
+formats so real TSPLIB files — when available — drop straight in:
+
+* ``NODE_COORD_SECTION`` with ``EUC_2D``, ``CEIL_2D``, ``MAN_2D``, ``MAX_2D``,
+  ``ATT``, ``GEO``;
+* ``EDGE_WEIGHT_SECTION`` (``EXPLICIT``) in ``FULL_MATRIX``, ``UPPER_ROW``,
+  ``LOWER_ROW``, ``UPPER_DIAG_ROW``, ``LOWER_DIAG_ROW`` layouts.
+
+The parser is line-oriented and forgiving about whitespace, matching the
+variety found in the wild; unknown keywords are preserved but ignored.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+import numpy as np
+
+from repro.errors import TSPLIBFormatError, UnsupportedEdgeWeightError
+from repro.tsp.instance import TSPInstance
+
+__all__ = ["parse_tsplib", "parse_tsplib_text", "write_tsplib"]
+
+_COORD_TYPES = {"EUC_2D", "CEIL_2D", "MAN_2D", "MAX_2D", "ATT", "GEO"}
+_MATRIX_FORMATS = {
+    "FULL_MATRIX",
+    "UPPER_ROW",
+    "LOWER_ROW",
+    "UPPER_DIAG_ROW",
+    "LOWER_DIAG_ROW",
+}
+_SECTION_KEYWORDS = {
+    "NODE_COORD_SECTION",
+    "EDGE_WEIGHT_SECTION",
+    "DISPLAY_DATA_SECTION",
+    "TOUR_SECTION",
+    "EOF",
+}
+
+
+def _split_header(line: str) -> tuple[str, str] | None:
+    """Split ``KEY : value`` headers; returns None for section keywords."""
+    stripped = line.strip()
+    if not stripped:
+        return None
+    if ":" in stripped:
+        key, _, value = stripped.partition(":")
+        return key.strip().upper(), value.strip()
+    if stripped.upper() in _SECTION_KEYWORDS:
+        return None
+    # Keyword with no colon and no known section: treat as a bare header.
+    return stripped.upper(), ""
+
+
+def parse_tsplib_text(text: str, *, name_hint: str = "unnamed") -> TSPInstance:
+    """Parse TSPLIB content from a string.
+
+    Parameters
+    ----------
+    text:
+        Full file contents.
+    name_hint:
+        Name used when the file lacks a ``NAME`` header.
+
+    Raises
+    ------
+    TSPLIBFormatError
+        On malformed content.
+    UnsupportedEdgeWeightError
+        For edge-weight types/formats outside the supported set.
+    """
+    lines = text.splitlines()
+    headers: dict[str, str] = {}
+    coords: list[tuple[float, float]] | None = None
+    weights: list[float] | None = None
+
+    i = 0
+    n_lines = len(lines)
+    while i < n_lines:
+        raw = lines[i]
+        stripped = raw.strip()
+        upper = stripped.upper()
+        if not stripped:
+            i += 1
+            continue
+        if upper == "EOF":
+            break
+        if upper == "NODE_COORD_SECTION":
+            coords, i = _read_coords(lines, i + 1, headers)
+            continue
+        if upper == "EDGE_WEIGHT_SECTION":
+            weights, i = _read_weights(lines, i + 1)
+            continue
+        if upper in ("DISPLAY_DATA_SECTION", "TOUR_SECTION"):
+            # Skip the section body: it has DIMENSION (or n+1) numeric lines.
+            i = _skip_numeric_block(lines, i + 1)
+            continue
+        kv = _split_header(raw)
+        if kv is not None:
+            headers[kv[0]] = kv[1]
+        i += 1
+
+    return _build_instance(headers, coords, weights, name_hint)
+
+
+def parse_tsplib(path: str | os.PathLike[str]) -> TSPInstance:
+    """Parse a TSPLIB file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return parse_tsplib_text(text, name_hint=base)
+
+
+# ------------------------------------------------------------------ sections
+
+
+def _read_coords(
+    lines: list[str], start: int, headers: dict[str, str]
+) -> tuple[list[tuple[float, float]], int]:
+    dim = _dimension(headers)
+    coords: list[tuple[float, float]] = []
+    i = start
+    while i < len(lines) and len(coords) < dim:
+        stripped = lines[i].strip()
+        i += 1
+        if not stripped:
+            continue
+        if stripped.upper() == "EOF":
+            break
+        parts = stripped.split()
+        if len(parts) < 3:
+            raise TSPLIBFormatError(
+                f"node line needs 'index x y', got {stripped!r}", line_no=i
+            )
+        try:
+            x, y = float(parts[1]), float(parts[2])
+        except ValueError as exc:
+            raise TSPLIBFormatError(f"bad coordinate in {stripped!r}", line_no=i) from exc
+        coords.append((x, y))
+    if len(coords) != dim:
+        raise TSPLIBFormatError(
+            f"NODE_COORD_SECTION has {len(coords)} nodes, DIMENSION says {dim}"
+        )
+    return coords, i
+
+
+def _read_weights(lines: list[str], start: int) -> tuple[list[float], int]:
+    weights: list[float] = []
+    i = start
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if not stripped:
+            i += 1
+            continue
+        upper = stripped.upper()
+        if upper in _SECTION_KEYWORDS or ":" in stripped:
+            break
+        try:
+            weights.extend(float(tok) for tok in stripped.split())
+        except ValueError as exc:
+            raise TSPLIBFormatError(
+                f"bad weight token in {stripped!r}", line_no=i + 1
+            ) from exc
+        i += 1
+    return weights, i
+
+
+def _skip_numeric_block(lines: list[str], start: int) -> int:
+    i = start
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped and (stripped.upper() in _SECTION_KEYWORDS or ":" in stripped):
+            return i
+        i += 1
+    return i
+
+
+def _dimension(headers: dict[str, str]) -> int:
+    try:
+        dim = int(headers["DIMENSION"])
+    except KeyError:
+        raise TSPLIBFormatError("missing DIMENSION header") from None
+    except ValueError:
+        raise TSPLIBFormatError(
+            f"DIMENSION must be an integer, got {headers['DIMENSION']!r}"
+        ) from None
+    if dim < 3:
+        raise TSPLIBFormatError(f"DIMENSION must be >= 3, got {dim}")
+    return dim
+
+
+# ----------------------------------------------------------------- assembly
+
+
+def _build_instance(
+    headers: dict[str, str],
+    coords: list[tuple[float, float]] | None,
+    weights: list[float] | None,
+    name_hint: str,
+) -> TSPInstance:
+    name = headers.get("NAME", name_hint) or name_hint
+    comment = headers.get("COMMENT", "")
+    ewt = headers.get("EDGE_WEIGHT_TYPE", "EUC_2D").upper()
+    dim = _dimension(headers)
+
+    if ewt in _COORD_TYPES:
+        if coords is None:
+            raise TSPLIBFormatError(
+                f"EDGE_WEIGHT_TYPE {ewt} requires a NODE_COORD_SECTION"
+            )
+        return TSPInstance(
+            name=name,
+            coords=np.asarray(coords, dtype=np.float64),
+            edge_weight_type=ewt,
+            comment=comment,
+        )
+
+    if ewt == "EXPLICIT":
+        if weights is None:
+            raise TSPLIBFormatError("EXPLICIT instances need an EDGE_WEIGHT_SECTION")
+        fmt = headers.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+        matrix = _assemble_matrix(np.asarray(weights, dtype=np.float64), dim, fmt)
+        coords_arr = np.asarray(coords, dtype=np.float64) if coords else None
+        return TSPInstance(
+            name=name,
+            coords=coords_arr,
+            explicit_matrix=matrix,
+            comment=comment,
+        )
+
+    raise UnsupportedEdgeWeightError(
+        f"EDGE_WEIGHT_TYPE {ewt!r} is not supported; "
+        f"supported: {sorted(_COORD_TYPES | {'EXPLICIT'})}"
+    )
+
+
+def _assemble_matrix(flat: np.ndarray, n: int, fmt: str) -> np.ndarray:
+    """Expand a flat EDGE_WEIGHT_SECTION into a full symmetric matrix."""
+    if fmt not in _MATRIX_FORMATS:
+        raise UnsupportedEdgeWeightError(
+            f"EDGE_WEIGHT_FORMAT {fmt!r} is not supported; supported: {sorted(_MATRIX_FORMATS)}"
+        )
+    expected = {
+        "FULL_MATRIX": n * n,
+        "UPPER_ROW": n * (n - 1) // 2,
+        "LOWER_ROW": n * (n - 1) // 2,
+        "UPPER_DIAG_ROW": n * (n + 1) // 2,
+        "LOWER_DIAG_ROW": n * (n + 1) // 2,
+    }[fmt]
+    if flat.size != expected:
+        raise TSPLIBFormatError(
+            f"{fmt} of dimension {n} needs {expected} weights, got {flat.size}"
+        )
+
+    out = np.zeros((n, n), dtype=np.float64)
+    if fmt == "FULL_MATRIX":
+        out[:] = flat.reshape(n, n)
+    elif fmt in ("UPPER_ROW", "UPPER_DIAG_ROW"):
+        k = 0 if fmt == "UPPER_DIAG_ROW" else 1
+        iu = np.triu_indices(n, k=k)
+        out[iu] = flat
+        out.T[iu] = flat
+    else:  # LOWER_ROW, LOWER_DIAG_ROW
+        k = 0 if fmt == "LOWER_DIAG_ROW" else -1
+        il = np.tril_indices(n, k=k)
+        out[il] = flat
+        out.T[il] = flat
+    np.fill_diagonal(out, 0.0)
+    return out.astype(np.int64)
+
+
+# ------------------------------------------------------------------- writer
+
+
+def write_tsplib(instance: TSPInstance, path: str | os.PathLike[str]) -> None:
+    """Write a coordinate-based instance in TSPLIB format.
+
+    Explicit-matrix instances are written as ``FULL_MATRIX``.
+    """
+    lines: list[str] = [
+        f"NAME : {instance.name}",
+        f"COMMENT : {instance.comment or 'written by repro.tsp'}",
+        "TYPE : TSP",
+        f"DIMENSION : {instance.n}",
+    ]
+    if instance.edge_weight_type != "EXPLICIT":
+        assert instance.coords is not None
+        lines.append(f"EDGE_WEIGHT_TYPE : {instance.edge_weight_type}")
+        lines.append("NODE_COORD_SECTION")
+        for i, (x, y) in enumerate(instance.coords, start=1):
+            lines.append(f"{i} {x:.6f} {y:.6f}")
+    else:
+        lines.append("EDGE_WEIGHT_TYPE : EXPLICIT")
+        lines.append("EDGE_WEIGHT_FORMAT : FULL_MATRIX")
+        lines.append("EDGE_WEIGHT_SECTION")
+        matrix = instance.distance_matrix()
+        lines.extend(" ".join(str(int(v)) for v in row) for row in matrix)
+    lines.append("EOF")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")

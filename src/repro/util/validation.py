@@ -1,0 +1,65 @@
+"""Argument-validation helpers shared across the package.
+
+All helpers raise ``ValueError`` (or a caller-supplied exception type) with a
+message that names the offending parameter, so API misuse fails loudly and
+close to the call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_square_matrix",
+]
+
+
+def check_positive(name: str, value: float, exc: type[Exception] = ValueError) -> float:
+    """Require ``value > 0``; returns the value for chaining."""
+    if not value > 0:
+        raise exc(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float, exc: type[Exception] = ValueError) -> float:
+    """Require ``value >= 0``; returns the value for chaining."""
+    if value < 0:
+        raise exc(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    exc: type[Exception] = ValueError,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    """Require ``lo (<|<=) value (<|<=) hi``; returns the value for chaining."""
+    lo_ok = value > lo if lo_open else value >= lo
+    hi_ok = value < hi if hi_open else value <= hi
+    if not (lo_ok and hi_ok):
+        lo_b = "(" if lo_open else "["
+        hi_b = ")" if hi_open else "]"
+        raise exc(f"{name} must lie in {lo_b}{lo}, {hi}{hi_b}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float, exc: type[Exception] = ValueError) -> float:
+    """Require ``0 <= value <= 1``; returns the value for chaining."""
+    return check_in_range(name, value, 0.0, 1.0, exc=exc)
+
+
+def check_square_matrix(name: str, matrix: np.ndarray, exc: type[Exception] = ValueError) -> np.ndarray:
+    """Require a 2-D square numpy array; returns the array for chaining."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise exc(f"{name} must be a square 2-D matrix, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test-suite.
+
+Keep fixture instances small: functional GPU simulation is vectorised but
+tests run hundreds of cases.  The ``tiny``/``small``/``medium`` instances
+are deterministic, so tests that assert exact values stay stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.tsp import clustered_instance, grid_instance, uniform_instance
+
+
+@pytest.fixture(scope="session")
+def tiny_instance():
+    """12 cities — small enough for literal executors and exhaustive checks."""
+    return uniform_instance(12, seed=1201)
+
+
+@pytest.fixture(scope="session")
+def small_instance():
+    """40 cities — the workhorse for functional kernel tests."""
+    return uniform_instance(40, seed=4001)
+
+
+@pytest.fixture(scope="session")
+def medium_instance():
+    """120 cities — large enough for tiled paths (tile = 64 -> 2 tiles)."""
+    return grid_instance(120, seed=12001)
+
+
+@pytest.fixture(scope="session")
+def clustered_small():
+    return clustered_instance(60, seed=6001, clusters=5)
+
+
+@pytest.fixture(params=[TESLA_C1060, TESLA_M2050], ids=["c1060", "m2050"])
+def device(request):
+    """Parametrise a test over both paper devices."""
+    return request.param
+
+
+@pytest.fixture
+def params():
+    """Paper-default AS parameters with a fixed seed."""
+    return ACOParams(seed=7)
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(999)

@@ -1,0 +1,76 @@
+"""Tests for the construction registry and shared strategy metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import (
+    CONSTRUCTION_VERSIONS,
+    DataParallelConstruction,
+    NNListTextureConstruction,
+    make_construction,
+)
+from repro.experiments.paper_data import CONSTRUCTION_LABELS
+
+
+class TestRegistry:
+    def test_all_eight_versions_present(self):
+        assert sorted(CONSTRUCTION_VERSIONS) == list(range(1, 9))
+
+    def test_labels_match_paper_rows(self):
+        for version, cls in CONSTRUCTION_VERSIONS.items():
+            assert cls.label == CONSTRUCTION_LABELS[version]
+
+    def test_version_attribute_consistent(self):
+        for version, cls in CONSTRUCTION_VERSIONS.items():
+            assert cls.version == version
+
+    def test_keys_unique(self):
+        keys = [cls.key for cls in CONSTRUCTION_VERSIONS.values()]
+        assert len(set(keys)) == 8
+
+    def test_rng_kinds(self):
+        # CURAND for versions 1-2, device LCG from version 3 on.
+        assert CONSTRUCTION_VERSIONS[1].rng_kind == "curand"
+        assert CONSTRUCTION_VERSIONS[2].rng_kind == "curand"
+        for v in range(3, 9):
+            assert CONSTRUCTION_VERSIONS[v].rng_kind == "lcg"
+
+    def test_only_v1_skips_choice_kernel(self):
+        assert not CONSTRUCTION_VERSIONS[1].needs_choice_info
+        for v in range(2, 9):
+            assert CONSTRUCTION_VERSIONS[v].needs_choice_info
+
+
+class TestFactory:
+    def test_by_version(self):
+        assert make_construction(6).version == 6
+
+    def test_by_key(self):
+        s = make_construction("nnlist_texture")
+        assert isinstance(s, NNListTextureConstruction)
+
+    def test_instance_passthrough(self):
+        inst = DataParallelConstruction(tile=64)
+        assert make_construction(inst) is inst
+
+    def test_instance_with_options_rejected(self):
+        with pytest.raises(ValueError):
+            make_construction(DataParallelConstruction(), tile=64)
+
+    def test_options_forwarded(self):
+        s = make_construction(7, tile=128, tile_rule="heuristic")
+        assert s.tile == 128
+        assert s.tile_rule == "heuristic"
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError, match="unknown construction version"):
+            make_construction(9)
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown construction key"):
+            make_construction("warp_9000")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            make_construction(True)

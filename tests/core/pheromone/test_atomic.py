@@ -1,0 +1,103 @@
+"""Tests for the atomic pheromone-update kernels (versions 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ACOParams
+from repro.core.pheromone.atomic import AtomicPheromone, AtomicSharedPheromone
+from repro.core.state import ColonyState
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.tsp.tour import random_tour, tour_lengths
+
+
+@pytest.fixture
+def state(small_instance):
+    return ColonyState.create(small_instance, ACOParams(seed=3, rho=0.5), TESLA_M2050)
+
+
+@pytest.fixture
+def tours_and_lengths(state):
+    rng = np.random.default_rng(8)
+    tours = np.stack([random_tour(state.n, rng) for _ in range(state.m)])
+    return tours, tour_lengths(tours, state.dist)
+
+
+class TestFunctional:
+    def test_update_changes_matrix(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        before = state.pheromone.copy()
+        AtomicSharedPheromone().update(state, tours, lengths)
+        assert not np.allclose(state.pheromone, before)
+
+    def test_symmetry_preserved(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        AtomicSharedPheromone().update(state, tours, lengths)
+        np.testing.assert_allclose(state.pheromone, state.pheromone.T)
+
+    def test_exact_update_semantics(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        rho = state.params.rho
+        expected = state.pheromone * (1 - rho)
+        for k in range(state.m):
+            delta = 1.0 / lengths[k]
+            for a, b in zip(tours[k, :-1], tours[k, 1:]):
+                expected[a, b] += delta
+                expected[b, a] += delta
+        AtomicSharedPheromone().update(state, tours, lengths)
+        np.testing.assert_allclose(state.pheromone, expected, rtol=1e-12)
+
+    def test_v1_v2_functionally_identical(self, small_instance, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        s1 = ColonyState.create(small_instance, ACOParams(seed=3), TESLA_M2050)
+        s2 = ColonyState.create(small_instance, ACOParams(seed=3), TESLA_M2050)
+        AtomicSharedPheromone().update(s1, tours, lengths)
+        AtomicPheromone().update(s2, tours, lengths)
+        np.testing.assert_allclose(s1.pheromone, s2.pheromone)
+
+    def test_nonnegative(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        for _ in range(5):
+            AtomicSharedPheromone().update(state, tours, lengths)
+        assert np.all(state.pheromone >= 0)
+
+
+class TestLedgers:
+    def test_atomics_counted(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        rep = AtomicSharedPheromone().update(state, tours, lengths)
+        assert rep.stats.atomics_fp == pytest.approx(2.0 * state.m * state.n)
+
+    def test_hot_degree_from_functional_run(self, state, tours_and_lengths):
+        tours, lengths = tours_and_lengths
+        rep = AtomicSharedPheromone().update(state, tours, lengths)
+        assert rep.stats.atomic_hot_degree >= 1.0
+
+    def test_v1_uses_smem_v2_does_not(self):
+        s1, _ = AtomicSharedPheromone().predict_stats(100, 100, TESLA_C1060)
+        s2, _ = AtomicPheromone().predict_stats(100, 100, TESLA_C1060)
+        assert s1.smem_accesses > 0
+        assert s2.smem_accesses == 0
+        assert s2.gmem_load_bytes > s1.gmem_load_bytes
+
+    def test_two_launches_evap_plus_deposit(self):
+        s, _ = AtomicSharedPheromone().predict_stats(100, 100, TESLA_C1060)
+        assert s.kernel_launches == 2
+
+    def test_same_atomics_both_versions(self):
+        s1, _ = AtomicSharedPheromone().predict_stats(100, 100, TESLA_C1060)
+        s2, _ = AtomicPheromone().predict_stats(100, 100, TESLA_C1060)
+        assert s1.atomics_fp == s2.atomics_fp
+
+    def test_modeled_time_c1060_pays_emulation(self, state, tours_and_lengths):
+        """Same ledger, both devices: CC 1.3 emulation makes C1060 slower
+        despite its higher core count — the paper's Figure 5 asymmetry."""
+        from repro.experiments.calibration import gpu_cost_params
+        from repro.simt.timing import estimate_time
+
+        s, launch = AtomicSharedPheromone().predict_stats(1002, 1002, TESLA_C1060)
+        t_c = estimate_time(s, TESLA_C1060, gpu_cost_params(TESLA_C1060))
+        s_m, _ = AtomicSharedPheromone().predict_stats(1002, 1002, TESLA_M2050)
+        t_m = estimate_time(s_m, TESLA_M2050, gpu_cost_params(TESLA_M2050))
+        assert t_c > 2.0 * t_m

@@ -1,0 +1,148 @@
+"""Tests for the Ant Colony System extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams
+from repro.core.acs import ACSParams, AntColonySystem
+from repro.errors import ACOConfigError
+from repro.simt.device import TESLA_C1060
+from repro.tsp.generator import uniform_instance
+from repro.tsp.tour import validate_tour
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return uniform_instance(35, seed=3535)
+
+
+class TestParams:
+    def test_defaults(self):
+        p = ACSParams()
+        assert p.q0 == 0.9
+        assert p.xi == 0.1
+
+    def test_q0_bounds(self):
+        ACSParams(q0=0.0)
+        ACSParams(q0=1.0)
+        with pytest.raises(ACOConfigError):
+            ACSParams(q0=1.5)
+
+    def test_xi_bounds(self):
+        with pytest.raises(ACOConfigError):
+            ACSParams(xi=0.0)
+        with pytest.raises(ACOConfigError):
+            ACSParams(xi=1.2)
+
+
+class TestInitialisation:
+    def test_acs_tau0_smaller_than_as(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=1))
+        # ACS tau0 = 1/(n C_nn) << AS tau0 = m/C_nn
+        assert acs.tau0 < acs.state.tau0
+        off = acs.state.pheromone[~np.eye(instance.n, dtype=bool)]
+        assert np.allclose(off, acs.tau0)
+
+
+class TestConstruction:
+    def test_valid_tours(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=2))
+        tours, report = acs.construct()
+        for t in tours:
+            validate_tour(t, instance.n)
+        assert report.stage == "construction"
+        assert report.stats.rng_lcg > 0
+
+    def test_q0_one_is_greedy(self, instance):
+        """q0 = 1: every ant moves deterministically to the best candidate,
+        so two runs from the same pheromone state make identical choices
+        (starts differ by seed only)."""
+        acs = AntColonySystem(instance, ACOParams(seed=7), ACSParams(q0=1.0))
+        choice = acs._choice_info()
+        tours, _ = acs.construct()
+        # verify the first step of ant 0 was the greedy argmax
+        start = int(tours[0, 0])
+        row = choice[start].copy()
+        row[start] = -np.inf
+        assert tours[0, 1] == int(np.argmax(row))
+
+    def test_local_update_decays_toward_tau0(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=3), ACSParams(xi=0.5))
+        # inflate one edge artificially, then run a construction pass
+        acs.state.pheromone[:, :] = acs.tau0 * 100
+        np.fill_diagonal(acs.state.pheromone, 0.0)
+        before = acs.state.pheromone.copy()
+        acs.construct()
+        # every visited edge moved toward tau0 (decreased)
+        changed = acs.state.pheromone < before - 1e-18
+        assert changed.any()
+        assert np.all(acs.state.pheromone[changed] >= acs.tau0 - 1e-18)
+
+    def test_local_update_preserves_symmetry(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=4))
+        acs.construct()
+        np.testing.assert_allclose(acs.state.pheromone, acs.state.pheromone.T)
+
+
+class TestGlobalUpdate:
+    def test_only_best_edges_touched(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=5), ACSParams(xi=0.01))
+        best, _ = acs.run_iteration()
+        tau_before = acs.state.pheromone.copy()
+        report = acs.global_update()
+        assert report.stage == "pheromone"
+        diff = ~np.isclose(acs.state.pheromone, tau_before, rtol=1e-15, atol=0)
+        # changed cells must be exactly the best tour's (symmetric) edges
+        bt = acs.state.best_tour
+        expected = np.zeros_like(diff)
+        for a, b in zip(bt[:-1], bt[1:]):
+            expected[a, b] = expected[b, a] = True
+        assert not np.any(diff & ~expected)
+
+    def test_deposit_strength(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=6, rho=0.5))
+        acs.run_iteration()
+        bt = acs.state.best_tour
+        a, b = int(bt[0]), int(bt[1])
+        tau_before = float(acs.state.pheromone[a, b])
+        acs.global_update()
+        expected = 0.5 * tau_before + 0.5 / acs.state.best_length
+        assert acs.state.pheromone[a, b] == pytest.approx(expected)
+
+
+class TestRuns:
+    def test_run_improves(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=8, nn=10))
+        res = acs.run(12)
+        assert res.best_length <= res.iteration_best_lengths[0]
+        validate_tour(res.best_tour, instance.n)
+
+    def test_run_invalid_iterations(self, instance):
+        with pytest.raises(ACOConfigError):
+            AntColonySystem(instance).run(0)
+
+    def test_deterministic(self, instance):
+        a = AntColonySystem(instance, ACOParams(seed=9)).run(4)
+        b = AntColonySystem(instance, ACOParams(seed=9)).run(4)
+        assert a.iteration_best_lengths == b.iteration_best_lengths
+
+    def test_quality_comparable_to_as(self, instance):
+        """ACS with exploitation should match or beat AS early on."""
+        from repro.core import AntSystem
+
+        acs = AntColonySystem(instance, ACOParams(seed=10, nn=10)).run(10)
+        as_ = AntSystem(
+            instance, ACOParams(seed=10, nn=10), construction=8, pheromone=1
+        ).run(10)
+        assert acs.best_length <= as_.best_length * 1.15
+
+    def test_device_ledger_on_c1060(self, instance):
+        acs = AntColonySystem(instance, ACOParams(seed=11), device=TESLA_C1060)
+        _, reports = acs.run_iteration()
+        assert all(r.stats.kernel_launches >= 1 for r in reports)
+        from repro.experiments.calibration import gpu_cost_params
+
+        t = sum(r.modeled_time(TESLA_C1060, gpu_cost_params(TESLA_C1060)) for r in reports)
+        assert t > 0

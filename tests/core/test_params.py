@@ -1,0 +1,60 @@
+"""Tests for ACOParams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ACOParams
+from repro.errors import ACOConfigError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        p = ACOParams()
+        assert p.alpha == 1.0
+        assert p.beta == 2.0
+        assert p.rho == 0.5
+        assert p.nn == 30
+        assert p.n_ants is None
+
+    def test_resolve_ants_default_m_equals_n(self):
+        assert ACOParams().resolve_ants(442) == 442
+
+    def test_resolve_ants_explicit(self):
+        assert ACOParams(n_ants=64).resolve_ants(442) == 64
+
+    def test_resolve_nn_clips(self):
+        assert ACOParams(nn=30).resolve_nn(10) == 9
+        assert ACOParams(nn=30).resolve_nn(100) == 30
+
+
+class TestValidation:
+    def test_rho_bounds(self):
+        ACOParams(rho=1.0)
+        with pytest.raises(ACOConfigError):
+            ACOParams(rho=0.0)
+        with pytest.raises(ACOConfigError):
+            ACOParams(rho=1.5)
+
+    def test_negative_exponents(self):
+        with pytest.raises(ACOConfigError):
+            ACOParams(alpha=-1)
+        with pytest.raises(ACOConfigError):
+            ACOParams(beta=-0.5)
+
+    def test_ants_positive(self):
+        with pytest.raises(ACOConfigError):
+            ACOParams(n_ants=0)
+
+    def test_nn_positive(self):
+        with pytest.raises(ACOConfigError):
+            ACOParams(nn=0)
+
+    def test_eta_shift_positive(self):
+        with pytest.raises(ACOConfigError):
+            ACOParams(eta_shift=0.0)
+
+    def test_frozen(self):
+        p = ACOParams()
+        with pytest.raises(Exception):
+            p.alpha = 2.0  # type: ignore[misc]

@@ -1,0 +1,68 @@
+"""Tests for stage/iteration reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.report import IterationReport, StageReport
+from repro.simt.counters import KernelStats
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.simt.kernel import LaunchConfig
+from repro.simt.timing import CostParams
+
+
+def make_stage(stage: str, flops: float = 1e9) -> StageReport:
+    return StageReport(
+        stage=stage,
+        kernel=f"{stage}_kernel",
+        stats=KernelStats(flops=flops, kernel_launches=1),
+        launch=LaunchConfig(grid=100, block=256),
+    )
+
+
+class TestStageReport:
+    def test_modeled_time_positive(self):
+        t = make_stage("construction").modeled_time(TESLA_C1060, CostParams())
+        assert t > 0
+
+    def test_effective_parallelism_bounds(self):
+        par = make_stage("choice").effective_parallelism(TESLA_M2050)
+        assert 0 < par <= 1
+
+    def test_device_dependence(self):
+        s = make_stage("construction", flops=1e10)
+        t_c = s.modeled_time(TESLA_C1060, CostParams())
+        t_m = s.modeled_time(TESLA_M2050, CostParams())
+        assert t_c != t_m  # different peak rates
+
+
+class TestIterationReport:
+    def _report(self):
+        return IterationReport(
+            iteration=1,
+            tours=np.zeros((2, 4), dtype=np.int32),
+            lengths=np.array([10, 7], dtype=np.int64),
+            stages=[make_stage("choice"), make_stage("construction"), make_stage("pheromone")],
+        )
+
+    def test_best_length(self):
+        assert self._report().best_length == 7
+
+    def test_construction_time_includes_choice(self):
+        rep = self._report()
+        p = CostParams()
+        with_choice = rep.construction_time(TESLA_C1060, p, include_choice=True)
+        without = rep.construction_time(TESLA_C1060, p, include_choice=False)
+        assert with_choice > without
+
+    def test_total_is_sum_of_stages(self):
+        rep = self._report()
+        p = CostParams()
+        total = rep.total_time(TESLA_C1060, p)
+        parts = sum(s.modeled_time(TESLA_C1060, p) for s in rep.stages)
+        assert total == pytest.approx(parts)
+
+    def test_pheromone_time(self):
+        rep = self._report()
+        assert rep.pheromone_time(TESLA_C1060, CostParams()) > 0

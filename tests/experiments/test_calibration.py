@@ -1,0 +1,98 @@
+"""Tests for the calibration store and fitter plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibrate import (
+    CPU_FIT_BOUNDS,
+    GPU_FIT_BOUNDS,
+    calibration_targets_cpu,
+    calibration_targets_gpu,
+)
+from repro.experiments.calibration import (
+    CPU_CALIBRATION,
+    GPU_CALIBRATION,
+    cpu_cost_params,
+    gpu_cost_params,
+)
+from repro.simt.device import TESLA_C1060, TESLA_M2050, DeviceSpec
+from repro.simt.timing import CostParams
+
+
+class TestStore:
+    def test_both_devices_calibrated(self):
+        assert TESLA_C1060.name in GPU_CALIBRATION
+        assert TESLA_M2050.name in GPU_CALIBRATION
+
+    def test_lookup(self):
+        assert gpu_cost_params(TESLA_C1060) is GPU_CALIBRATION[TESLA_C1060.name]
+        assert cpu_cost_params() is CPU_CALIBRATION
+
+    def test_unknown_device_gets_defaults(self):
+        ghost = DeviceSpec(
+            name="Ghost 9000",
+            compute_capability=9.0,
+            sm_count=1,
+            sp_per_sm=1,
+            clock_hz=1e9,
+            max_threads_per_sm=1024,
+            max_threads_per_block=1024,
+            warp_size=32,
+            registers_per_sm=1024,
+            shared_mem_per_sm=1024,
+            l1_cache_per_sm=0,
+            global_mem_bytes=1 << 30,
+            bandwidth_bytes_s=1e9,
+            bus_width_bits=64,
+        )
+        assert gpu_cost_params(ghost) == CostParams()
+
+    def test_curand_at_least_lcg(self):
+        """The physical constraint the bounded fit enforces."""
+        for params in GPU_CALIBRATION.values():
+            assert params.cycles_rng_curand >= params.cycles_rng_lcg
+
+    def test_committed_values_inside_fit_bounds(self):
+        for params in GPU_CALIBRATION.values():
+            for field, (lo, hi) in GPU_FIT_BOUNDS.items():
+                if field == "rng_curand_ratio":
+                    ratio = params.cycles_rng_curand / params.cycles_rng_lcg
+                    assert lo * 0.999 <= ratio <= hi * 1.001
+                    continue
+                value = getattr(params, field)
+                assert lo * 0.999 <= value <= hi * 1.001, (field, value)
+        for field, (lo, hi) in CPU_FIT_BOUNDS.items():
+            value = getattr(CPU_CALIBRATION, field)
+            assert lo * 0.999 <= value <= hi * 1.001, (field, value)
+
+    def test_c1060_has_no_cache_hit(self):
+        assert GPU_CALIBRATION[TESLA_C1060.name].cache_hit_fraction == 0.0
+
+    def test_m2050_uses_cache(self):
+        assert GPU_CALIBRATION[TESLA_M2050.name].cache_hit_fraction > 0.0
+
+
+class TestTargets:
+    def test_cpu_targets_cover_three_figures(self):
+        targets = calibration_targets_cpu()
+        kinds = {k for k, _, _, _ in targets}
+        assert kinds == {"construct_nnlist", "construct_full", "update"}
+        assert len(targets) == 7 + 7 + 6
+
+    def test_cpu_targets_positive(self):
+        for _, _, target, weight in calibration_targets_cpu():
+            assert target > 0 and weight > 0
+
+    def test_c1060_targets_count(self):
+        targets = calibration_targets_gpu("c1060")
+        assert len(targets) == 8 * 7 + 5 * 6  # Table II + Table III
+
+    def test_m2050_targets_count(self):
+        targets = calibration_targets_gpu("m2050")
+        assert len(targets) == 5 * 6 + 2 * 7  # Table IV + two figure curves
+
+    def test_target_fns_evaluate(self):
+        fn, target, weight = calibration_targets_gpu("m2050")[0]
+        value = fn(gpu_cost_params(TESLA_M2050))
+        assert value > 0 and target > 0

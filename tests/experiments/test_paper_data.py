@@ -1,0 +1,97 @@
+"""Tests for the transcribed paper data — internal consistency checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_data as pd
+
+
+class TestTables:
+    def test_table2_shape(self):
+        assert len(pd.TABLE2_INSTANCES) == 7
+        assert sorted(pd.TABLE2_MS) == list(range(1, 9))
+        for row in pd.TABLE2_MS.values():
+            assert len(row) == 7
+
+    def test_table3_table4_shape(self):
+        assert len(pd.TABLE3_INSTANCES) == 6
+        for table in (pd.TABLE3_MS, pd.TABLE4_MS):
+            assert sorted(table) == list(range(1, 6))
+            for row in table.values():
+                assert len(row) == 6
+
+    def test_speedup_row_consistent_with_cells(self):
+        """Table II's bottom row is v1/v8 (the paper's own arithmetic,
+        within its printed rounding)."""
+        for i in range(7):
+            implied = pd.TABLE2_MS[1][i] / pd.TABLE2_MS[8][i]
+            printed = pd.TABLE2_SPEEDUP_ROW[i]
+            assert implied == pytest.approx(printed, rel=0.05)
+
+    def test_slowdown_rows_consistent(self):
+        for table, row in (
+            (pd.TABLE3_MS, pd.TABLE3_SLOWDOWN_ROW),
+            (pd.TABLE4_MS, pd.TABLE4_SLOWDOWN_ROW),
+        ):
+            for i in range(6):
+                # The paper's tiny atomic cells are printed with 2 decimals,
+                # so the implied ratios carry up to ~15 % rounding noise.
+                implied = table[5][i] / table[1][i]
+                assert implied == pytest.approx(row[i], rel=0.15)
+
+    def test_paper_orderings_v1_worst_construction(self):
+        for i in range(7):
+            col = [pd.TABLE2_MS[v][i] for v in range(1, 9)]
+            assert max(col) == col[0]  # baseline is always slowest
+
+    def test_paper_atomic_always_fastest_update(self):
+        for table in (pd.TABLE3_MS, pd.TABLE4_MS):
+            for i in range(6):
+                col = [table[v][i] for v in range(1, 6)]
+                assert min(col) == col[0]
+
+    def test_labels_cover_all_versions(self):
+        assert sorted(pd.CONSTRUCTION_LABELS) == list(range(1, 9))
+        assert sorted(pd.PHEROMONE_LABELS) == list(range(1, 6))
+
+
+class TestFigures:
+    @pytest.mark.parametrize("fig", [pd.FIG4A, pd.FIG4B, pd.FIG5])
+    def test_devices_present(self, fig):
+        assert set(fig) == {"c1060", "m2050"}
+
+    def test_fig4_series_cover_table2_instances(self):
+        for fig in (pd.FIG4A, pd.FIG4B):
+            for series in fig.values():
+                assert series.instances == pd.TABLE2_INSTANCES
+                assert len(series.speedups) == 7
+
+    def test_fig5_stops_at_pr1002(self):
+        for series in pd.FIG5.values():
+            assert series.instances == pd.TABLE3_INSTANCES
+
+    def test_peaks_match_text_values(self):
+        assert pd.FIG4A["c1060"].peak_value == 2.65
+        assert pd.FIG4A["m2050"].peak_value == 3.00
+        assert pd.FIG4B["c1060"].peak_value == 22.0
+        assert pd.FIG4B["m2050"].peak_value == 29.0
+        assert pd.FIG5["c1060"].peak_value == 3.87
+        assert pd.FIG5["m2050"].peak_value == 18.77
+
+    def test_peak_value_embedded_in_series(self):
+        for fig in (pd.FIG4A, pd.FIG4B, pd.FIG5):
+            for series in fig.values():
+                idx = series.instances.index(series.peak_instance)
+                assert series.speedups[idx] == pytest.approx(series.peak_value)
+
+    def test_all_series_flagged_approximate(self):
+        for fig in (pd.FIG4A, pd.FIG4B, pd.FIG5):
+            for series in fig.values():
+                assert series.approximate
+
+    def test_m2050_dominates_c1060_in_figures(self):
+        """Both figure families show the Fermi card above the C1060."""
+        for fig in (pd.FIG4B, pd.FIG5):
+            for a, b in zip(fig["c1060"].speedups, fig["m2050"].speedups):
+                assert b > a

@@ -1,0 +1,61 @@
+"""Tests for EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+from repro.experiments.report import (
+    ALL_EXPERIMENT_IDS,
+    generate_experiments_md,
+    render_markdown_result,
+)
+
+
+class TestRenderResult:
+    def test_table_artefact_section(self):
+        md = render_markdown_result(run_experiment("table3"))
+        assert md.startswith("## table3")
+        assert "| row | source |" in md
+        assert "Scatter to Gather" in md
+        assert "mean |ln(model/paper)|" in md
+        assert "version-ordering agreement" in md
+
+    def test_figure_artefact_section(self):
+        md = render_markdown_result(run_experiment("fig5"))
+        assert "peak" in md
+        assert "crossover match" in md
+        assert "Tesla C1060" in md and "Tesla M2050" in md
+
+    def test_paper_rows_interleaved(self):
+        md = render_markdown_result(run_experiment("table4"))
+        # every model row must be followed by its paper counterpart
+        assert md.count("| model |") == md.count("| paper |")
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def content(self):
+        return generate_experiments_md()
+
+    def test_all_artefacts_present(self, content):
+        for exp_id in ALL_EXPERIMENT_IDS:
+            assert f"## {exp_id}" in content
+
+    def test_reading_guide_and_gaps(self, content):
+        assert "Reading guide" in content
+        assert "Known gaps" in content
+        assert "pr2392" in content  # the documented fig4a gap
+
+    def test_regeneration_command_stated(self, content):
+        assert "python -m repro.experiments report" in content
+
+    def test_matches_committed_file(self, content):
+        """The committed EXPERIMENTS.md is exactly the generator's output."""
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..", "EXPERIMENTS.md")
+        if not os.path.exists(path):  # pragma: no cover - fresh checkout
+            pytest.skip("EXPERIMENTS.md not generated yet")
+        committed = open(path, encoding="utf-8").read()
+        assert committed == content

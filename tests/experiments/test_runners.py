@@ -1,0 +1,135 @@
+"""Tests for the artefact runners — the shape claims of the reproduction.
+
+These are the headline assertions of the whole repository: the calibrated
+model must reproduce the *findings* of each table and figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment("table2")
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_experiment("table3")
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_experiment("table4")
+
+
+class TestTable2Shape:
+    def test_ordering_agreement_high(self, table2):
+        assert table2.metrics["ordering"]["mean"] >= 0.9
+
+    def test_cells_within_factor_2_typically(self, table2):
+        assert table2.metrics["mean_abs_log_ratio"] < 0.69  # factor 2
+
+    def test_crossover_v8_vs_v6(self, table2):
+        """The paper's headline: data parallelism wins small instances,
+        NN-list kernels win the biggest."""
+        assert table2.metrics["v8_beats_v6_small"] is True
+        assert table2.metrics["v6_beats_v8_large"] is True
+
+    def test_every_version_improves_on_baseline(self, table2):
+        rows = table2.model_rows
+        base = rows["Baseline Version"]
+        for label, values in rows.items():
+            if label in ("Baseline Version", "Total speed-up attained"):
+                continue
+            for i, v in enumerate(values):
+                assert v < base[i], (label, i)
+
+    def test_total_speedup_double_digit(self, table2):
+        # paper: 11.6x - 62.8x
+        model = table2.metrics["model_total_speedup"]
+        assert all(s > 5 for s in model)
+
+
+class TestTable3Shape:
+    def test_ordering(self, table3):
+        assert table3.metrics["ordering"]["mean"] >= 0.9
+
+    def test_log_errors(self, table3):
+        assert table3.metrics["mean_abs_log_ratio"] < 0.5
+
+    def test_slowdown_grows(self, table3):
+        assert table3.metrics["slowdown_grows_with_n"] is True
+
+    def test_atomic_fastest_everywhere(self, table3):
+        rows = table3.model_rows
+        atomic = rows["Atomic Ins. + Shared Memory"]
+        for label, values in rows.items():
+            if label in ("Atomic Ins. + Shared Memory", "Total slow-down incurred"):
+                continue
+            for i, v in enumerate(values):
+                assert v >= atomic[i] * 0.999, (label, i)
+
+    def test_slowdown_thousands_at_pr1002(self, table3):
+        assert table3.metrics["model_total_slowdown"][-1] > 1000
+
+
+class TestTable4Shape:
+    def test_ordering(self, table4):
+        assert table4.metrics["ordering"]["mean"] >= 0.9
+
+    def test_log_errors_tight(self, table4):
+        assert table4.metrics["mean_abs_log_ratio"] < 0.3
+
+    def test_m2050_atomics_faster_than_c1060(self, table3, table4):
+        """Native float atomics: every Table IV atomic cell beats its
+        Table III counterpart."""
+        a_c = table3.model_rows["Atomic Ins. + Shared Memory"]
+        a_m = table4.model_rows["Atomic Ins. + Shared Memory"]
+        for c, m in zip(a_c, a_m):
+            assert m < c
+
+
+class TestFigures:
+    @pytest.mark.parametrize("fig_id", ["fig4a", "fig4b", "fig5"])
+    def test_crossovers_match(self, fig_id):
+        res = run_experiment(fig_id)
+        for dev in ("c1060", "m2050"):
+            assert res.metrics[dev]["crossover_match"] is True, (fig_id, dev)
+
+    @pytest.mark.parametrize("fig_id", ["fig4a", "fig4b", "fig5"])
+    def test_rise_is_monotone(self, fig_id):
+        res = run_experiment(fig_id)
+        for dev in ("c1060", "m2050"):
+            assert res.metrics[dev]["rise_monotone_fraction"] >= 0.8
+
+    def test_fig4b_peaks_within_40pct(self):
+        res = run_experiment("fig4b")
+        for dev in ("c1060", "m2050"):
+            assert res.metrics[dev]["peak_log_error"] < 0.35
+
+    def test_fig5_peak_instances_match(self):
+        res = run_experiment("fig5")
+        for dev in ("c1060", "m2050"):
+            assert res.metrics[dev]["peak_instance_match"] is True
+
+    def test_fig5_m2050_dominates_c1060(self):
+        """The float-atomic emulation story: the M2050 curve sits far above
+        the C1060 curve at every size."""
+        res = run_experiment("fig5")
+        c = res.model_rows["Tesla C1060"]
+        m = res.model_rows["Tesla M2050"]
+        for a, b in zip(c, m):
+            assert b > 2.5 * a
+
+    def test_fig4a_sequential_wins_smallest(self):
+        res = run_experiment("fig4a")
+        for dev_label in ("Tesla C1060", "Tesla M2050"):
+            assert res.model_rows[dev_label][0] < 1.0
+
+    def test_fig5_c1060_sequential_wins_smallest(self):
+        res = run_experiment("fig5")
+        assert res.model_rows["Tesla C1060"][0] < 1.0

@@ -1,0 +1,73 @@
+"""Tests for the asymptotic-scaling analysis — the paper's complexity story.
+
+These tests validate the cost model's *structure* independently of the
+calibrated constants: a fitted constant shifts curves up or down but can
+never change a log-log slope, so the exponents below are pure consequences
+of the count formulas (the paper's l = 2n⁴ etc.).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scaling import (
+    DEFAULT_SIZES,
+    EXPECTED_EXPONENTS,
+    model_time_series,
+    scaling_exponent,
+)
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+
+
+class TestExponentBands:
+    @pytest.mark.parametrize("subject", sorted(EXPECTED_EXPONENTS))
+    @pytest.mark.parametrize("device", [TESLA_C1060, TESLA_M2050], ids=["c1060", "m2050"])
+    def test_exponent_within_band(self, subject, device):
+        lo, hi = EXPECTED_EXPONENTS[subject]
+        slope = scaling_exponent(subject, device)
+        assert lo <= slope <= hi, (subject, device.name, slope)
+
+    def test_scatter_gather_is_the_steepest(self):
+        """The paper's central cost contrast in one inequality chain."""
+        s_atomic = scaling_exponent("pheromone_v1", TESLA_C1060)
+        s_gather = scaling_exponent("pheromone_v5", TESLA_C1060)
+        assert s_gather > s_atomic + 1.0
+
+    def test_nnlist_flattest_construction(self):
+        s_task = scaling_exponent("construction_v3", TESLA_C1060)
+        s_nn = scaling_exponent("construction_v4", TESLA_C1060)
+        s_dp = scaling_exponent("construction_v7", TESLA_C1060)
+        assert s_nn < s_task
+        assert s_nn < s_dp
+
+    def test_gpu_and_seq_construction_same_order(self):
+        """Both sides of Fig. 4(b) are ~n³ — the speed-up saturates rather
+        than growing forever."""
+        gpu = scaling_exponent("construction_v7", TESLA_M2050)
+        seq = scaling_exponent("seq_construct_full", TESLA_M2050)
+        assert abs(gpu - seq) < 0.7
+
+
+class TestSeries:
+    def test_series_positive_and_increasing(self):
+        times = model_time_series("pheromone_v4", TESLA_C1060)
+        assert all(t > 0 for t in times)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_custom_sizes(self):
+        times = model_time_series("pheromone_v1", TESLA_M2050, sizes=(100, 200))
+        assert len(times) == 2
+
+    def test_unknown_subject(self):
+        with pytest.raises(ExperimentError):
+            model_time_series("pheromone_v9", TESLA_C1060)
+        with pytest.raises(ExperimentError):
+            model_time_series("seq_sort", TESLA_C1060)
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ExperimentError):
+            scaling_exponent("pheromone_v1", TESLA_C1060, sizes=(100,))
+
+    def test_default_sweep_is_large_scale(self):
+        assert min(DEFAULT_SIZES) >= 400  # past the launch-overhead regime

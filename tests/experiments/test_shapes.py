@@ -1,0 +1,78 @@
+"""Tests for the shape metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import FigureSeries
+from repro.experiments.shapes import (
+    curve_metrics,
+    mean_abs_log_ratio,
+    ordering_agreement,
+    row_log_errors,
+)
+
+
+class TestOrderingAgreement:
+    def test_perfect_agreement(self):
+        model = {1: [10.0, 20.0], 2: [5.0, 8.0], 3: [1.0, 2.0]}
+        paper = {1: [11.0, 19.0], 2: [6.0, 9.0], 3: [0.5, 2.5]}
+        out = ordering_agreement(model, paper)
+        assert out["mean"] == pytest.approx(1.0)
+
+    def test_inverted_column_detected(self):
+        model = {1: [1.0], 2: [2.0], 3: [3.0]}
+        paper = {1: [3.0], 2: [2.0], 3: [1.0]}
+        out = ordering_agreement(model, paper)
+        assert out["mean"] == pytest.approx(-1.0)
+
+    def test_version_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ordering_agreement({1: [1.0]}, {1: [1.0], 2: [2.0]})
+
+
+class TestLogErrors:
+    def test_factor_two_is_ln2(self):
+        model = {1: [2.0, 2.0]}
+        paper = {1: [1.0, 1.0]}
+        assert mean_abs_log_ratio(model, paper) == pytest.approx(0.6931, abs=1e-3)
+
+    def test_per_row(self):
+        model = {1: [1.0], 2: [4.0]}
+        paper = {1: [1.0], 2: [1.0]}
+        errs = row_log_errors(model, paper)
+        assert errs[1] == pytest.approx(0.0)
+        assert errs[2] == pytest.approx(1.386, abs=1e-3)
+
+
+class TestCurveMetrics:
+    SERIES = FigureSeries(
+        "c1060",
+        ("a", "b", "c", "d"),
+        (0.5, 0.9, 2.0, 1.5),
+        peak_value=2.0,
+        peak_instance="c",
+    )
+
+    def test_perfect_curve(self):
+        m = curve_metrics([0.5, 0.9, 2.0, 1.5], self.SERIES)
+        assert m["peak_instance_match"] is True
+        assert m["peak_log_error"] == pytest.approx(0.0)
+        assert m["crossover_match"] is True
+        assert m["spearman"] == pytest.approx(1.0)
+
+    def test_shifted_crossover_within_one_still_matches(self):
+        m = curve_metrics([0.5, 1.1, 2.0, 1.5], self.SERIES)
+        assert m["crossover_match"] is True  # index 1 vs 2
+
+    def test_never_crossing_mismatch(self):
+        m = curve_metrics([0.1, 0.2, 0.3, 0.2], self.SERIES)
+        assert m["crossover_match"] is False
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            curve_metrics([1.0], self.SERIES)
+
+    def test_rise_monotone_fraction(self):
+        m = curve_metrics([0.5, 0.4, 2.0, 1.0], self.SERIES)
+        assert m["rise_monotone_fraction"] == pytest.approx(0.5)

@@ -1,0 +1,45 @@
+"""Test helpers: brute-force TSP ground truth for tiny instances.
+
+Several tests validate heuristics against the *optimal* tour; for n <= 9 an
+exhaustive permutation search is instant and unarguable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.tsp.tour import close_tour, tour_length
+
+__all__ = ["brute_force_optimum"]
+
+
+def brute_force_optimum(dist: np.ndarray) -> tuple[np.ndarray, int]:
+    """Optimal closed tour by exhaustive search (fixes city 0 first).
+
+    Only feasible for small n (the call guards at n <= 10: 9! = 362 880
+    permutations).
+
+    Returns
+    -------
+    (tour, length):
+        The optimal closed tour (``n + 1`` entries) and its length.
+    """
+    n = dist.shape[0]
+    if n > 10:
+        raise ValueError(f"brute force limited to n <= 10, got {n}")
+    best_len: int | None = None
+    best_perm: tuple[int, ...] | None = None
+    for perm in itertools.permutations(range(1, n)):
+        candidate = (0, *perm)
+        length = int(
+            sum(dist[candidate[i], candidate[(i + 1) % n]] for i in range(n))
+        )
+        if best_len is None or length < best_len:
+            best_len = length
+            best_perm = candidate
+    assert best_perm is not None and best_len is not None
+    tour = close_tour(np.array(best_perm, dtype=np.int32))
+    assert tour_length(tour, dist) == best_len
+    return tour, best_len

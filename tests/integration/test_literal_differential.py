@@ -1,0 +1,155 @@
+"""Differential tests: vectorised kernels vs the literal per-thread executor.
+
+The production kernels are vectorised numpy; these tests replay the same
+logic one simulated CUDA thread at a time (with real barrier semantics) on
+tiny inputs and demand identical results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simt.literal import run_block
+from repro.simt.reduction import block_argmax
+
+
+def literal_argmax_program(tid, shared, width):
+    """Tree argmax over shared['vals'], ties to the lower index —
+    the contract block_argmax promises."""
+    shared["v"][tid] = (shared["vals"][tid], tid)
+    yield
+    stride = 1
+    while stride < width:
+        # pairwise, power-of-two tree; lower index wins ties
+        if tid % (2 * stride) == 0 and tid + stride < width:
+            a, b = shared["v"][tid], shared["v"][tid + stride]
+            if b[0] > a[0]:
+                shared["v"][tid] = b
+        yield
+        stride *= 2
+    return shared["v"][0]
+
+
+class TestReductionDifferential:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_argmax_matches_vectorised(self, width):
+        rng = np.random.default_rng(width)
+        vals = rng.normal(size=width)
+        literal = run_block(
+            literal_argmax_program, width, {"vals": vals, "v": [None] * width}, width
+        )
+        idx_vec, max_vec = block_argmax(vals[None, :])
+        assert literal[0][1] == idx_vec[0]
+        assert literal[0][0] == pytest.approx(max_vec[0])
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_argmax_with_ties(self, width):
+        vals = np.zeros(width)
+        vals[1] = vals[3] = 5.0  # tie between indices 1 and 3
+        literal = run_block(
+            literal_argmax_program, width, {"vals": vals, "v": [None] * width}, width
+        )
+        idx_vec, _ = block_argmax(vals[None, :])
+        assert literal[0][1] == idx_vec[0] == 1
+
+
+def literal_iroulette_program(tid, shared, choice_row, u_row, visited_row, width):
+    """One data-parallel selection step for a single ant: thread = city."""
+    flag = 0.0 if visited_row[tid] else 1.0
+    shared["prod"][tid] = choice_row[tid] * u_row[tid] * flag
+    yield
+    if tid == 0:
+        best, best_idx = -1.0, 0
+        for j in range(width):
+            if shared["prod"][j] > best:
+                best, best_idx = shared["prod"][j], j
+        shared["winner"] = best_idx
+    yield
+    return shared["winner"]
+
+
+class TestIRouletteDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_step_matches_vectorised(self, seed):
+        n = 16
+        rng = np.random.default_rng(seed)
+        choice = rng.uniform(0.1, 1.0, n)
+        u = rng.uniform(size=n)
+        visited = rng.random(n) < 0.4
+        visited[rng.integers(n)] = False  # keep at least one candidate
+
+        literal = run_block(
+            literal_iroulette_program,
+            n,
+            {"prod": [0.0] * n, "winner": None},
+            choice,
+            u,
+            visited,
+            n,
+        )
+        vec = int(np.argmax(choice * u * ~visited))
+        assert literal[0] == vec
+
+
+def literal_bitwise_tabu_program(tid, shared, cities_per_thread):
+    """The tiled register tabu: one bit per tile in a thread-private word."""
+    word = 0
+    marks = shared["marks"][tid]  # list of tile indices to mark visited
+    for tile in marks:
+        word |= 1 << tile
+    yield
+    return [bool((word >> t) & 1) for t in range(cities_per_thread)]
+
+
+class TestBitwiseTabuDifferential:
+    def test_bit_marks_match_boolean_array(self):
+        tiles = 8
+        threads = 4
+        rng = np.random.default_rng(3)
+        marks = [list(rng.choice(tiles, size=3, replace=False)) for _ in range(threads)]
+        literal = run_block(
+            literal_bitwise_tabu_program, threads, {"marks": marks}, tiles
+        )
+        for tid in range(threads):
+            expected = [t in marks[tid] for t in range(tiles)]
+            assert literal[tid] == expected
+
+
+def literal_roulette_program(tid, shared, weights, dart, width):
+    """Sequential roulette walk executed by thread 0 — the C semantics."""
+    if tid == 0:
+        total = sum(weights)
+        r = dart * total
+        acc = 0.0
+        pick = width - 1
+        for j in range(width):
+            acc += weights[j]
+            if acc >= r and weights[j] > 0:
+                pick = j
+                break
+        shared["pick"] = pick
+    yield
+    return shared["pick"]
+
+
+class TestRouletteDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cumsum_roulette_matches_walk(self, seed):
+        from repro.core.construction.taskbased import _roulette
+
+        rng = np.random.default_rng(seed)
+        n = 12
+        weights = rng.uniform(0.0, 1.0, n)
+        weights[rng.random(n) < 0.3] = 0.0
+        if weights.sum() == 0:
+            weights[0] = 1.0
+        dart = float(rng.uniform())
+
+        literal = run_block(
+            literal_roulette_program, 1, {"pick": None}, list(weights), dart, n
+        )[0]
+        vec = _roulette(weights[None, :], np.array([weights.sum()]), np.array([dart]))[0]
+        assert literal == vec

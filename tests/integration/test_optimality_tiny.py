@@ -1,0 +1,82 @@
+"""Ground-truth tests on tiny instances via brute force.
+
+With n <= 9 cities the optimum is computable exactly; the solvers must find
+it (AS/ACS/MMAS with enough iterations on trivially small search spaces) and
+2-opt must land within the 2-opt-optimality bound of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams, AntColonySystem, AntSystem, MaxMinAntSystem
+from repro.tsp import uniform_instance
+from repro.tsp.local_search import two_opt
+from repro.tsp.tour import random_tour
+from tests.helpers import brute_force_optimum
+
+
+@pytest.fixture(scope="module", params=[11, 22, 33])
+def tiny(request):
+    inst = uniform_instance(8, seed=request.param)
+    _, opt = brute_force_optimum(inst.distance_matrix())
+    return inst, opt
+
+
+class TestSolversNearOptimum:
+    """Stochastic heuristics on 8 cities: every solver must land within 5 %
+    of the brute-force optimum (measured gaps on these seeds are <= 3.1 %),
+    and a 2-opt polish must never lose ground."""
+
+    def test_ant_system_near_optimum(self, tiny):
+        inst, opt = tiny
+        colony = AntSystem(inst, ACOParams(seed=5, nn=7), construction=8, pheromone=1)
+        result = colony.run(30)
+        assert result.best_length <= 1.05 * opt
+        polished = two_opt(result.best_tour, inst.distance_matrix())
+        assert polished.length <= result.best_length
+        assert polished.length <= 1.05 * opt
+
+    def test_acs_near_optimum(self, tiny):
+        inst, opt = tiny
+        acs = AntColonySystem(inst, ACOParams(seed=5, nn=7))
+        result = acs.run(30)
+        assert result.best_length <= 1.05 * opt
+        polished = two_opt(result.best_tour, inst.distance_matrix())
+        assert polished.length <= result.best_length
+
+    def test_mmas_near_optimum(self, tiny):
+        inst, opt = tiny
+        mmas = MaxMinAntSystem(inst, ACOParams(seed=5, nn=7))
+        result = mmas.run(30)
+        assert result.best_length <= 1.05 * opt
+
+    def test_sequential_near_optimum(self, tiny):
+        from repro.seq import SequentialAntSystem
+
+        inst, opt = tiny
+        engine = SequentialAntSystem(inst, seed=5, nn=7)
+        engine.run(30, mode="full")
+        assert engine.best_length is not None
+        assert engine.best_length <= 1.05 * opt
+
+
+class TestTwoOptNearOptimal:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_two_opt_within_10pct_of_optimum(self, seed):
+        inst = uniform_instance(9, seed=seed)
+        d = inst.distance_matrix()
+        _, opt = brute_force_optimum(d)
+        res = two_opt(random_tour(9, np.random.default_rng(seed)), d)
+        assert res.length <= 1.10 * opt
+
+    def test_two_opt_from_many_starts_finds_optimum(self):
+        inst = uniform_instance(8, seed=44)
+        d = inst.distance_matrix()
+        _, opt = brute_force_optimum(d)
+        best = min(
+            two_opt(random_tour(8, np.random.default_rng(s)), d).length
+            for s in range(8)
+        )
+        assert best == opt

@@ -1,0 +1,125 @@
+"""Property-based round-trip and model-consistency tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.tsp.generator import uniform_instance
+from repro.tsp.tsplib import parse_tsplib_text, write_tsplib
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+class TestTsplibRoundTrip:
+    @SLOW
+    @given(
+        n=st.integers(3, 40),
+        seed=st.integers(0, 100_000),
+        ewt=st.sampled_from(["EUC_2D", "CEIL_2D", "MAN_2D", "MAX_2D", "ATT"]),
+    )
+    def test_write_parse_preserves_distances(self, tmp_path_factory, n, seed, ewt):
+        inst = uniform_instance(n, seed=seed, edge_weight_type=ewt)
+        path = tmp_path_factory.mktemp("tsplib") / f"{inst.name}.tsp"
+        write_tsplib(inst, path)
+        from repro.tsp.tsplib import parse_tsplib
+
+        again = parse_tsplib(path)
+        assert again.edge_weight_type == ewt
+        np.testing.assert_array_equal(
+            again.distance_matrix(), inst.distance_matrix()
+        )
+
+    @SLOW
+    @given(n=st.integers(3, 20), seed=st.integers(0, 100_000))
+    def test_explicit_matrix_roundtrip_via_text(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sym = rng.integers(1, 1000, size=(n, n))
+        sym = (sym + sym.T) // 2
+        np.fill_diagonal(sym, 0)
+        lines = [
+            "NAME : ex",
+            f"DIMENSION : {n}",
+            "EDGE_WEIGHT_TYPE : EXPLICIT",
+            "EDGE_WEIGHT_FORMAT : FULL_MATRIX",
+            "EDGE_WEIGHT_SECTION",
+        ]
+        lines.extend(" ".join(str(int(v)) for v in row) for row in sym)
+        lines.append("EOF")
+        inst = parse_tsplib_text("\n".join(lines))
+        np.testing.assert_array_equal(inst.distance_matrix(), sym)
+
+
+class TestModelMonotonicity:
+    """The cost model must be monotone in problem size for every strategy —
+    a basic sanity property the shape claims depend on."""
+
+    @SLOW
+    @given(version=st.integers(1, 8))
+    def test_construction_time_monotone_in_n(self, version):
+        from repro.experiments.harness import construction_model_time
+        from repro.simt.device import TESLA_C1060
+
+        names = ("kroC100", "a280", "pcb442", "d657")
+        times = [
+            construction_model_time(version, name, TESLA_C1060) for name in names
+        ]
+        assert all(a < b for a, b in zip(times, times[1:])), (version, times)
+
+    @SLOW
+    @given(version=st.integers(1, 5))
+    def test_pheromone_time_monotone_in_n(self, version):
+        from repro.experiments.harness import pheromone_model_time
+        from repro.simt.device import TESLA_M2050
+
+        names = ("kroC100", "a280", "pcb442", "d657")
+        times = [pheromone_model_time(version, name, TESLA_M2050) for name in names]
+        assert all(a < b for a, b in zip(times, times[1:])), (version, times)
+
+    @SLOW
+    @given(
+        flops=st.floats(0, 1e12),
+        bytes_=st.floats(0, 1e12),
+        par=st.floats(0.01, 1.0),
+    )
+    def test_estimate_time_monotone_in_work(self, flops, bytes_, par):
+        from repro.simt.counters import KernelStats
+        from repro.simt.device import TESLA_C1060
+        from repro.simt.timing import CostParams, estimate_time
+
+        p = CostParams()
+        base = estimate_time(
+            KernelStats(flops=flops, gmem_coalesced_bytes=bytes_),
+            TESLA_C1060,
+            p,
+            effective_parallelism=par,
+        )
+        more = estimate_time(
+            KernelStats(flops=flops * 2 + 1, gmem_coalesced_bytes=bytes_ * 2 + 1),
+            TESLA_C1060,
+            p,
+            effective_parallelism=par,
+        )
+        assert more > base
+
+
+class TestTwoOptProperties:
+    @SLOW
+    @given(n=st.integers(5, 25), seed=st.integers(0, 50_000))
+    def test_idempotent(self, n, seed):
+        """Running 2-opt on a 2-opt-optimal tour changes nothing."""
+        from repro.tsp.local_search import two_opt
+        from repro.tsp.tour import random_tour
+
+        inst = uniform_instance(n, seed=seed)
+        d = inst.distance_matrix()
+        first = two_opt(random_tour(n, np.random.default_rng(seed)), d)
+        second = two_opt(first.tour, d)
+        assert second.exchanges == 0
+        assert second.length == first.length

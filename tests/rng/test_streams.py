@@ -1,0 +1,78 @@
+"""Tests for stream splitting and the generator factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import ParkMillerLCG, XorwowRNG, make_rng
+from repro.rng.streams import split_seed
+
+
+class TestSplitSeed:
+    def test_shape_and_dtype(self):
+        out = split_seed(42, 16)
+        assert out.shape == (16,)
+        assert out.dtype == np.uint64
+
+    def test_never_zero(self):
+        out = split_seed(0, 1000)
+        assert np.all(out != 0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(split_seed(7, 8), split_seed(7, 8))
+
+    def test_distinct_subseeds(self):
+        out = split_seed(123, 10_000)
+        assert len(np.unique(out)) == 10_000
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    def test_different_masters_rarely_collide(self, a, b):
+        if a == b:
+            return
+        sa, sb = split_seed(a, 4), split_seed(b, 4)
+        assert not np.array_equal(sa, sb)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            split_seed(1, 0)
+
+
+class TestMakeRng:
+    def test_lcg(self):
+        assert isinstance(make_rng("lcg", 4, 1), ParkMillerLCG)
+
+    def test_xorwow_and_curand_alias(self):
+        assert isinstance(make_rng("xorwow", 4, 1), XorwowRNG)
+        assert isinstance(make_rng("curand", 4, 1), XorwowRNG)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown rng kind"):
+            make_rng("mersenne", 4, 1)
+
+    def test_streams_respected(self):
+        assert make_rng("lcg", 17, 1).n_streams == 17
+
+
+class TestStatisticalSanity:
+    """Cheap, deterministic statistical checks on both engines."""
+
+    @pytest.mark.parametrize("kind", ["lcg", "xorwow"])
+    def test_chi_square_uniformity(self, kind):
+        rng = make_rng(kind, 1024, seed=77)
+        u = rng.uniform_block(40).ravel()
+        counts, _ = np.histogram(u, bins=16, range=(0.0, 1.0))
+        expected = u.size / 16
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 15 dof: 99.9th percentile ~ 37.7; anything sane passes easily
+        assert chi2 < 60.0
+
+    @pytest.mark.parametrize("kind", ["lcg", "xorwow"])
+    def test_lag1_autocorrelation_small(self, kind):
+        rng = make_rng(kind, 1, seed=5)
+        xs = np.array([float(rng.uniform()[0]) for _ in range(4000)])
+        a, b = xs[:-1] - xs.mean(), xs[1:] - xs.mean()
+        corr = float((a * b).mean() / xs.var())
+        assert abs(corr) < 0.06

@@ -1,0 +1,46 @@
+"""Tests for the CPU cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.seq.cost import CpuCostParams, estimate_cpu_time
+from repro.seq.counts import CpuOps
+
+
+class TestEstimate:
+    def test_zero_ops_zero_time(self):
+        assert estimate_cpu_time(CpuOps(), CpuCostParams()) == 0.0
+
+    def test_linear_in_counts(self):
+        p = CpuCostParams()
+        a = estimate_cpu_time(CpuOps(arith_ops=1e9), p)
+        b = estimate_cpu_time(CpuOps(arith_ops=2e9), p)
+        assert b == pytest.approx(2 * a)
+
+    def test_class_weights(self):
+        p = CpuCostParams(arith_ns=1.0, pow_ns=100.0)
+        arith = estimate_cpu_time(CpuOps(arith_ops=1e6), p)
+        pow_ = estimate_cpu_time(CpuOps(pow_calls=1e6), p)
+        assert pow_ == pytest.approx(100 * arith)
+
+    def test_random_refs_cost_more_than_streaming(self):
+        p = CpuCostParams()
+        seq = estimate_cpu_time(CpuOps(mem_seq_refs=1e6), p)
+        rand = estimate_cpu_time(CpuOps(mem_rand_refs=1e6), p)
+        assert rand > seq
+
+    def test_known_value(self):
+        p = CpuCostParams(
+            arith_ns=1.0, mem_seq_ns=2.0, mem_rand_ns=4.0, rng_ns=8.0,
+            pow_ns=16.0, branch_ns=32.0,
+        )
+        ops = CpuOps(
+            arith_ops=1, mem_seq_refs=1, mem_rand_refs=1, rng_samples=1,
+            pow_calls=1, branch_ops=1,
+        )
+        assert estimate_cpu_time(ops, p) == pytest.approx(63e-9)
+
+    def test_with_overrides(self):
+        p = CpuCostParams().with_overrides(pow_ns=5.0)
+        assert p.pow_ns == 5.0

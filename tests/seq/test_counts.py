@@ -1,0 +1,50 @@
+"""Tests for the CPU op ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.seq.counts import CpuOps
+
+
+class TestCpuOps:
+    def test_merge_sums(self):
+        a = CpuOps(arith_ops=1, mem_seq_refs=2)
+        b = CpuOps(arith_ops=3, rng_samples=4)
+        a.merge(b)
+        assert a.arith_ops == 4
+        assert a.mem_seq_refs == 2
+        assert a.rng_samples == 4
+
+    def test_add_pure(self):
+        a = CpuOps(arith_ops=1)
+        b = CpuOps(arith_ops=2)
+        c = a + b
+        assert (a.arith_ops, b.arith_ops, c.arith_ops) == (1, 2, 3)
+
+    def test_scaled(self):
+        s = CpuOps(arith_ops=10, pow_calls=4).scaled(0.5)
+        assert s.arith_ops == 5
+        assert s.pow_calls == 2
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            CpuOps().scaled(-0.1)
+
+    def test_as_dict(self):
+        d = CpuOps(branch_ops=7).as_dict()
+        assert d["branch_ops"] == 7.0
+        assert set(d) == {
+            "arith_ops",
+            "mem_seq_refs",
+            "mem_rand_refs",
+            "rng_samples",
+            "pow_calls",
+            "branch_ops",
+            "fallback_steps",
+        }
+
+    def test_approx_equal(self):
+        a = CpuOps(arith_ops=1.0)
+        assert a.approx_equal(CpuOps(arith_ops=1.0 + 1e-12))
+        assert not a.approx_equal(CpuOps(arith_ops=2.0))

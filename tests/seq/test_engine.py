@@ -1,0 +1,174 @@
+"""Tests for the sequential Ant System engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ACOConfigError
+from repro.seq.engine import (
+    SequentialAntSystem,
+    predict_construction_ops_for,
+    predict_update_ops_for,
+)
+from repro.tsp.generator import uniform_instance
+from repro.tsp.tour import tour_lengths, validate_tour
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SequentialAntSystem(uniform_instance(36, seed=360), seed=11, nn=8)
+
+
+class TestInitialisation:
+    def test_tau0_is_m_over_cnn(self, engine):
+        assert engine.tau0 > 0
+        assert np.allclose(
+            engine.pheromone[~np.eye(engine.n, dtype=bool)], engine.tau0
+        )
+
+    def test_diagonal_zero(self, engine):
+        assert np.all(np.diag(engine.pheromone) == 0)
+
+    def test_default_m_equals_n(self):
+        e = SequentialAntSystem(uniform_instance(20, seed=1))
+        assert e.m == 20
+
+    def test_nn_clipped(self):
+        e = SequentialAntSystem(uniform_instance(10, seed=1), nn=100)
+        assert e.nn == 9
+
+    def test_invalid_rho(self):
+        with pytest.raises(ACOConfigError):
+            SequentialAntSystem(uniform_instance(10, seed=1), rho=0.0)
+
+    def test_invalid_ants(self):
+        with pytest.raises(ACOConfigError):
+            SequentialAntSystem(uniform_instance(10, seed=1), n_ants=0)
+
+
+class TestChoiceInfo:
+    def test_values(self, engine):
+        choice = engine.compute_choice_info()
+        expected = engine.pheromone[1, 2] ** engine.alpha * engine.eta[1, 2] ** engine.beta
+        assert choice[1, 2] == pytest.approx(expected)
+
+    def test_diagonal_zero(self, engine):
+        assert np.all(np.diag(engine.compute_choice_info()) == 0)
+
+    def test_positive_off_diagonal(self, engine):
+        choice = engine.compute_choice_info()
+        off = choice[~np.eye(engine.n, dtype=bool)]
+        assert np.all(off > 0)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("mode", ["nnlist", "full"])
+    def test_tours_valid(self, mode):
+        e = SequentialAntSystem(uniform_instance(30, seed=301), seed=5, nn=8)
+        choice = e.compute_choice_info()
+        tours = e.construct_tours(choice, mode=mode)
+        assert tours.shape == (30, 31)
+        for t in tours:
+            validate_tour(t, 30)
+
+    def test_invalid_mode(self):
+        e = SequentialAntSystem(uniform_instance(10, seed=1))
+        with pytest.raises(ACOConfigError):
+            e.construct_tours(e.compute_choice_info(), mode="greedy")
+
+    def test_deterministic_given_seed(self):
+        a = SequentialAntSystem(uniform_instance(25, seed=250), seed=3)
+        b = SequentialAntSystem(uniform_instance(25, seed=250), seed=3)
+        ta = a.construct_tours(a.compute_choice_info(), mode="nnlist")
+        tb = b.construct_tours(b.compute_choice_info(), mode="nnlist")
+        np.testing.assert_array_equal(ta, tb)
+
+    def test_ledger_matches_prediction(self):
+        e = SequentialAntSystem(uniform_instance(28, seed=280), seed=9, nn=6)
+        from repro.seq.counts import CpuOps
+
+        ops = CpuOps()
+        e.construct_tours(e.compute_choice_info(), mode="nnlist", ops=ops)
+        pred = predict_construction_ops_for(
+            e.n, e.m, e.nn, "nnlist", fallback_steps=ops.fallback_steps
+        )
+        assert ops.approx_equal(pred), ops.diff(pred)
+
+
+class TestPheromoneUpdate:
+    def test_evaporation_and_deposit(self):
+        e = SequentialAntSystem(uniform_instance(15, seed=150), seed=2, rho=0.5)
+        choice = e.compute_choice_info()
+        tours = e.construct_tours(choice, mode="full")
+        lengths = tour_lengths(tours, e.dist)
+        before = e.pheromone.copy()
+        e.update_pheromone(tours, lengths)
+        # every value evaporated at least; deposits only increase
+        assert np.all(e.pheromone >= before * 0.5 - 1e-15)
+
+    def test_symmetry_preserved(self):
+        e = SequentialAntSystem(uniform_instance(15, seed=151), seed=2)
+        choice = e.compute_choice_info()
+        tours = e.construct_tours(choice, mode="full")
+        lengths = tour_lengths(tours, e.dist)
+        e.update_pheromone(tours, lengths)
+        np.testing.assert_allclose(e.pheromone, e.pheromone.T)
+
+    def test_deposit_amount_exact(self):
+        e = SequentialAntSystem(uniform_instance(12, seed=152), seed=2, n_ants=1, rho=0.5)
+        tours = np.array([list(range(12)) + [0]], dtype=np.int32)
+        lengths = tour_lengths(tours, e.dist)
+        tau_before = e.pheromone[0, 1]
+        e.update_pheromone(tours, lengths)
+        expected = tau_before * 0.5 + 1.0 / lengths[0]
+        assert e.pheromone[0, 1] == pytest.approx(expected)
+        assert e.pheromone[1, 0] == pytest.approx(expected)
+
+
+class TestIterations:
+    def test_best_tracking_monotone(self):
+        e = SequentialAntSystem(uniform_instance(30, seed=303), seed=4, nn=8)
+        bests = [e.run_iteration("nnlist").best_length for _ in range(6)]
+        assert e.best_length == min(
+            min(bests), e.best_length
+        )  # best-so-far <= every iteration best
+        assert e.best_length <= bests[0]
+
+    def test_run_returns_results(self):
+        e = SequentialAntSystem(uniform_instance(20, seed=304), seed=4)
+        results = e.run(3, mode="full")
+        assert len(results) == 3
+        assert e.iterations_run == 3
+
+    def test_run_invalid_iterations(self):
+        e = SequentialAntSystem(uniform_instance(10, seed=1))
+        with pytest.raises(ACOConfigError):
+            e.run(0)
+
+    def test_full_iteration_ledger_consistent(self):
+        e = SequentialAntSystem(uniform_instance(24, seed=305), seed=8, nn=6)
+        res = e.run_iteration(mode="full")
+        pred = (
+            e.predict_choice_ops(e.n)
+            + predict_construction_ops_for(e.n, e.m, e.nn, "full")
+            + predict_update_ops_for(e.n, e.m)
+        )
+        assert res.ops.approx_equal(pred), res.ops.diff(pred)
+
+
+class TestUpdatePredictor:
+    def test_cache_split_small_instance_mostly_sequential(self):
+        ops = predict_update_ops_for(48, 48)
+        assert ops.mem_rand_refs < ops.mem_seq_refs
+
+    def test_cache_split_large_instance_mostly_random(self):
+        ops = predict_update_ops_for(1002, 1002)
+        # matrix is 8 MB >> LLC: all deposit refs are misses
+        assert ops.mem_rand_refs == pytest.approx(4.0 * 1002 * 1002)
+
+    def test_total_refs_conserved(self):
+        for n in (48, 280, 1002):
+            ops = predict_update_ops_for(n, n)
+            total = ops.mem_seq_refs + ops.mem_rand_refs
+            assert total == pytest.approx(2.0 * n * n + 4.0 * n * n)

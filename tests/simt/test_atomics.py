@@ -1,0 +1,102 @@
+"""Tests for the atomic-operation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceFeatureError
+from repro.simt.atomics import AtomicModel
+from repro.simt.counters import KernelStats
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+
+
+class TestFunctionalCorrectness:
+    def test_repeated_indices_accumulate(self):
+        target = np.zeros(4)
+        am = AtomicModel(TESLA_M2050, KernelStats())
+        am.add_float(target, np.array([1, 1, 1]), 2.0)
+        assert target[1] == pytest.approx(6.0)
+
+    def test_matrix_flat_indexing(self):
+        tau = np.zeros((3, 3))
+        am = AtomicModel(TESLA_M2050, KernelStats())
+        am.add_float(tau, np.array([4]), 1.5)  # (1,1)
+        assert tau[1, 1] == pytest.approx(1.5)
+
+    def test_vector_values(self):
+        target = np.zeros(3)
+        am = AtomicModel(TESLA_M2050, KernelStats())
+        am.add_float(target, np.array([0, 2]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(target, [1.0, 0.0, 3.0])
+
+    def test_empty_index_noop(self):
+        st_ = KernelStats()
+        am = AtomicModel(TESLA_M2050, st_)
+        am.add_float(np.zeros(2), np.array([], dtype=int), 1.0)
+        assert st_.atomics_fp == 0
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=50),
+        st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_sum(self, indices, value):
+        target = np.zeros(10)
+        am = AtomicModel(TESLA_M2050, KernelStats())
+        am.add_float(target, np.array(indices), value)
+        expected = np.bincount(indices, minlength=10) * value
+        np.testing.assert_allclose(target, expected, rtol=1e-9)
+
+
+class TestAccounting:
+    def test_op_count(self):
+        st_ = KernelStats()
+        am = AtomicModel(TESLA_M2050, st_)
+        am.add_float(np.zeros(4), np.array([0, 1, 2]), 1.0)
+        assert st_.atomics_fp == 3
+
+    def test_hot_degree_tracks_worst_cell(self):
+        st_ = KernelStats()
+        am = AtomicModel(TESLA_M2050, st_)
+        am.add_float(np.zeros(4), np.array([0, 0, 0, 1]), 1.0)
+        assert st_.atomic_hot_degree == 3
+
+    def test_int_atomics(self):
+        st_ = KernelStats()
+        am = AtomicModel(TESLA_M2050, st_)
+        counters = np.zeros(3, dtype=np.int64)
+        am.add_int(counters, np.array([2, 2]), 5)
+        assert counters[2] == 10
+        assert st_.atomics_int == 2
+
+    def test_count_float_ops_bulk(self):
+        st_ = KernelStats()
+        am = AtomicModel(TESLA_C1060, st_)
+        am.count_float_ops(1000, hot_degree=7)
+        assert st_.atomics_fp == 1000
+        assert st_.atomic_hot_degree == 7
+        with pytest.raises(ValueError):
+            am.count_float_ops(-1)
+
+
+class TestEmulation:
+    def test_c1060_emulates_silently_by_default(self):
+        tau = np.zeros(2)
+        am = AtomicModel(TESLA_C1060, KernelStats())
+        am.add_float(tau, np.array([0]), 1.0)  # works, counted as emulated
+        assert tau[0] == 1.0
+
+    def test_strict_mode_raises_on_c1060(self):
+        am = AtomicModel(TESLA_C1060, KernelStats(), strict=True)
+        with pytest.raises(DeviceFeatureError, match="float atomics"):
+            am.add_float(np.zeros(2), np.array([0]), 1.0)
+
+    def test_strict_mode_fine_on_m2050(self):
+        am = AtomicModel(TESLA_M2050, KernelStats(), strict=True)
+        am.add_float(np.zeros(2), np.array([0]), 1.0)
+
+    def test_emulation_factor_positive(self):
+        assert AtomicModel.EMULATION_COST_FACTOR > 1.0

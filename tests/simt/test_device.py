@@ -1,0 +1,93 @@
+"""Tests for the device specifications (paper Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LaunchConfigError
+from repro.simt.device import DEVICES, TESLA_C1060, TESLA_M2050
+
+
+class TestTableI:
+    """Every row of the paper's Table I, transcribed."""
+
+    def test_c1060_cores(self):
+        assert TESLA_C1060.sp_per_sm == 8
+        assert TESLA_C1060.sm_count == 30
+        assert TESLA_C1060.total_sps == 240
+
+    def test_m2050_cores(self):
+        assert TESLA_M2050.sp_per_sm == 32
+        assert TESLA_M2050.sm_count == 14
+        assert TESLA_M2050.total_sps == 448
+
+    def test_clocks(self):
+        assert TESLA_C1060.clock_hz == pytest.approx(1_296e6)
+        assert TESLA_M2050.clock_hz == pytest.approx(1_147e6)
+
+    def test_thread_limits(self):
+        assert TESLA_C1060.max_threads_per_sm == 1024
+        assert TESLA_M2050.max_threads_per_sm == 1536
+        assert TESLA_C1060.max_threads_per_block == 512
+        assert TESLA_M2050.max_threads_per_block == 1024
+        assert TESLA_C1060.warp_size == TESLA_M2050.warp_size == 32
+
+    def test_sram(self):
+        assert TESLA_C1060.registers_per_sm == 16 * 1024
+        assert TESLA_M2050.registers_per_sm == 32 * 1024
+        assert TESLA_C1060.shared_mem_per_sm == 16 * 1024
+        assert TESLA_M2050.shared_mem_per_sm == 48 * 1024
+        assert TESLA_C1060.l1_cache_per_sm == 0
+        assert TESLA_M2050.l1_cache_per_sm == 16 * 1024
+
+    def test_global_memory(self):
+        assert TESLA_C1060.global_mem_bytes == 4 * 1024**3
+        assert TESLA_M2050.global_mem_bytes == 3 * 1024**3
+        assert TESLA_C1060.bandwidth_bytes_s == pytest.approx(102e9)
+        assert TESLA_M2050.bandwidth_bytes_s == pytest.approx(144e9)
+        assert TESLA_C1060.bus_width_bits == 512
+        assert TESLA_M2050.bus_width_bits == 384
+        assert TESLA_C1060.technology == "GDDR3"
+        assert TESLA_M2050.technology == "GDDR5"
+
+
+class TestDerived:
+    def test_peak_ips(self):
+        assert TESLA_C1060.peak_ips == pytest.approx(240 * 1_296e6)
+
+    def test_max_warps(self):
+        assert TESLA_C1060.max_warps_per_sm == 32
+        assert TESLA_M2050.max_warps_per_sm == 48
+
+    def test_float_atomics_capability(self):
+        # The pivotal fact of the paper's Figure 5 discussion.
+        assert not TESLA_C1060.has_fp32_global_atomics
+        assert TESLA_M2050.has_fp32_global_atomics
+
+    def test_l1_flag(self):
+        assert not TESLA_C1060.has_l1_cache
+        assert TESLA_M2050.has_l1_cache
+
+    def test_registry(self):
+        assert DEVICES["c1060"] is TESLA_C1060
+        assert DEVICES["m2050"] is TESLA_M2050
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_C1060.sm_count = 99  # type: ignore[misc]
+
+
+class TestValidateBlock:
+    def test_valid(self):
+        TESLA_C1060.validate_block(512)
+
+    def test_too_big(self):
+        with pytest.raises(LaunchConfigError):
+            TESLA_C1060.validate_block(513)
+
+    def test_m2050_allows_1024(self):
+        TESLA_M2050.validate_block(1024)
+
+    def test_non_positive(self):
+        with pytest.raises(LaunchConfigError):
+            TESLA_M2050.validate_block(0)

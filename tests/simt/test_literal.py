@@ -1,0 +1,102 @@
+"""Tests for the literal per-thread SIMT executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimtError
+from repro.simt.literal import BarrierDivergenceError, run_block, run_grid
+
+
+class TestRunBlock:
+    def test_shared_memory_visible_across_barrier(self):
+        def program(tid, shared, n):
+            shared["vals"][tid] = tid + 1
+            yield
+            return sum(shared["vals"][:n])
+
+        out = run_block(program, 4, {"vals": [0] * 4}, 4)
+        assert out == [10, 10, 10, 10]
+
+    def test_tree_reduction_semantics(self):
+        def program(tid, shared, width):
+            shared["v"][tid] = shared["inp"][tid]
+            yield
+            stride = width // 2
+            while stride > 0:
+                if tid < stride:
+                    shared["v"][tid] = max(shared["v"][tid], shared["v"][tid + stride])
+                yield
+                stride //= 2
+            return shared["v"][0]
+
+        inp = [3, 9, 1, 7, 4, 4, 8, 2]
+        out = run_block(program, 8, {"inp": inp, "v": [0] * 8}, 8)
+        assert out == [9] * 8
+
+    def test_barrier_divergence_detected(self):
+        def program(tid, shared):
+            if tid == 0:
+                yield  # thread 0 hits a barrier others never reach
+            return tid
+
+        with pytest.raises(BarrierDivergenceError):
+            run_block(program, 2, {})
+
+    def test_no_barriers_fine(self):
+        def program(tid, shared):
+            return tid * 2
+            yield  # pragma: no cover - makes it a generator
+
+        assert run_block(program, 3, {}) == [0, 2, 4]
+
+    def test_invalid_block_dim(self):
+        def program(tid, shared):
+            yield
+            return None
+
+        with pytest.raises(SimtError):
+            run_block(program, 0, {})
+
+    def test_writes_before_barrier_ordered(self):
+        """Classic race caught by barrier semantics: reading a neighbour's
+        write is only safe after a barrier."""
+
+        def program(tid, shared, n):
+            shared["a"][tid] = tid
+            yield
+            # after the barrier every write is visible
+            return shared["a"][(tid + 1) % n]
+
+        out = run_block(program, 4, {"a": [None] * 4}, 4)
+        assert out == [1, 2, 3, 0]
+
+
+class TestRunGrid:
+    def test_blocks_independent_shared(self):
+        def program(tid, shared, block):
+            shared["sum"] = shared.get("sum", 0) + 1
+            yield
+            return block
+
+        results = run_grid(program, 3, 2, lambda b: {})
+        assert [r[0] for r in results] == [0, 1, 2]
+
+    def test_make_shared_receives_block_index(self):
+        seen = []
+
+        def program(tid, shared, block):
+            return shared["id"]
+            yield  # pragma: no cover
+
+        def factory(block):
+            seen.append(block)
+            return {"id": block * 10}
+
+        results = run_grid(program, 2, 1, factory)
+        assert seen == [0, 1]
+        assert results == [[0], [10]]
+
+    def test_invalid_grid(self):
+        with pytest.raises(SimtError):
+            run_grid(lambda tid, sh, b: iter(()), 0, 1, lambda b: {})

@@ -1,0 +1,80 @@
+"""Tests for the occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OccupancyError
+from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.simt.occupancy import occupancy_for
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        occ = occupancy_for(TESLA_C1060, 512, regs_per_thread=8)
+        # 1024 / 512 = 2 blocks, 32 warps -> full occupancy
+        assert occ.blocks_per_sm == 2
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.limiting_factor == "threads"
+
+    def test_block_limited(self):
+        occ = occupancy_for(TESLA_C1060, 32, regs_per_thread=4)
+        # 8-block cap: 8 x 32 = 256 threads = 8 warps of 32
+        assert occ.blocks_per_sm == 8
+        assert occ.limiting_factor == "blocks"
+        assert occ.occupancy == pytest.approx(8 / 32)
+
+    def test_register_limited(self):
+        # 64 regs/thread x 256 threads = 16K regs = whole C1060 SM file
+        occ = occupancy_for(TESLA_C1060, 256, regs_per_thread=64)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor == "registers"
+
+    def test_shared_limited(self):
+        occ = occupancy_for(TESLA_C1060, 64, regs_per_thread=8, smem_per_block=8192)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "shared_mem"
+
+    def test_unschedulable_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy_for(TESLA_C1060, 256, regs_per_thread=128)
+
+    def test_oversized_shared_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy_for(TESLA_C1060, 64, smem_per_block=20 * 1024)
+
+    def test_invalid_regs(self):
+        with pytest.raises(OccupancyError):
+            occupancy_for(TESLA_C1060, 64, regs_per_thread=0)
+
+
+class TestGridFill:
+    def test_small_grid_underfills(self):
+        # The paper's small-instance effect: 48 ants = 48 threads.
+        occ = occupancy_for(TESLA_C1060, 48, regs_per_thread=8, total_blocks=1)
+        assert occ.grid_fill < 0.05
+        assert occ.effective_parallelism < occ.occupancy
+
+    def test_large_grid_saturates(self):
+        occ = occupancy_for(TESLA_C1060, 256, regs_per_thread=8, total_blocks=10_000)
+        assert occ.grid_fill == pytest.approx(1.0)
+
+    def test_default_grid_fill_is_one(self):
+        occ = occupancy_for(TESLA_C1060, 128)
+        assert occ.grid_fill == 1.0
+
+    def test_invalid_total_blocks(self):
+        with pytest.raises(OccupancyError):
+            occupancy_for(TESLA_C1060, 128, total_blocks=0)
+
+
+class TestDeviceDifferences:
+    def test_m2050_fits_more_warps(self):
+        c = occupancy_for(TESLA_C1060, 128, regs_per_thread=8)
+        m = occupancy_for(TESLA_M2050, 128, regs_per_thread=8)
+        assert m.active_warps_per_sm >= c.active_warps_per_sm
+
+    def test_partial_warp_rounds_up(self):
+        occ = occupancy_for(TESLA_C1060, 48, regs_per_thread=8)
+        # 48 threads = 2 warps (rounded up)
+        assert occ.active_warps_per_sm % 2 == 0

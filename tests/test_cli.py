@@ -1,0 +1,73 @@
+"""Tests for the gpu-aco CLI and the experiments __main__."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.__main__ import main as exp_main
+
+
+class TestDevicesCommand:
+    def test_devices_lists_both(self, capsys):
+        assert cli_main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C1060" in out
+        assert "Tesla M2050" in out
+        assert "no (emulated)" in out
+
+
+class TestSolveCommand:
+    def test_solve_paper_instance(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--construction", "8",
+             "--pheromone", "1", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best tour length" in out
+        assert "Tesla M2050" in out
+
+    def test_solve_device_selection(self, capsys):
+        rc = cli_main(["solve", "att48", "--iterations", "1", "--device", "c1060"])
+        assert rc == 0
+        assert "Tesla C1060" in capsys.readouterr().out
+
+    def test_solve_tsplib_file(self, tmp_path, capsys):
+        from repro.tsp import uniform_instance, write_tsplib
+
+        path = tmp_path / "demo.tsp"
+        write_tsplib(uniform_instance(20, seed=1, name="demo"), path)
+        rc = cli_main(["solve", str(path), "--iterations", "1", "--ants", "10"])
+        assert rc == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["solve", "att48", "--construction", "9"])
+
+
+class TestExperimentsCommand:
+    def test_single_artefact(self, capsys):
+        assert exp_main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Scatter to Gather" in out
+        assert "model" in out and "paper" in out
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "EXP.md"
+        assert exp_main(["report", str(path)]) == 0
+        content = path.read_text()
+        assert "## table2" in content
+        assert "## fig5" in content
+        assert "Known gaps" in content
+
+    def test_unknown_command(self, capsys):
+        assert exp_main(["frobnicate"]) == 2
+
+    def test_no_args_prints_usage(self, capsys):
+        assert exp_main([]) == 2
+
+    def test_cli_forwards_experiments(self, capsys):
+        assert cli_main(["experiments", "fig5"]) == 0
+        assert "pheromone update speed-up" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; this module keeps them honest by
+running each through a subprocess with scaled-down arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    ("quickstart.py", []),
+    ("kernel_showdown.py", ["--instance", "att48", "--iterations", "2"]),
+    ("pheromone_strategies.py", ["--instance", "att48"]),
+    ("tsplib_workflow.py", []),
+    ("convergence_quality.py", ["--n", "50", "--iterations", "6"]),
+    ("acs_extension.py", ["--n", "60", "--iterations", "5"]),
+    ("device_scaling.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, tmp_path):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"example {script} missing"
+    if script == "tsplib_workflow.py":
+        args = ["--out-dir", str(tmp_path)]
+    proc = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_covered():
+    """New example scripts must be added to the smoke-test matrix."""
+    present = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py") and f != "__init__.py"
+    }
+    covered = {script for script, _ in CASES}
+    assert present == covered, f"uncovered examples: {present - covered}"

@@ -1,0 +1,147 @@
+"""Tests for the TSPLIB distance functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnsupportedEdgeWeightError
+from repro.tsp.distances import (
+    att_distance_matrix,
+    ceil2d_distance_matrix,
+    distance_matrix_from_coords,
+    euc2d_distance_matrix,
+    geo_distance_matrix,
+    man2d_distance_matrix,
+    max2d_distance_matrix,
+    nint,
+)
+
+TRIANGLE = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+
+coords_strategy = st.lists(
+    st.tuples(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4)),
+    min_size=3,
+    max_size=12,
+).map(np.asarray)
+
+
+class TestNint:
+    def test_rounds_half_up(self):
+        # TSPLIB nint(x) = (int)(x + 0.5): 0.5 -> 1
+        assert nint(np.array([0.5]))[0] == 1
+
+    def test_integers_unchanged(self):
+        np.testing.assert_array_equal(nint(np.array([0.0, 1.0, 7.0])), [0, 1, 7])
+
+    def test_near_half(self):
+        assert nint(np.array([2.49]))[0] == 2
+        assert nint(np.array([2.51]))[0] == 3
+
+
+class TestEuc2D:
+    def test_345_triangle(self):
+        d = euc2d_distance_matrix(TRIANGLE)
+        assert d[0, 1] == 3
+        assert d[0, 2] == 4
+        assert d[1, 2] == 5
+
+    def test_zero_diagonal_and_symmetry(self):
+        d = euc2d_distance_matrix(TRIANGLE)
+        assert np.all(np.diag(d) == 0)
+        np.testing.assert_array_equal(d, d.T)
+
+    def test_rounding(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])  # sqrt(2) = 1.414 -> 1
+        assert euc2d_distance_matrix(pts)[0, 1] == 1
+
+    @given(coords_strategy)
+    def test_triangle_inequality_with_rounding_slack(self, coords):
+        d = euc2d_distance_matrix(coords)
+        n = d.shape[0]
+        for i in range(min(n, 5)):
+            for j in range(min(n, 5)):
+                for k in range(min(n, 5)):
+                    # rounding can violate strict triangle inequality by <= 1 per edge
+                    assert d[i, j] <= d[i, k] + d[k, j] + 2
+
+
+class TestCeil2D:
+    def test_rounds_up(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [5.0, 5.0]])
+        d = ceil2d_distance_matrix(pts)
+        assert d[0, 1] == 2  # ceil(1.414)
+
+    def test_exact_integer_not_bumped(self):
+        d = ceil2d_distance_matrix(TRIANGLE)
+        assert d[1, 2] == 5
+
+
+class TestManhattanAndMax:
+    def test_man2d(self):
+        d = man2d_distance_matrix(TRIANGLE)
+        assert d[1, 2] == 7  # |3| + |4|
+
+    def test_max2d(self):
+        d = max2d_distance_matrix(TRIANGLE)
+        assert d[1, 2] == 4  # max(3, 4)
+
+
+class TestAtt:
+    def test_known_formula(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 1.0]])
+        d = att_distance_matrix(pts)
+        # r = sqrt(100/10) = 3.1623; t = 3; t < r -> 4
+        assert d[0, 1] == 4
+
+    def test_symmetry_and_diagonal(self):
+        pts = np.array([[0.0, 0.0], [13.0, 7.0], [5.0, 9.0]])
+        d = att_distance_matrix(pts)
+        np.testing.assert_array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_att_at_least_euclid_over_sqrt10(self):
+        pts = np.array([[0.0, 0.0], [100.0, 35.0], [42.0, 7.0]])
+        att = att_distance_matrix(pts)
+        euc = euc2d_distance_matrix(pts)
+        # d_att ≈ d_euc / sqrt(10), rounded up
+        ratio = att[0, 1] / max(euc[0, 1], 1)
+        assert 0.25 < ratio < 0.40
+
+
+class TestGeo:
+    def test_zero_distance_same_point(self):
+        pts = np.array([[45.30, 10.15], [45.30, 10.15], [50.0, 10.0]])
+        d = geo_distance_matrix(pts)
+        assert d[0, 0] == 0
+
+    def test_plausible_km_scale(self):
+        # one degree of latitude ~ 111 km on the TSPLIB sphere
+        pts = np.array([[45.0, 10.0], [46.0, 10.0], [45.0, 11.0]])
+        d = geo_distance_matrix(pts)
+        assert 100 <= d[0, 1] <= 120
+
+    def test_symmetry(self):
+        pts = np.array([[45.0, 10.0], [46.3, 11.2], [44.1, 9.5]])
+        d = geo_distance_matrix(pts)
+        np.testing.assert_array_equal(d, d.T)
+
+
+class TestDispatch:
+    def test_dispatch_euc2d(self):
+        d = distance_matrix_from_coords(TRIANGLE, "EUC_2D")
+        assert d[1, 2] == 5
+
+    def test_dispatch_case_insensitive(self):
+        d = distance_matrix_from_coords(TRIANGLE, "euc_2d")
+        assert d[1, 2] == 5
+
+    def test_unsupported_raises(self):
+        with pytest.raises(UnsupportedEdgeWeightError):
+            distance_matrix_from_coords(TRIANGLE, "EUC_3D")
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            euc2d_distance_matrix(np.zeros((3, 3)))

@@ -1,0 +1,77 @@
+"""Tests for the synthetic instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tsp.generator import clustered_instance, grid_instance, uniform_instance
+
+
+class TestUniform:
+    def test_shape_and_determinism(self):
+        a = uniform_instance(50, seed=1)
+        b = uniform_instance(50, seed=1)
+        np.testing.assert_array_equal(a.coords, b.coords)
+        assert a.n == 50
+
+    def test_different_seeds(self):
+        a = uniform_instance(50, seed=1)
+        b = uniform_instance(50, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_box_respected(self):
+        inst = uniform_instance(200, seed=3, box=100.0)
+        assert inst.coords.min() >= 0.0
+        assert inst.coords.max() <= 100.0
+
+    def test_default_name(self):
+        assert uniform_instance(10, seed=1).name == "uniform10"
+
+    def test_custom_edge_weight_type(self):
+        inst = uniform_instance(10, seed=1, edge_weight_type="ATT")
+        assert inst.edge_weight_type == "ATT"
+        assert inst.distance_matrix().shape == (10, 10)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            uniform_instance(2, seed=1)
+
+
+class TestClustered:
+    def test_determinism(self):
+        a = clustered_instance(40, seed=7, clusters=4)
+        b = clustered_instance(40, seed=7, clusters=4)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_clusters_visible(self):
+        # points concentrated: mean pairwise distance well below uniform
+        cl = clustered_instance(100, seed=8, clusters=3, spread=0.02)
+        un = uniform_instance(100, seed=8)
+        assert cl.distance_matrix().mean() < un.distance_matrix().mean()
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_instance(10, seed=1, clusters=0)
+
+
+class TestGrid:
+    def test_exact_count(self):
+        inst = grid_instance(97, seed=9)
+        assert inst.n == 97
+
+    def test_determinism(self):
+        a = grid_instance(64, seed=10)
+        b = grid_instance(64, seed=10)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_near_grid_structure(self):
+        inst = grid_instance(100, seed=11, pitch=100.0, jitter=0.0)
+        # without jitter, nearest-neighbour distance == pitch
+        d = inst.distance_matrix().astype(float)
+        np.fill_diagonal(d, np.inf)
+        assert d.min(axis=1).max() <= 100.0 * np.sqrt(2) + 1
+
+    def test_nonnegative_coords(self):
+        inst = grid_instance(50, seed=12)
+        assert inst.coords.min() >= -1e-9

@@ -1,0 +1,101 @@
+"""Tests for the 2-opt local search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsp.generator import uniform_instance
+from repro.tsp.local_search import TwoOptResult, best_exchange, two_opt
+from repro.tsp.tour import (
+    close_tour,
+    nearest_neighbor_tour,
+    random_tour,
+    tour_length,
+    validate_tour,
+)
+
+
+class TestBasics:
+    def test_uncrosses_square(self):
+        # unit square, crossed diagonals tour
+        d = np.array(
+            [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]], dtype=np.int64
+        )
+        crossed = np.array([0, 2, 1, 3, 0], dtype=np.int32)
+        res = two_opt(crossed, d)
+        assert res.length == 4
+        assert res.improvement > 0
+        validate_tour(res.tour, 4)
+
+    def test_optimal_tour_untouched(self):
+        d = np.array(
+            [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]], dtype=np.int64
+        )
+        good = np.array([0, 1, 2, 3, 0], dtype=np.int32)
+        res = two_opt(good, d)
+        assert res.length == 4
+        assert res.exchanges == 0
+
+    def test_result_fields(self):
+        inst = uniform_instance(25, seed=77)
+        d = inst.distance_matrix()
+        t = random_tour(25, np.random.default_rng(1))
+        res = two_opt(t, d)
+        assert isinstance(res, TwoOptResult)
+        assert res.initial_length == tour_length(t, d)
+        assert res.length == tour_length(res.tour, d)
+        assert res.improvement >= 0
+
+    def test_max_passes_cap(self):
+        inst = uniform_instance(40, seed=78)
+        t = random_tour(40, np.random.default_rng(2))
+        res = two_opt(t, inst.distance_matrix(), max_passes=1)
+        assert res.passes <= 1
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_no_improving_exchange_remains(self, seed):
+        inst = uniform_instance(30, seed=seed)
+        d = inst.distance_matrix()
+        res = two_opt(random_tour(30, np.random.default_rng(seed)), d)
+        _, _, gain = best_exchange(res.tour[:-1].astype(np.int64), d)
+        assert gain < 0.5
+
+    def test_improves_random_tours_substantially(self):
+        inst = uniform_instance(60, seed=4)
+        d = inst.distance_matrix()
+        t = random_tour(60, np.random.default_rng(5))
+        res = two_opt(t, d)
+        assert res.length < 0.7 * res.initial_length
+
+    def test_improves_or_matches_nn_tour(self):
+        inst = uniform_instance(60, seed=6)
+        d = inst.distance_matrix()
+        nn = nearest_neighbor_tour(d)
+        res = two_opt(nn, d)
+        assert res.length <= tour_length(nn, d)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(5, 30), seed=st.integers(0, 5000))
+    def test_always_valid_and_never_worse(self, n, seed):
+        inst = uniform_instance(n, seed=seed)
+        d = inst.distance_matrix()
+        t = random_tour(n, np.random.default_rng(seed))
+        res = two_opt(t, d)
+        validate_tour(res.tour, n)
+        assert res.length <= res.initial_length
+
+
+class TestWithColony:
+    def test_polishes_aco_tours(self, small_instance):
+        from repro.core import ACOParams, AntSystem
+
+        colony = AntSystem(small_instance, ACOParams(seed=3, nn=10), construction=8)
+        result = colony.run(5)
+        res = two_opt(result.best_tour, small_instance.distance_matrix())
+        assert res.length <= result.best_length
+        validate_tour(res.tour, small_instance.n)

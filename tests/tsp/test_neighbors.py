@@ -1,0 +1,75 @@
+"""Tests for nearest-neighbour candidate lists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsp.generator import uniform_instance
+from repro.tsp.neighbors import nearest_neighbor_lists
+
+
+class TestBasics:
+    def test_shape_and_dtype(self):
+        inst = uniform_instance(20, seed=1)
+        nn = nearest_neighbor_lists(inst.distance_matrix(), 5)
+        assert nn.shape == (20, 5)
+        assert nn.dtype == np.int32
+
+    def test_never_contains_self(self):
+        inst = uniform_instance(25, seed=2)
+        nn = nearest_neighbor_lists(inst.distance_matrix(), 10)
+        for i in range(25):
+            assert i not in nn[i]
+
+    def test_sorted_by_distance(self):
+        inst = uniform_instance(30, seed=3)
+        d = inst.distance_matrix()
+        nn = nearest_neighbor_lists(d, 8)
+        for i in range(30):
+            dists = d[i, nn[i]]
+            assert np.all(np.diff(dists) >= 0)
+
+    def test_contains_true_nearest(self):
+        inst = uniform_instance(30, seed=4)
+        d = inst.distance_matrix().astype(float)
+        np.fill_diagonal(d, np.inf)
+        nn = nearest_neighbor_lists(inst.distance_matrix(), 3)
+        for i in range(30):
+            assert nn[i, 0] == int(np.argmin(d[i]))
+
+    def test_nn_clipped_to_n_minus_1(self):
+        inst = uniform_instance(6, seed=5)
+        nn = nearest_neighbor_lists(inst.distance_matrix(), 50)
+        assert nn.shape == (6, 5)
+        # each row is a permutation of the other cities
+        for i in range(6):
+            assert sorted(nn[i]) == sorted(set(range(6)) - {i})
+
+    def test_invalid_nn(self):
+        inst = uniform_instance(5, seed=6)
+        with pytest.raises(ValueError):
+            nearest_neighbor_lists(inst.distance_matrix(), 0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_lists(np.zeros((3, 4)), 2)
+
+
+class TestAgainstFullSort:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 40), st.integers(1, 10), st.integers(0, 10_000))
+    def test_matches_argsort_reference(self, n, nn, seed):
+        inst = uniform_instance(n, seed=seed)
+        d = inst.distance_matrix().astype(np.float64)
+        got = nearest_neighbor_lists(inst.distance_matrix(), nn)
+        work = d.copy()
+        np.fill_diagonal(work, np.inf)
+        k = min(nn, n - 1)
+        for i in range(n):
+            ref_order = np.lexsort((np.arange(n), work[i]))[:k]
+            # compare by distance multiset (ties may reorder cities, but
+            # lexsort tie-breaks identically: by index)
+            np.testing.assert_array_equal(got[i], ref_order.astype(np.int32))

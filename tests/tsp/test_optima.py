@@ -1,0 +1,47 @@
+"""Tests for the known-optima registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TSPError
+from repro.tsp.optima import KNOWN_OPTIMA, known_optimum, optimality_gap
+from repro.tsp.suite import PAPER_INSTANCE_NAMES, load_instance
+
+
+class TestRegistry:
+    def test_covers_full_suite(self):
+        assert set(KNOWN_OPTIMA) == set(PAPER_INSTANCE_NAMES)
+
+    def test_known_values(self):
+        assert known_optimum("att48") == 10628
+        assert known_optimum("pr2392") == 378032
+
+    def test_unknown_raises(self):
+        with pytest.raises(TSPError):
+            known_optimum("berlin52")
+
+
+class TestGap:
+    def test_synthetic_instances_have_no_gap(self):
+        inst = load_instance("att48")
+        assert optimality_gap(inst, 99999) is None
+
+    def test_real_instance_gap(self):
+        from repro.tsp.instance import TSPInstance
+        import numpy as np
+
+        # fabricate a "real" att48-named instance (no synthetic marker)
+        inst = TSPInstance(
+            name="att48",
+            coords=np.random.default_rng(1).uniform(0, 100, (48, 2)),
+            edge_weight_type="ATT",
+            comment="real TSPLIB data",
+        )
+        assert optimality_gap(inst, 10628) == pytest.approx(0.0)
+        assert optimality_gap(inst, 11691) == pytest.approx(0.1, abs=1e-3)
+
+    def test_unlisted_instance_none(self):
+        from repro.tsp.generator import uniform_instance
+
+        assert optimality_gap(uniform_instance(10, seed=1), 100) is None

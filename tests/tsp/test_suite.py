@@ -1,0 +1,83 @@
+"""Tests for the named paper benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPError
+from repro.tsp.suite import (
+    PAPER_INSTANCE_NAMES,
+    TABLE2_INSTANCES,
+    TABLE3_INSTANCES,
+    load_instance,
+    suite_entry,
+)
+
+EXPECTED_SIZES = {
+    "att48": 48,
+    "kroC100": 100,
+    "a280": 280,
+    "pcb442": 442,
+    "d657": 657,
+    "pr1002": 1002,
+    "pr2392": 2392,
+}
+
+
+class TestSuite:
+    def test_names_match_paper_tables(self):
+        assert TABLE2_INSTANCES == tuple(EXPECTED_SIZES)
+        assert TABLE3_INSTANCES == tuple(EXPECTED_SIZES)[:-1]
+
+    @pytest.mark.parametrize("name", [n for n in PAPER_INSTANCE_NAMES if n != "pr2392"])
+    def test_sizes_match(self, name):
+        inst = load_instance(name)
+        assert inst.n == EXPECTED_SIZES[name]
+        assert inst.name == name
+
+    def test_att48_uses_att_metric(self):
+        assert suite_entry("att48").edge_weight_type == "ATT"
+        assert load_instance("att48").edge_weight_type == "ATT"
+
+    def test_others_use_euc2d(self):
+        for name in ("kroC100", "a280", "pcb442"):
+            assert suite_entry(name).edge_weight_type == "EUC_2D"
+
+    def test_deterministic(self):
+        a = load_instance("att48", use_cache=False)
+        b = load_instance("att48", use_cache=False)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_cache_returns_same_object(self):
+        assert load_instance("kroC100") is load_instance("kroC100")
+
+    def test_unknown_name(self):
+        with pytest.raises(TSPError, match="unknown paper instance"):
+            load_instance("berlin52")
+
+    def test_entry_metadata(self):
+        e = suite_entry("pcb442")
+        assert e.n == 442
+        assert "circuit" in e.origin
+
+    def test_real_file_override(self, tmp_path, monkeypatch):
+        # A real TSPLIB file in REPRO_TSPLIB_DIR takes precedence.
+        from repro.tsp.tsplib import write_tsplib
+        from repro.tsp.generator import uniform_instance
+
+        real = uniform_instance(48, seed=999, name="att48", edge_weight_type="ATT")
+        write_tsplib(real, tmp_path / "att48.tsp")
+        monkeypatch.setenv("REPRO_TSPLIB_DIR", str(tmp_path))
+        inst = load_instance("att48", use_cache=False)
+        np.testing.assert_allclose(inst.coords, real.coords, atol=1e-5)
+
+    def test_real_file_wrong_size_rejected(self, tmp_path, monkeypatch):
+        from repro.tsp.tsplib import write_tsplib
+        from repro.tsp.generator import uniform_instance
+
+        wrong = uniform_instance(10, seed=1, name="att48")
+        write_tsplib(wrong, tmp_path / "att48.tsp")
+        monkeypatch.setenv("REPRO_TSPLIB_DIR", str(tmp_path))
+        with pytest.raises(TSPError, match="expected 48"):
+            load_instance("att48", use_cache=False)

@@ -1,0 +1,124 @@
+"""Tests for tour utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTourError
+from repro.tsp.generator import uniform_instance
+from repro.tsp.tour import (
+    close_tour,
+    nearest_neighbor_tour,
+    random_tour,
+    tour_edges,
+    tour_length,
+    tour_lengths,
+    validate_tour,
+)
+
+
+class TestValidate:
+    def test_valid_tour_passes(self):
+        t = close_tour(np.array([0, 2, 1], dtype=np.int32))
+        out = validate_tour(t, 3)
+        assert out.dtype == np.int32
+
+    def test_not_closed(self):
+        with pytest.raises(InvalidTourError, match="closed"):
+            validate_tour(np.array([0, 1, 2, 1]), 3)
+
+    def test_wrong_length(self):
+        with pytest.raises(InvalidTourError):
+            validate_tour(np.array([0, 1, 0]), 3)
+
+    def test_repeat_city(self):
+        with pytest.raises(InvalidTourError, match="permutation"):
+            validate_tour(np.array([0, 1, 1, 0]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidTourError):
+            validate_tour(np.array([0, 1, 5, 0]), 3)
+
+
+class TestLength:
+    def test_triangle_length(self):
+        d = np.array([[0, 3, 4], [3, 0, 5], [4, 5, 0]])
+        t = close_tour(np.array([0, 1, 2]))
+        assert tour_length(t, d) == 12
+
+    def test_vectorised_matches_scalar(self):
+        inst = uniform_instance(15, seed=9)
+        d = inst.distance_matrix()
+        rng = np.random.default_rng(1)
+        tours = np.stack([random_tour(15, rng) for _ in range(8)])
+        vec = tour_lengths(tours, d)
+        for k in range(8):
+            assert vec[k] == tour_length(tours[k], d)
+
+    def test_length_invariant_under_rotation(self):
+        inst = uniform_instance(12, seed=10)
+        d = inst.distance_matrix()
+        rng = np.random.default_rng(2)
+        t = random_tour(12, rng)
+        body = t[:-1]
+        rotated = close_tour(np.roll(body, 3))
+        assert tour_length(t, d) == tour_length(rotated, d)
+
+    def test_length_invariant_under_reversal_symmetric(self):
+        inst = uniform_instance(12, seed=11)
+        d = inst.distance_matrix()
+        t = random_tour(12, np.random.default_rng(3))
+        rev = close_tour(t[:-1][::-1].copy())
+        assert tour_length(t, d) == tour_length(rev, d)
+
+
+class TestEdges:
+    def test_edge_count(self):
+        t = close_tour(np.array([0, 1, 2, 3]))
+        e = tour_edges(t)
+        assert e.shape == (4, 2)
+        assert tuple(e[-1]) == (3, 0)
+
+
+class TestRandomTour:
+    @given(st.integers(3, 50), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, n, seed):
+        t = random_tour(n, np.random.default_rng(seed))
+        validate_tour(t, n)
+
+
+class TestNearestNeighborTour:
+    def test_valid_tour(self):
+        inst = uniform_instance(30, seed=12)
+        t = nearest_neighbor_tour(inst.distance_matrix())
+        validate_tour(t, 30)
+
+    def test_starts_where_asked(self):
+        inst = uniform_instance(10, seed=13)
+        t = nearest_neighbor_tour(inst.distance_matrix(), start=4)
+        assert t[0] == 4 and t[-1] == 4
+
+    def test_bad_start(self):
+        inst = uniform_instance(10, seed=14)
+        with pytest.raises(InvalidTourError):
+            nearest_neighbor_tour(inst.distance_matrix(), start=10)
+
+    def test_beats_random_on_average(self):
+        inst = uniform_instance(60, seed=15)
+        d = inst.distance_matrix()
+        nn_len = tour_length(nearest_neighbor_tour(d), d)
+        rng = np.random.default_rng(4)
+        rand_lens = [tour_length(random_tour(60, rng), d) for _ in range(10)]
+        assert nn_len < min(rand_lens)
+
+    def test_greedy_first_step(self):
+        inst = uniform_instance(20, seed=16)
+        d = inst.distance_matrix().astype(float)
+        t = nearest_neighbor_tour(inst.distance_matrix(), start=0)
+        masked = d[0].copy()
+        masked[0] = np.inf
+        assert t[1] == int(np.argmin(masked))

@@ -1,0 +1,157 @@
+"""Tests for the TSPLIB parser/writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPLIBFormatError, UnsupportedEdgeWeightError
+from repro.tsp.tsplib import parse_tsplib, parse_tsplib_text, write_tsplib
+
+EUC_SAMPLE = """\
+NAME : toy4
+COMMENT : four cities
+TYPE : TSP
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 3.0 0.0
+3 3.0 4.0
+4 0.0 4.0
+EOF
+"""
+
+EXPLICIT_FULL = """\
+NAME : exp3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 2 3
+2 0 4
+3 4 0
+EOF
+"""
+
+UPPER_ROW = """\
+NAME : up3
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : UPPER_ROW
+EDGE_WEIGHT_SECTION
+2 3
+4
+EOF
+"""
+
+LOWER_DIAG = """\
+NAME : low3
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+2 0
+3 4 0
+EOF
+"""
+
+
+class TestParseCoordinates:
+    def test_parse_euc(self):
+        inst = parse_tsplib_text(EUC_SAMPLE)
+        assert inst.name == "toy4"
+        assert inst.n == 4
+        d = inst.distance_matrix()
+        assert d[0, 1] == 3 and d[1, 2] == 4 and d[0, 2] == 5
+
+    def test_comment_preserved(self):
+        inst = parse_tsplib_text(EUC_SAMPLE)
+        assert inst.comment == "four cities"
+
+    def test_missing_dimension(self):
+        broken = EUC_SAMPLE.replace("DIMENSION : 4\n", "")
+        with pytest.raises(TSPLIBFormatError, match="DIMENSION"):
+            parse_tsplib_text(broken)
+
+    def test_wrong_node_count(self):
+        broken = EUC_SAMPLE.replace("4 0.0 4.0\n", "")
+        with pytest.raises(TSPLIBFormatError):
+            parse_tsplib_text(broken)
+
+    def test_bad_coordinate_token(self):
+        broken = EUC_SAMPLE.replace("2 3.0 0.0", "2 x 0.0")
+        with pytest.raises(TSPLIBFormatError):
+            parse_tsplib_text(broken)
+
+    def test_unsupported_weight_type(self):
+        broken = EUC_SAMPLE.replace("EUC_2D", "XRAY1")
+        with pytest.raises(UnsupportedEdgeWeightError):
+            parse_tsplib_text(broken)
+
+    def test_name_hint_used_when_missing(self):
+        text = EUC_SAMPLE.replace("NAME : toy4\n", "")
+        inst = parse_tsplib_text(text, name_hint="fallback")
+        assert inst.name == "fallback"
+
+    def test_whitespace_tolerance(self):
+        messy = EUC_SAMPLE.replace("DIMENSION : 4", "DIMENSION:4")
+        inst = parse_tsplib_text(messy)
+        assert inst.n == 4
+
+
+class TestParseExplicit:
+    def test_full_matrix(self):
+        inst = parse_tsplib_text(EXPLICIT_FULL)
+        d = inst.distance_matrix()
+        assert d[0, 1] == 2 and d[0, 2] == 3 and d[1, 2] == 4
+
+    def test_upper_row(self):
+        inst = parse_tsplib_text(UPPER_ROW)
+        d = inst.distance_matrix()
+        assert d[0, 1] == 2 and d[0, 2] == 3 and d[1, 2] == 4
+        np.testing.assert_array_equal(d, d.T)
+
+    def test_lower_diag_row(self):
+        inst = parse_tsplib_text(LOWER_DIAG)
+        d = inst.distance_matrix()
+        assert d[1, 0] == 2 and d[2, 0] == 3 and d[2, 1] == 4
+
+    def test_weight_count_mismatch(self):
+        broken = UPPER_ROW.replace("4\n", "")
+        with pytest.raises(TSPLIBFormatError):
+            parse_tsplib_text(broken)
+
+    def test_unsupported_format(self):
+        broken = EXPLICIT_FULL.replace("FULL_MATRIX", "UPPER_COL")
+        with pytest.raises(UnsupportedEdgeWeightError):
+            parse_tsplib_text(broken)
+
+
+class TestRoundTrip:
+    def test_coordinate_roundtrip(self, tmp_path):
+        inst = parse_tsplib_text(EUC_SAMPLE)
+        path = tmp_path / "toy4.tsp"
+        write_tsplib(inst, path)
+        again = parse_tsplib(path)
+        assert again.name == inst.name
+        np.testing.assert_array_equal(
+            again.distance_matrix(), inst.distance_matrix()
+        )
+
+    def test_explicit_roundtrip(self, tmp_path):
+        inst = parse_tsplib_text(EXPLICIT_FULL)
+        path = tmp_path / "exp3.tsp"
+        write_tsplib(inst, path)
+        again = parse_tsplib(path)
+        np.testing.assert_array_equal(
+            again.distance_matrix(), inst.distance_matrix()
+        )
+
+    def test_file_name_hint(self, tmp_path):
+        path = tmp_path / "hinted.tsp"
+        path.write_text(EUC_SAMPLE.replace("NAME : toy4\n", ""))
+        inst = parse_tsplib(path)
+        assert inst.name == "hinted"

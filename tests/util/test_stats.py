@@ -1,0 +1,148 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    crossover_index,
+    geometric_mean,
+    log_ratio,
+    mean_and_std,
+    monotone_fraction,
+    relative_error,
+    spearman_rank_correlation,
+)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_two_values(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(0.01, 1e6), min_size=1, max_size=30))
+    def test_bounded_by_min_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+
+class TestMeanAndStd:
+    def test_constant_sequence(self):
+        mean, std = mean_and_std([3.0, 3.0, 3.0])
+        assert mean == pytest.approx(3.0)
+        assert std == pytest.approx(0.0)
+
+    def test_single_value_has_zero_std(self):
+        assert mean_and_std([5.0]) == (5.0, 0.0)
+
+    def test_known_values(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestErrors:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_reference(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_log_ratio_symmetry(self):
+        assert log_ratio(2.0, 1.0) == pytest.approx(-log_ratio(1.0, 2.0))
+
+    def test_log_ratio_identity(self):
+        assert log_ratio(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_log_ratio_requires_positive(self):
+        with pytest.raises(ValueError):
+            log_ratio(-1.0, 2.0)
+
+
+class TestSpearman:
+    def test_identical_order(self):
+        assert spearman_rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert spearman_rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = spearman_rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=20, unique=True))
+    def test_self_correlation_is_one(self, values):
+        assert spearman_rank_correlation(values, values) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=15, unique=True),
+        st.randoms(use_true_random=False),
+    )
+    def test_bounded(self, values, rnd):
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        rho = spearman_rank_correlation(values, shuffled)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+class TestMonotoneFraction:
+    def test_strictly_increasing(self):
+        assert monotone_fraction([1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        assert monotone_fraction([4, 3, 2], increasing=False) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        assert monotone_fraction([1, 2, 1]) == pytest.approx(0.5)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            monotone_fraction([1.0])
+
+
+class TestCrossoverIndex:
+    def test_finds_first_above(self):
+        assert crossover_index([0.5, 0.9, 1.2, 2.0]) == 2
+
+    def test_none_when_never_crossing(self):
+        assert crossover_index([0.1, 0.5, 0.9]) is None
+
+    def test_first_element(self):
+        assert crossover_index([2.0, 0.5]) == 0
+
+    def test_custom_threshold(self):
+        assert crossover_index([1.0, 2.0, 5.0], threshold=4.0) == 2
+
+    def test_exact_threshold_not_counted(self):
+        # strictly above
+        assert crossover_index([1.0, 1.0]) is None

@@ -1,0 +1,52 @@
+"""Tests for repro.util.timer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timer import Timer, WallClock
+
+
+class TestWallClock:
+    def test_measures_nonnegative(self):
+        with WallClock() as clock:
+            sum(range(1000))
+        assert clock.elapsed >= 0.0
+
+    def test_callback_invoked(self):
+        seen = []
+        with WallClock(on_exit=seen.append):
+            pass
+        assert len(seen) == 1
+        assert seen[0] >= 0.0
+
+
+class TestTimer:
+    def test_laps_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            with t.lap():
+                pass
+        assert t.count == 3
+        assert t.total >= 0.0
+        assert t.mean == pytest.approx(t.total / 3)
+
+    def test_add_external_lap(self):
+        t = Timer()
+        t.add(0.5)
+        t.add(1.5)
+        assert t.mean == pytest.approx(1.0)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            Timer().add(-1.0)
+
+    def test_mean_empty_is_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_reset(self):
+        t = Timer()
+        t.add(1.0)
+        t.reset()
+        assert t.count == 0
+        assert t.total == 0.0

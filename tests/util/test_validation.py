@@ -1,0 +1,78 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_passes_and_returns(self):
+        assert check_positive("x", 2.0) == 2.0
+
+    def test_zero_fails(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_custom_exception(self):
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            check_positive("x", -1, exc=Boom)
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_negative_fails(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_open_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, lo_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, hi_open=True)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="rho"):
+            check_in_range("rho", 2.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+
+class TestCheckSquareMatrix:
+    def test_square_passes(self):
+        m = np.zeros((3, 3))
+        out = check_square_matrix("m", m)
+        assert out.shape == (3, 3)
+
+    def test_rectangular_fails(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", np.zeros((2, 3)))
+
+    def test_vector_fails(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", np.zeros(4))
