@@ -32,6 +32,8 @@ from repro.core import (
     ACSParams,
     AntColonySystem,
     AntSystem,
+    BatchEngine,
+    BatchRunResult,
     MaxMinAntSystem,
     MMASParams,
     ChoiceKernel,
@@ -56,6 +58,8 @@ __all__ = [
     "ACSParams",
     "AntColonySystem",
     "AntSystem",
+    "BatchEngine",
+    "BatchRunResult",
     "MaxMinAntSystem",
     "MMASParams",
     "RunResult",

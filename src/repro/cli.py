@@ -4,7 +4,12 @@ Subcommands
 -----------
 ``solve``
     Run the simulated GPU Ant System on a TSP instance and report the best
-    tour, per-stage modeled kernel times and solution quality.
+    tour, per-stage modeled kernel times and solution quality.  With
+    ``--replicas K`` the run dispatches through the batched multi-colony
+    engine: K seed-replicas advance together in vectorized operations.
+``sweep``
+    Parameter sweep (``--param rho=0.25,0.5,0.75`` style, × ``--replicas``)
+    over one instance, executed as a single vectorized batch.
 ``experiments ...``
     Forward to ``python -m repro.experiments`` (tables, figures, report,
     calibrate).
@@ -16,6 +21,8 @@ Examples
 ::
 
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
+    gpu-aco solve att48 --replicas 16 --iterations 20
+    gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
     gpu-aco experiments table2
     gpu-aco devices
@@ -27,7 +34,7 @@ import argparse
 import os
 import sys
 
-from repro.core import ACOParams, AntSystem
+from repro.core import ACOParams, AntSystem, BatchEngine
 from repro.simt.device import DEVICES
 from repro.tsp import load_instance, parse_tsplib
 from repro.tsp.suite import PAPER_INSTANCE_NAMES
@@ -59,6 +66,42 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--ants", type=int, default=None, help="colony size (default m = n)")
     solve.add_argument("--nn", type=int, default=30, help="candidate-list width")
     solve.add_argument("--seed", type=int, default=1)
+    solve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent seed-replicas run as one vectorized batch",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="batched parameter sweep over one instance"
+    )
+    sweep.add_argument(
+        "instance",
+        help=f"paper instance name ({', '.join(PAPER_INSTANCE_NAMES)}) or a .tsp file path",
+    )
+    sweep.add_argument("--iterations", type=int, default=20)
+    sweep.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep axis, e.g. rho=0.25,0.5,0.75 (repeatable; axes combine "
+        "as a cartesian grid)",
+    )
+    sweep.add_argument(
+        "--replicas", type=int, default=1, help="seed-replicas per grid point"
+    )
+    sweep.add_argument(
+        "--construction", type=int, default=8, choices=range(1, 9), metavar="1-8"
+    )
+    sweep.add_argument(
+        "--pheromone", type=int, default=1, choices=range(1, 6), metavar="1-5"
+    )
+    sweep.add_argument("--device", choices=sorted(DEVICES), default="m2050")
+    sweep.add_argument("--ants", type=int, default=None)
+    sweep.add_argument("--nn", type=int, default=30)
+    sweep.add_argument("--seed", type=int, default=1)
 
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
     exps.add_argument("args", nargs=argparse.REMAINDER)
@@ -74,9 +117,13 @@ def _load(name_or_path: str):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.replicas < 1:
+        raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
     instance = _load(args.instance)
     device = DEVICES[args.device]
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
+    if args.replicas > 1:
+        return _solve_replicas(args, instance, device, params)
     colony = AntSystem(
         instance,
         params=params,
@@ -105,6 +152,89 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(t.render())
     print(f"wall-clock (functional simulation): {result.wall_seconds:.2f}s "
           f"for {args.iterations} iterations")
+    return 0
+
+
+def _solve_replicas(args, instance, device, params) -> int:
+    engine = BatchEngine.replicas(
+        instance,
+        params,
+        replicas=args.replicas,
+        device=device,
+        construction=args.construction,
+        pheromone=args.pheromone,
+    )
+    print(
+        f"solving {instance.name} (n={instance.n}) on {device.name} with "
+        f"{args.replicas} batched replicas, construction "
+        f"v{engine.construction.version} + pheromone v{engine.pheromone.version}"
+    )
+    batch = engine.run(args.iterations)
+    t = Table(["replica", "seed", "best length"], title="per-replica results")
+    for b, res in enumerate(batch.results):
+        t.add_row([b, engine.state.params[b].seed, res.best_length])
+    print(t.render())
+    print(f"best overall: {batch.best_length} (replica {batch.best_row})")
+    print(
+        f"wall-clock (batched functional simulation): {batch.wall_seconds:.2f}s "
+        f"for {args.replicas} x {args.iterations} iterations "
+        f"({batch.colonies_per_second(args.iterations):.1f} colony-iterations/s)"
+    )
+    return 0
+
+
+def _parse_sweep_params(specs: list[str]) -> dict[str, list[float]]:
+    grid: dict[str, list[float]] = {}
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise SystemExit(f"bad --param {spec!r}; expected NAME=V1,V2,...")
+        try:
+            parsed = [float(v) for v in values.split(",") if v]
+        except ValueError:
+            raise SystemExit(f"bad --param values in {spec!r}") from None
+        # Repeating an axis name extends it: --param rho=0.2 --param rho=0.8
+        # sweeps both values.
+        grid.setdefault(name.strip(), []).extend(parsed)
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.harness import run_sweep
+
+    instance = _load(args.instance)
+    device = DEVICES[args.device]
+    grid = _parse_sweep_params(args.param)
+    # seed values must stay integers (they feed the RNG's seed derivation)
+    if "seed" in grid:
+        grid["seed"] = [int(v) for v in grid["seed"]]
+    params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
+    try:
+        sweep = run_sweep(
+            instance,
+            grid,
+            iterations=args.iterations,
+            replicas=args.replicas,
+            params=params,
+            device=device,
+            construction=args.construction,
+            pheromone=args.pheromone,
+        )
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sweeping {instance.name} (n={instance.n}) on {device.name}: "
+        f"{len(sweep.points)} grid points x {args.replicas} replicas = "
+        f"{sweep.batch.B} batched colonies"
+    )
+    print(sweep.table().render())
+    print(
+        f"wall-clock (batched functional simulation): "
+        f"{sweep.batch.wall_seconds:.2f}s for {sweep.batch.B} x "
+        f"{args.iterations} iterations"
+    )
     return 0
 
 
@@ -137,6 +267,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "devices":
         return _cmd_devices()
     if args.command == "experiments":

@@ -10,6 +10,7 @@ orchestrator.
 from __future__ import annotations
 
 from repro.core.acs import ACSParams, ACSRunResult, AntColonySystem
+from repro.core.batch import BatchColonyState, BatchEngine, BatchRunResult
 from repro.core.mmas import MaxMinAntSystem, MMASParams, MMASRunResult
 from repro.core.choice import ChoiceKernel
 from repro.core.colony import AntSystem, RunResult
@@ -33,6 +34,9 @@ __all__ = [
     "MMASRunResult",
     "AntSystem",
     "RunResult",
+    "BatchColonyState",
+    "BatchEngine",
+    "BatchRunResult",
     "ColonyState",
     "ChoiceKernel",
     "TourConstruction",

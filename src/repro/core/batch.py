@@ -1,0 +1,409 @@
+"""Batched multi-colony execution: ``B`` independent colonies per iteration.
+
+The paper restructures one colony's iteration around data parallelism; this
+module applies the same idea one level up.  A :class:`BatchColonyState`
+stacks every per-colony array along a leading batch axis (``(B, n, n)``
+matrices, ``(B, m, n + 1)`` tours), and a :class:`BatchEngine` advances all
+``B`` colonies through choice, construction, tour evaluation and pheromone
+update in single vectorized numpy operations — replacing B sequential
+Python-level runs with one batched pass.  Rows may be replicas of one
+instance with different seeds, parameter-sweep points (alpha/beta/rho), or
+distinct instances of equal size.
+
+The engine's defining invariant is **solo equivalence**: batch row ``b``
+produces bit-identical tours, lengths and pheromone matrices to a solo
+:class:`~repro.core.colony.AntSystem` run configured like that row.  The
+batched RNG (:func:`repro.rng.make_batched_rng`) seeds stream block ``b``
+exactly as a solo generator would be, and every batched kernel consumes
+draws in the same per-step lockstep as its solo counterpart.
+:class:`~repro.core.colony.AntSystem` itself is the ``B = 1`` view of this
+engine, so the whole existing test-suite pins the batched path.
+
+Examples
+--------
+>>> from repro.tsp import uniform_instance
+>>> from repro.core import BatchEngine
+>>> engine = BatchEngine.replicas(uniform_instance(30, seed=3), replicas=4)
+>>> batch = engine.run(iterations=2)
+>>> len(batch.results)
+4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.choice import ChoiceKernel
+from repro.core.construction import TourConstruction, make_construction
+from repro.core.params import ACOParams
+from repro.core.pheromone import PheromoneUpdate, make_pheromone
+from repro.core.report import IterationReport
+from repro.core.state import ColonyState
+from repro.errors import ACOConfigError
+from repro.rng import make_batched_rng
+from repro.simt.device import TESLA_M2050, DeviceSpec
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import nearest_neighbor_tour, tour_length, tour_lengths_batch
+from repro.util.timer import WallClock
+
+__all__ = ["BatchColonyState", "BatchEngine", "BatchRunResult"]
+
+
+def _stack_or_broadcast(rows: list[np.ndarray], B: int) -> np.ndarray:
+    """Stack per-colony arrays, sharing memory when every row is the same
+    object (the replica case — B views of one matrix, not B copies)."""
+    if all(r is rows[0] for r in rows):
+        return np.broadcast_to(rows[0], (B,) + rows[0].shape)
+    return np.stack(rows)
+
+
+@dataclass
+class BatchColonyState:
+    """Device-resident data of ``B`` colonies, batch axis first.
+
+    Read-only per-colony inputs (``dist``, ``eta``, ``nn_list``) are
+    broadcast views when all colonies share an instance; the pheromone stack
+    is always ``B`` writable rows.  Rows never alias each other's mutable
+    state, so batched kernels cannot couple colonies.
+    """
+
+    instances: tuple[TSPInstance, ...]
+    params: tuple[ACOParams, ...]
+    device: DeviceSpec
+    B: int
+    n: int
+    m: int
+    nn: int
+    dist: np.ndarray  # (B, n, n) int64, possibly broadcast
+    eta: np.ndarray  # (B, n, n) float64, possibly broadcast
+    pheromone: np.ndarray  # (B, n, n) float64, always materialized
+    nn_list: np.ndarray  # (B, n, nn) int32, possibly broadcast
+    tau0: np.ndarray  # (B,) float64
+    alpha: np.ndarray  # (B,) float64 per-colony exponents
+    beta: np.ndarray  # (B,)
+    rho: np.ndarray  # (B,)
+    choice_info: np.ndarray | None = None  # (B, n, n), refreshed per iter
+    tours: np.ndarray | None = None  # (B, m, n + 1) int32, last iteration
+    lengths: np.ndarray | None = None  # (B, m) int64, last iteration
+    iteration: int = 0
+    best_tours: np.ndarray | None = field(default=None, repr=False)
+    best_lengths: np.ndarray | None = None  # (B,) int64
+
+    @classmethod
+    def create(
+        cls,
+        instances: list[TSPInstance],
+        params: list[ACOParams],
+        device: DeviceSpec,
+    ) -> "BatchColonyState":
+        """Initialise every row the ACOTSP way (``tau0 = m / C_nn`` per row).
+
+        All rows must agree on ``n``, ``m`` and ``nn`` (the batch shares
+        array shapes); per-instance derivations are cached so replicas of
+        one instance build each matrix once.
+        """
+        B = len(instances)
+        if B == 0:
+            raise ACOConfigError("batch needs at least one colony")
+        if len(params) != B:
+            raise ACOConfigError(
+                f"got {B} instances but {len(params)} parameter sets"
+            )
+        n = instances[0].n
+        if any(inst.n != n for inst in instances):
+            sizes = sorted({inst.n for inst in instances})
+            raise ACOConfigError(
+                f"all batch instances must have equal size, got n in {sizes}"
+            )
+        m = params[0].resolve_ants(n)
+        nn = params[0].resolve_nn(n)
+        if any(p.resolve_ants(n) != m for p in params):
+            raise ACOConfigError("all batch rows must use the same colony size m")
+        if any(p.resolve_nn(n) != nn for p in params):
+            raise ACOConfigError("all batch rows must use the same nn width")
+
+        dist_cache: dict[int, np.ndarray] = {}
+        eta_cache: dict[tuple[int, float], np.ndarray] = {}
+        nn_cache: dict[int, np.ndarray] = {}
+        cnn_cache: dict[int, int] = {}
+        dist_rows, eta_rows, nn_rows, tau0 = [], [], [], np.empty(B)
+        for inst, p in zip(instances, params):
+            key = id(inst)
+            if key not in dist_cache:
+                dist_cache[key] = inst.distance_matrix()
+                nn_cache[key] = inst.nn_lists(nn)
+                cnn_cache[key] = tour_length(
+                    nearest_neighbor_tour(dist_cache[key]), dist_cache[key]
+                )
+            ekey = (key, p.eta_shift)
+            if ekey not in eta_cache:
+                eta_cache[ekey] = inst.heuristic_matrix(shift=p.eta_shift)
+            dist_rows.append(dist_cache[key])
+            eta_rows.append(eta_cache[ekey])
+            nn_rows.append(nn_cache[key])
+            tau0[len(dist_rows) - 1] = m / float(cnn_cache[key])
+
+        pheromone = np.empty((B, n, n), dtype=np.float64)
+        pheromone[:] = tau0[:, None, None]
+        diag = np.arange(n)
+        pheromone[:, diag, diag] = 0.0
+        return cls(
+            instances=tuple(instances),
+            params=tuple(params),
+            device=device,
+            B=B,
+            n=n,
+            m=m,
+            nn=nn,
+            dist=_stack_or_broadcast(dist_rows, B),
+            eta=_stack_or_broadcast(eta_rows, B),
+            pheromone=pheromone,
+            nn_list=_stack_or_broadcast(nn_rows, B),
+            tau0=tau0,
+            alpha=np.array([p.alpha for p in params], dtype=np.float64),
+            beta=np.array([p.beta for p in params], dtype=np.float64),
+            rho=np.array([p.rho for p in params], dtype=np.float64),
+        )
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def record_tours(self, tours: np.ndarray, lengths: np.ndarray) -> None:
+        """Store the iteration's tours and update every row's best record."""
+        self.tours = tours
+        self.lengths = lengths
+        rows = np.arange(self.B)
+        best = np.argmin(lengths, axis=1)
+        vals = lengths[rows, best].astype(np.int64)
+        if self.best_lengths is None:
+            self.best_lengths = vals.copy()
+            self.best_tours = tours[rows, best].copy()
+        else:
+            assert self.best_tours is not None
+            improved = vals < self.best_lengths
+            self.best_lengths[improved] = vals[improved]
+            self.best_tours[improved] = tours[rows[improved], best[improved]]
+
+    def colony_view(self, b: int) -> ColonyState:
+        """A :class:`ColonyState` whose arrays view row ``b`` of the batch.
+
+        The pheromone row is a writable view, so engine updates surface in
+        the view immediately; per-iteration outputs (``choice_info``,
+        ``tours``, best records) are synced by the caller after each
+        iteration.
+        """
+        if not 0 <= b < self.B:
+            raise ACOConfigError(f"batch row {b} outside [0, {self.B})")
+        return ColonyState(
+            instance=self.instances[b],
+            params=self.params[b],
+            device=self.device,
+            n=self.n,
+            m=self.m,
+            nn=self.nn,
+            dist=self.dist[b],
+            eta=self.eta[b],
+            pheromone=self.pheromone[b],
+            nn_list=self.nn_list[b],
+            tau0=float(self.tau0[b]),
+        )
+
+    @property
+    def gpu_footprint_bytes(self) -> int:
+        """Rough device footprint of the whole batch (4-byte GPU words)."""
+        n, m, nn = self.n, self.m, self.nn
+        per_colony = 4 * (4 * n * n) + 4 * (n * nn) + 4 * (m * (n + 1)) + 4 * m * n
+        return self.B * per_colony
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of a :meth:`BatchEngine.run` call.
+
+    ``results[b]`` is a full per-colony
+    :class:`~repro.core.colony.RunResult`, identical in structure (and, by
+    the equivalence invariant, in content) to what a solo run of that row
+    would return; ``wall_seconds`` is the one shared batched wall-clock.
+    """
+
+    results: list  # list[RunResult]
+    wall_seconds: float
+    device: DeviceSpec
+
+    @property
+    def B(self) -> int:
+        return len(self.results)
+
+    @property
+    def best_lengths(self) -> np.ndarray:
+        """Per-colony best tour lengths, shape ``(B,)``."""
+        return np.array([r.best_length for r in self.results], dtype=np.int64)
+
+    @property
+    def best_row(self) -> int:
+        """Index of the colony with the overall best tour."""
+        return int(np.argmin(self.best_lengths))
+
+    @property
+    def best_length(self) -> int:
+        return int(self.best_lengths[self.best_row])
+
+    @property
+    def best_tour(self) -> np.ndarray:
+        return self.results[self.best_row].best_tour
+
+    def colonies_per_second(self, iterations: int) -> float:
+        """Throughput in colony-iterations per wall second."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.B * iterations / self.wall_seconds
+
+
+class BatchEngine:
+    """Run ``B`` independent colonies per iteration, fully vectorized.
+
+    Parameters
+    ----------
+    instances:
+        One :class:`~repro.tsp.instance.TSPInstance` (replicated across the
+        batch) or a sequence of equal-size instances.
+    params:
+        One :class:`~repro.core.params.ACOParams` (replicated) or a sequence
+        matching ``instances``; single instance + parameter list (or vice
+        versa) broadcasts to the longer side.
+    device / construction / pheromone / *_options:
+        As for :class:`~repro.core.colony.AntSystem`; one strategy pair is
+        shared by the whole batch (strategies are stateless between calls).
+    """
+
+    def __init__(
+        self,
+        instances: TSPInstance | list[TSPInstance],
+        params: ACOParams | list[ACOParams] | None = None,
+        device: DeviceSpec = TESLA_M2050,
+        construction: int | str | TourConstruction = 8,
+        pheromone: int | str | PheromoneUpdate = 1,
+        construction_options: dict | None = None,
+        pheromone_options: dict | None = None,
+    ) -> None:
+        if isinstance(instances, TSPInstance):
+            instances = [instances]
+        instances = list(instances)
+        if params is None:
+            params = ACOParams()
+        plist = [params] if isinstance(params, ACOParams) else list(params)
+        if not instances or not plist:
+            raise ACOConfigError("batch needs at least one colony")
+        if len(instances) == 1 and len(plist) > 1:
+            instances = instances * len(plist)
+        if len(plist) == 1 and len(instances) > 1:
+            plist = plist * len(instances)
+        if len(instances) != len(plist):
+            raise ACOConfigError(
+                f"cannot pair {len(instances)} instances with {len(plist)} "
+                "parameter sets"
+            )
+        self.device = device
+        self.construction = make_construction(
+            construction, **(construction_options or {})
+        )
+        self.pheromone = make_pheromone(pheromone, **(pheromone_options or {}))
+        self.state = BatchColonyState.create(instances, plist, device)
+        self.choice_kernel = ChoiceKernel()
+        streams = self.construction.rng_streams(self.state.n, self.state.m)
+        self.rng = make_batched_rng(
+            self.construction.rng_kind, streams, [p.seed for p in plist]
+        )
+
+    @classmethod
+    def replicas(
+        cls,
+        instance: TSPInstance,
+        params: ACOParams | None = None,
+        *,
+        replicas: int,
+        seed_stride: int = 1,
+        **kwargs,
+    ) -> "BatchEngine":
+        """``replicas`` rows of one instance with seeds ``seed + i * stride``."""
+        import dataclasses
+
+        if replicas < 1:
+            raise ACOConfigError(f"replicas must be >= 1, got {replicas}")
+        if seed_stride == 0 and replicas > 1:
+            raise ACOConfigError(
+                "seed_stride must be non-zero: a zero stride would run "
+                "bit-identical colonies presented as independent replicas"
+            )
+        base = params or ACOParams()
+        plist = [
+            dataclasses.replace(base, seed=base.seed + i * seed_stride)
+            for i in range(replicas)
+        ]
+        return cls(instance, plist, **kwargs)
+
+    @property
+    def B(self) -> int:
+        return self.state.B
+
+    # ------------------------------------------------------------ iteration
+
+    def run_iteration(self) -> list[IterationReport]:
+        """One full AS iteration for every colony; one report per row."""
+        bs = self.state
+        stages: list[list] = [[] for _ in range(bs.B)]
+
+        if self.construction.needs_choice_info:
+            for b, rep in enumerate(self.choice_kernel.run_batch(bs)):
+                stages[b].append(rep)
+
+        result = self.construction.build_batch(bs, self.rng)
+        lengths = tour_lengths_batch(result.tours, bs.dist)
+        for b, rep in enumerate(result.reports):
+            stages[b].append(rep)
+
+        for b, rep in enumerate(self.pheromone.update_batch(bs, result.tours, lengths)):
+            stages[b].append(rep)
+
+        bs.record_tours(result.tours, lengths)
+        bs.iteration += 1
+        return [
+            IterationReport(
+                iteration=bs.iteration,
+                tours=result.tours[b],
+                lengths=lengths[b],
+                stages=stages[b],
+            )
+            for b in range(bs.B)
+        ]
+
+    def run(self, iterations: int) -> BatchRunResult:
+        """Run several iterations for every colony, tracking per-row bests."""
+        from repro.core.colony import RunResult
+
+        if iterations < 1:
+            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        bs = self.state
+        reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
+        bests: list[list[int]] = [[] for _ in range(bs.B)]
+        with WallClock() as clock:
+            for _ in range(iterations):
+                for b, rep in enumerate(self.run_iteration()):
+                    reports[b].append(rep)
+                    bests[b].append(rep.best_length)
+        assert bs.best_tours is not None and bs.best_lengths is not None
+        results = [
+            RunResult(
+                best_tour=bs.best_tours[b].copy(),
+                best_length=int(bs.best_lengths[b]),
+                iteration_best_lengths=bests[b],
+                reports=reports[b],
+                wall_seconds=clock.elapsed / bs.B,
+                device=self.device,
+            )
+            for b in range(bs.B)
+        ]
+        return BatchRunResult(
+            results=results, wall_seconds=clock.elapsed, device=self.device
+        )

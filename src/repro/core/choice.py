@@ -52,6 +52,23 @@ class ChoiceKernel(Kernel):
         stats, launch = self.predict_stats(state.n, state.device)
         return StageReport(stage="choice", kernel=self.name, stats=stats, launch=launch)
 
+    def run_batch(self, bstate) -> list[StageReport]:
+        """Refresh ``bstate.choice_info`` (``(B, n, n)``) for all colonies.
+
+        One elementwise pass with per-row exponents — row ``b`` is
+        bit-identical to the solo :meth:`run` on colony ``b``.
+        """
+        choice = np.power(bstate.pheromone, bstate.alpha[:, None, None]) * np.power(
+            bstate.eta, bstate.beta[:, None, None]
+        )
+        diag = np.arange(bstate.n)
+        choice[:, diag, diag] = 0.0
+        bstate.choice_info = choice
+
+        stats, launch = self.predict_stats(bstate.n, bstate.device)
+        report = StageReport(stage="choice", kernel=self.name, stats=stats, launch=launch)
+        return [report] * bstate.B
+
     def predict_stats(
         self, n: int, device: DeviceSpec
     ) -> tuple[KernelStats, LaunchConfig]:

@@ -14,6 +14,11 @@ Each stage yields a :class:`~repro.core.report.StageReport`; modeled kernel
 times come from the calibrated cost model (or an explicit
 :class:`~repro.simt.timing.CostParams`).
 
+Execution-wise, ``AntSystem`` is the ``B = 1`` view of the batched
+multi-colony engine (:class:`~repro.core.batch.BatchEngine`): every
+iteration runs through the same vectorized kernels a B-colony batch uses,
+so the solo path and the batched path can never drift apart numerically.
+
 Examples
 --------
 >>> from repro.tsp import uniform_instance
@@ -26,22 +31,19 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.choice import ChoiceKernel
+from repro.core.batch import BatchEngine
 from repro.core.construction import TourConstruction, make_construction
 from repro.core.params import ACOParams
 from repro.core.pheromone import PheromoneUpdate, make_pheromone
 from repro.core.report import IterationReport
-from repro.core.state import ColonyState
 from repro.errors import ACOConfigError
-from repro.rng import make_rng
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.simt.timing import CostParams
 from repro.tsp.instance import TSPInstance
-from repro.tsp.tour import tour_lengths
 from repro.util.timer import WallClock
 
 __all__ = ["AntSystem", "RunResult"]
@@ -119,35 +121,44 @@ class AntSystem:
             construction, **(construction_options or {})
         )
         self.pheromone = make_pheromone(pheromone, **(pheromone_options or {}))
-        self.state = ColonyState.create(instance, self.params, device)
-        self.choice_kernel = ChoiceKernel()
-        streams = self.construction.rng_streams(self.state.n, self.state.m)
-        self.rng = make_rng(self.construction.rng_kind, streams, self.params.seed)
+        # AntSystem is the B = 1 view of the batched engine: every iteration
+        # runs through the same vectorized kernels a B-colony batch uses.
+        self.engine = BatchEngine(
+            instance,
+            self.params,
+            device=device,
+            construction=self.construction,
+            pheromone=self.pheromone,
+        )
+        self.state = self.engine.state.colony_view(0)
+        self.choice_kernel = self.engine.choice_kernel
+        self.rng = self.engine.rng
 
     # ------------------------------------------------------------ iteration
 
     def run_iteration(self) -> IterationReport:
         """Execute one full AS iteration on the simulated device."""
-        state = self.state
-        stages = []
+        report = self.engine.run_iteration()[0]
+        self._sync_view()
+        return report
 
-        if self.construction.needs_choice_info:
-            stages.append(self.choice_kernel.run(state))
+    def _sync_view(self) -> None:
+        """Mirror the batch row's per-iteration outputs into ``self.state``.
 
-        result = self.construction.build(state, self.rng)
-        stages.append(result.report)
-        lengths = tour_lengths(result.tours, state.dist)
-
-        stages.append(self.pheromone.update(state, result.tours, lengths))
-
-        state.record_tours(result.tours, lengths)
-        state.iteration += 1
-        return IterationReport(
-            iteration=state.iteration,
-            tours=result.tours,
-            lengths=lengths,
-            stages=stages,
-        )
+        The pheromone matrix is a live view of the batch row; everything the
+        engine *rebinds* each iteration (choice_info, tours, best records)
+        must be re-pointed here.
+        """
+        bs = self.engine.state
+        st = self.state
+        st.choice_info = None if bs.choice_info is None else bs.choice_info[0]
+        st.tours = None if bs.tours is None else bs.tours[0]
+        st.lengths = None if bs.lengths is None else bs.lengths[0]
+        st.iteration = bs.iteration
+        if bs.best_lengths is not None:
+            assert bs.best_tours is not None
+            st.best_length = int(bs.best_lengths[0])
+            st.best_tour = bs.best_tours[0].copy()
 
     def run(self, iterations: int) -> RunResult:
         """Run several iterations, tracking the best tour found."""

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.report import StageReport
+from repro.core.report import StageReport, cached_stage_reports
 from repro.core.state import ColonyState
 from repro.errors import ACOConfigError
 from repro.rng.streams import DeviceRNG
@@ -32,7 +32,7 @@ from repro.simt.counters import KernelStats
 from repro.simt.device import DeviceSpec
 from repro.simt.kernel import Kernel, LaunchConfig
 
-__all__ = ["TourConstruction", "ConstructionResult"]
+__all__ = ["TourConstruction", "ConstructionResult", "BatchConstructionResult"]
 
 
 @dataclass
@@ -42,6 +42,19 @@ class ConstructionResult:
     tours: np.ndarray  # (m, n + 1) int32 closed tours
     report: StageReport
     fallback_steps: float = 0.0  # candidate-list exhaustions (nnlist rules)
+
+
+@dataclass
+class BatchConstructionResult:
+    """Functional output of a batched build over ``B`` independent colonies.
+
+    Row ``b`` of every field is bit-identical to what a solo
+    :meth:`TourConstruction.build` with colony ``b``'s seed produces.
+    """
+
+    tours: np.ndarray  # (B, m, n + 1) int32 closed tours
+    reports: list[StageReport]  # one per colony
+    fallback_steps: np.ndarray  # (B,) per-colony exhaustion counts
 
 
 class TourConstruction(Kernel, abc.ABC):
@@ -66,6 +79,18 @@ class TourConstruction(Kernel, abc.ABC):
     @abc.abstractmethod
     def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
         """Construct one tour per ant, recording kernel work."""
+
+    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+        """Construct tours for ``bstate.B`` colonies in one vectorized pass.
+
+        ``bstate`` is a :class:`~repro.core.batch.BatchColonyState`; ``rng``
+        must hold ``B * rng_streams(n, m)`` streams laid out colony-major
+        (see :func:`repro.rng.make_batched_rng`).  Row ``b`` of the result is
+        bit-identical to a solo :meth:`build` on colony ``b`` alone.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batched construction"
+        )
 
     @abc.abstractmethod
     def predict_stats(
@@ -97,6 +122,29 @@ class TourConstruction(Kernel, abc.ABC):
             raise ACOConfigError(
                 "construction requires choice_info; run the Choice kernel first "
                 "(the colony does this automatically)"
+            )
+
+    def _batch_reports(self, bstate, fallbacks) -> list[StageReport]:
+        """Per-colony construction reports; rows with equal fallback counts
+        share one closed-form ledger (the stats are pure functions of the
+        problem size and the fallback count)."""
+
+        def build(fb: float) -> StageReport:
+            stats, launch = self.predict_stats(
+                bstate.n, bstate.m, bstate.nn, bstate.device, fallback_steps=fb
+            )
+            return StageReport(
+                stage="construction", kernel=self.key, stats=stats, launch=launch
+            )
+
+        return cached_stage_reports((float(fb) for fb in fallbacks), build)
+
+    def _validate_batch_rng(self, rng: DeviceRNG, B: int, n: int, m: int) -> None:
+        need = B * self.rng_streams(n, m)
+        if rng.n_streams != need:
+            raise ACOConfigError(
+                f"batched {self.key} construction needs exactly {need} rng "
+                f"streams for B={B} colonies, got {rng.n_streams}"
             )
 
     @staticmethod

@@ -34,7 +34,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.construction.base import ConstructionResult, TourConstruction
+from repro.core.construction.base import (
+    BatchConstructionResult,
+    ConstructionResult,
+    TourConstruction,
+)
 from repro.core.report import StageReport
 from repro.core.state import ColonyState
 from repro.errors import ACOConfigError
@@ -182,6 +186,82 @@ class DataParallelConstruction(TourConstruction):
             stage="construction", kernel=self.key, stats=stats, launch=launch
         )
         return ConstructionResult(tours=tours, report=report, fallback_steps=0.0)
+
+    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+        """Batched I-Roulette: ``B`` colonies advance through every step in
+        one set of vectorized array operations.
+
+        The per-step math is the solo :meth:`build` with a leading batch
+        axis; the per-row RNG draws, tile reductions and tie-breaks are
+        bit-identical to a solo run seeded like row ``b``.  The ledger is
+        deterministic for this kernel (``predict_stats`` mirrors ``build``
+        exactly), so per-colony reports come from the closed form.
+        """
+        B, n, m, device = bstate.B, bstate.n, bstate.m, bstate.device
+        self._validate_batch_rng(rng, B, n, m)
+        if bstate.choice_info is None:
+            raise ACOConfigError(
+                "batched construction requires choice_info; run the Choice "
+                "kernel first (the engine does this automatically)"
+            )
+        theta = self.tile_width(device, n)
+        spans = self._tile_spans(n, theta)
+
+        # Flattened mega-colony layout: B * m ants, ant b*m+a reading choice
+        # rows b*n + city — every per-step op keeps the solo 2-D shape.
+        M = B * m
+        choice_rows = np.ascontiguousarray(bstate.choice_info).reshape(B * n, n)
+        choice_flat = choice_rows.reshape(-1)
+        row_off = np.repeat(np.arange(B, dtype=np.int64) * n, m)  # (M,)
+        ant_idx = np.arange(M)
+        tours = np.empty((M, n + 1), dtype=np.int32)
+
+        u0 = np.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M)
+        start = np.minimum((u0 * n).astype(np.int64), n - 1)
+        tours[:, 0] = start
+        cur = start
+
+        # ``live`` mirrors the register tabu as a 1.0/0.0 multiplicand (a
+        # float multiply by the flag, exactly the kernel's branchless form);
+        # scratch buffers are reused across steps to avoid allocator churn.
+        live = np.ones((M, n), dtype=np.float64)
+        live[ant_idx, start] = 0.0
+        rows_buf = np.empty((M, n), dtype=np.float64)
+        rows_idx = np.empty(M, dtype=np.int64)
+        tile_city = np.empty((M, len(spans)), dtype=np.int64)
+        tile_val = np.empty((M, len(spans)), dtype=np.float64)
+
+        for step in range(1, n):
+            u = rng.uniform().reshape(M, n)
+            np.add(row_off, cur, out=rows_idx)
+            w = np.take(choice_rows, rows_idx, axis=0, out=rows_buf)
+            np.multiply(w, u, out=w)
+            np.multiply(w, live, out=w)
+
+            for t, (lo, hi) in enumerate(spans):
+                idx, val = block_argmax(w[:, lo:hi])
+                tile_city[:, t] = idx + lo
+                tile_val[:, t] = val
+
+            if self.tile_rule == "product" or len(spans) == 1:
+                pick = np.argmax(tile_val, axis=1)
+            else:
+                winner_choice = choice_flat[rows_idx[:, None] * n + tile_city]
+                winner_choice = np.where(tile_val > 0.0, winner_choice, -np.inf)
+                pick = np.argmax(winner_choice, axis=1)
+            nxt = tile_city[ant_idx, pick]
+
+            live[ant_idx, nxt] = 0.0
+            tours[:, step] = nxt
+            cur = nxt
+
+        tours[:, n] = tours[:, 0]
+        tours = tours.reshape(B, m, n + 1)
+        return BatchConstructionResult(
+            tours=tours,
+            reports=self._batch_reports(bstate, np.zeros(B)),
+            fallback_steps=np.zeros(B),
+        )
 
     # --------------------------------------------------------------- ledger
 

@@ -30,7 +30,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.construction.base import ConstructionResult, TourConstruction
+from repro.core.construction.base import (
+    BatchConstructionResult,
+    ConstructionResult,
+    TourConstruction,
+)
 from repro.core.report import StageReport
 from repro.core.state import ColonyState
 from repro.rng.streams import DeviceRNG
@@ -44,6 +48,7 @@ __all__ = [
     "ChoiceKernelTaskConstruction",
     "DeviceRngTaskConstruction",
     "construct_exact",
+    "construct_exact_batch",
 ]
 
 #: threads per block for the task-based kernels (ants per block)
@@ -88,51 +93,193 @@ def construct_exact(
         ``(m, n + 1)`` closed ``int32`` tours; number of candidate-list
         exhaustion events (always 0.0 for the full rule).
     """
-    ant_idx = np.arange(m)
-    tours = np.empty((m, n + 1), dtype=np.int32)
-    visited = np.zeros((m, n), dtype=bool)
+    tours, fallbacks = construct_exact_batch(
+        choice[None], None if nn_list is None else nn_list[None], rng, 1, m, n
+    )
+    return tours[0], float(fallbacks[0])
 
-    start = np.minimum((rng.uniform()[:m] * n).astype(np.int64), n - 1)
+
+def construct_exact_batch(
+    choice: np.ndarray,
+    nn_list: np.ndarray | None,
+    rng: DeviceRNG,
+    B: int,
+    m: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`construct_exact`: ``B`` colonies in one vectorized pass.
+
+    ``choice`` is ``(B, n, n)`` and ``nn_list`` ``(B, n, nn)`` (either may be
+    a broadcast view with a length-1 batch axis); ``rng`` holds ``B * m``
+    streams laid out colony-major.  Row ``b`` of the returned tours and the
+    per-colony fallback counts are bit-identical to a solo
+    ``construct_exact(choice[b], nn_list[b], rng_b, m, n)`` with colony
+    ``b``'s own generator — the steps draw one dart vector per colony per
+    step in lockstep, exactly as the solo loop does.
+
+    Returns
+    -------
+    (tours, fallbacks):
+        ``(B, m, n + 1)`` closed ``int32`` tours; ``(B,)`` float fallback
+        counts (all zero for the full rule).
+
+    Notes
+    -----
+    The batch is executed as one flattened mega-colony of ``B * m`` ants
+    over a block-diagonal choice structure: ant ``b * m + a`` reads choice
+    rows ``b * n + city``.  Every per-step operation then has exactly the
+    solo code's 2-D shape (rows = ants), which is both the fastest numpy
+    layout and trivially equivalent row-for-row.
+    """
+    M = B * m
+    choice_rows = np.ascontiguousarray(choice).reshape(B * n, n)
+    choice_flat = choice_rows.reshape(-1)
+    if nn_list is None:
+        nn_rows = nn_cols = None
+    else:
+        nn_rows = np.ascontiguousarray(nn_list).reshape(B * n, -1)
+        # Transposed copy so the per-step candidate gather lands directly in
+        # the (candidates, ants) layout the roulette runs in.
+        nn_cols = np.ascontiguousarray(nn_rows.T.astype(np.int64))
+    row_off = np.repeat(np.arange(B, dtype=np.int64) * n, m)  # (M,)
+    ant_idx = np.arange(M)
+    ant_base_t = (ant_idx * n)[None, :]  # (1, M) visited offsets, loop-invariant
+    tours = np.empty((M, n + 1), dtype=np.int32)
+    visited = np.zeros((M, n), dtype=bool)
+    # 1.0/0.0 twin of ``visited``: weights are masked by a float multiply
+    # (the branchless tabu-flag form) instead of boolean fancy assignment,
+    # whose cost grows with the visited count.
+    live = np.ones((M, n), dtype=np.float64)
+    live_flat = live.reshape(-1)
+
+    # One colony-major dart vector per step; with one stream per ant the
+    # draw already is the flat (M,) layout, larger stream counts slice the
+    # leading m streams of every colony block (what the solo code's ``[:m]``
+    # does).
+    spc = rng.n_streams // B
+    draw = (
+        (lambda: rng.uniform())
+        if spc == m
+        else (lambda: np.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M))
+    )
+
+    start = np.minimum((draw() * n).astype(np.int64), n - 1)
     tours[:, 0] = start
     visited[ant_idx, start] = True
+    live[ant_idx, start] = 0.0
     cur = start
-    fallbacks = 0.0
+    fallbacks = np.zeros(B, dtype=np.float64)
+
+    col_t = np.arange(n, dtype=np.int64)[:, None]  # (n, 1) full-rule columns
+    k = n if nn_list is None else nn_cols.shape[0]
+    if nn_list is not None:
+        # Candidate choice values are static for the whole build: gather the
+        # (candidate, row) weight table once instead of once per step.
+        base = (np.arange(B * n, dtype=np.int64) * n)[:, None]
+        cand_choice_t = choice_flat[(base + nn_rows).T]  # (nn, B * n)
+
+    # Per-step scratch, allocated once: every step writes the same buffers
+    # in place (``out=``), which removes the allocator/cache churn that
+    # otherwise dominates the per-step cost of these small arrays.
+    idx_buf = np.empty((k, M), dtype=np.int64)
+    cand_buf = np.empty((k, M), dtype=np.int64)
+    w_buf = np.empty((k, M), dtype=np.float64)
+    live_buf = np.empty((k, M), dtype=np.float64)
+    cmp_buf = np.empty((k, M), dtype=bool)
+    rows_idx = np.empty(M, dtype=np.int64)
+    diag_off = np.empty(M, dtype=np.int64)
+    r_buf = np.empty(M, dtype=np.float64)
 
     for step in range(1, n):
-        darts = rng.uniform()[:m]
+        darts = draw()
+        np.add(row_off, cur, out=rows_idx)
+        # All per-step arrays live in the transposed (candidates, ants)
+        # layout: reductions over the candidate axis then run as ~nn
+        # contiguous M-wide vector operations instead of M short rows —
+        # the difference between per-row overhead and streaming throughput.
         if nn_list is None:
-            w = np.where(visited, 0.0, choice[cur])
-            sums = w.sum(axis=1)
-            nxt = _roulette(w, sums, darts)
+            cand_t = None
+            np.add(ant_base_t, col_t, out=idx_buf)
+            np.take(live_flat, idx_buf, out=live_buf)
+            np.multiply(rows_idx, n, out=diag_off)
+            np.subtract(diag_off, ant_base_t[0], out=diag_off)
+            np.add(idx_buf, diag_off[None, :], out=idx_buf)
+            np.take(choice_flat, idx_buf, out=w_buf)
         else:
-            cand = nn_list[cur]
-            w = np.where(visited[ant_idx[:, None], cand], 0.0, choice[cur[:, None], cand])
-            sums = w.sum(axis=1)
-            nxt = np.empty(m, dtype=np.int64)
+            cand_t = np.take(nn_cols, rows_idx, axis=1, out=cand_buf)
+            np.add(ant_base_t, cand_t, out=idx_buf)
+            np.take(live_flat, idx_buf, out=live_buf)
+            np.take(cand_choice_t, rows_idx, axis=1, out=w_buf)
+        np.multiply(w_buf, live_buf, out=w_buf)
+        cum_t = _accumulate_rows(w_buf)
+        sums = cum_t[-1]
+        np.multiply(darts, sums, out=r_buf)
+        np.less(cum_t, r_buf[None, :], out=cmp_buf)
+        pick = np.minimum(cmp_buf.sum(axis=0), k - 1)
+        if nn_list is None:
+            nxt = pick
+        else:
+            nxt = cand_t[pick, ant_idx]
             alive = sums > 0.0
-            rows = np.nonzero(alive)[0]
-            if rows.size:
-                pick = _roulette(w[rows], sums[rows], darts[rows])
-                nxt[rows] = cand[rows, pick]
-            dead = np.nonzero(~alive)[0]
-            if dead.size:
-                sub = np.where(visited[dead], -np.inf, choice[cur[dead]])
+            if not alive.all():
+                # Exhausted candidate lists: overwrite those ants with the
+                # best-choice full-row fallback (ACOTSP's choose_best_next).
+                dead = np.nonzero(~alive)[0]
+                sub = np.where(
+                    visited[dead], -np.inf, choice_rows[rows_idx[dead]]
+                )
                 nxt[dead] = np.argmax(sub, axis=1)
-                fallbacks += float(dead.size)
+                fallbacks += np.bincount(dead // m, minlength=B).astype(np.float64)
         visited[ant_idx, nxt] = True
+        live[ant_idx, nxt] = 0.0
         tours[:, step] = nxt
         cur = nxt
 
     tours[:, n] = tours[:, 0]
-    return tours, fallbacks
+    return tours.reshape(B, m, n + 1), fallbacks
 
 
 def _roulette(weights: np.ndarray, sums: np.ndarray, darts: np.ndarray) -> np.ndarray:
     """Row-wise roulette selection (rows must have positive mass)."""
+    return _roulette_t(weights.T, sums, darts)
+
+
+def _roulette_t(
+    weights_t: np.ndarray, sums: np.ndarray, darts: np.ndarray
+) -> np.ndarray:
+    """Roulette selection over a transposed ``(candidates, ants)`` matrix.
+
+    Columns must have positive mass.  The cumulative sum runs down the
+    candidate axis — sequential accumulation, so every ant's selection is
+    independent of how many ants share the batch.
+    """
+    return _pick_from_cum(np.add.accumulate(weights_t, axis=0), sums, darts)
+
+
+def _pick_from_cum(
+    cum_t: np.ndarray, sums: np.ndarray, darts: np.ndarray
+) -> np.ndarray:
+    """Winning candidate index per ant from a transposed cumulative sum."""
     r = darts * sums
-    cum = np.cumsum(weights, axis=1)
-    idx = (cum < r[:, None]).sum(axis=1)
-    return np.minimum(idx, weights.shape[1] - 1)
+    idx = np.count_nonzero(cum_t < r[None, :], axis=0)
+    return np.minimum(idx, cum_t.shape[0] - 1)
+
+
+def _accumulate_rows(w: np.ndarray) -> np.ndarray:
+    """In-place cumulative sum down axis 0; returns ``w``.
+
+    Bit-identical to ``np.add.accumulate(w, axis=0)`` (same sequential
+    addition order), but the explicit row loop runs as contiguous
+    ant-axis vector adds, which the ufunc's per-column accumulate does not —
+    a large win once the batch is wide.  Branching on the width is safe for
+    cross-batch equivalence precisely because both forms produce identical
+    bits.
+    """
+    if w.shape[1] >= 512:
+        for i in range(1, w.shape[0]):
+            np.add(w[i - 1], w[i], out=w[i])
+        return w
+    return np.add.accumulate(w, axis=0, out=w)
 
 
 class _TaskBasedFull(TourConstruction):
@@ -162,12 +309,34 @@ class _TaskBasedFull(TourConstruction):
         )
         return ConstructionResult(tours=tours, report=report, fallback_steps=fallbacks)
 
+    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+        B, n, m = bstate.B, bstate.n, bstate.m
+        self._validate_batch_rng(rng, B, n, m)
+        choice = self._choice_matrix_batch(bstate)
+        tours, fallbacks = construct_exact_batch(choice, None, rng, B, m, n)
+        return BatchConstructionResult(
+            tours=tours,
+            reports=self._batch_reports(bstate, fallbacks),
+            fallback_steps=fallbacks,
+        )
+
     def _choice_matrix(self, state: ColonyState) -> np.ndarray:
         """Weights used by the proportional rule (versions 2-3 read
         ``choice_info``; version 1 overrides to recompute on the fly)."""
         self._validate_state(state)
         assert state.choice_info is not None
         return state.choice_info
+
+    def _choice_matrix_batch(self, bstate) -> np.ndarray:
+        """Batched counterpart of :meth:`_choice_matrix`: ``(B, n, n)``."""
+        if bstate.choice_info is None:
+            from repro.errors import ACOConfigError
+
+            raise ACOConfigError(
+                "batched construction requires choice_info; run the Choice "
+                "kernel first (the engine does this automatically)"
+            )
+        return bstate.choice_info
 
     def predict_stats(
         self,
@@ -226,6 +395,14 @@ class BaselineTaskConstruction(_TaskBasedFull):
         p = state.params
         w = np.power(state.pheromone, p.alpha) * np.power(state.eta, p.beta)
         np.fill_diagonal(w, 0.0)
+        return w
+
+    def _choice_matrix_batch(self, bstate) -> np.ndarray:
+        w = np.power(bstate.pheromone, bstate.alpha[:, None, None]) * np.power(
+            bstate.eta, bstate.beta[:, None, None]
+        )
+        diag = np.arange(bstate.n)
+        w[:, diag, diag] = 0.0
         return w
 
 

@@ -23,8 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.pheromone.base import PheromoneUpdate, deposit_all, evaporate
-from repro.core.report import StageReport
+from repro.core.pheromone.base import (
+    PheromoneUpdate,
+    deposit_all_batch,
+    evaporate,
+    evaporate_batch,
+)
+from repro.core.report import StageReport, cached_stage_reports
 from repro.core.state import ColonyState
 from repro.simt.atomics import AtomicModel
 from repro.simt.counters import KernelStats
@@ -36,6 +41,26 @@ __all__ = ["AtomicSharedPheromone", "AtomicPheromone"]
 
 #: threads per block for both kernels
 PHEROMONE_BLOCK = 256
+
+
+def _row_hot_degree(flat_idx: np.ndarray, n_cells: int) -> np.ndarray:
+    """Hottest-cell update multiplicity per row of a ``(B, k)`` index batch.
+
+    Row ``b``'s value equals ``AtomicModel``'s contention record for that
+    colony's index vector alone (offsets keep rows disjoint, so one
+    ``np.unique`` pass covers the whole batch).
+    """
+    B = flat_idx.shape[0]
+    # The dense path allocates B * n_cells counters; unlike the deposit,
+    # the hot degree is a pure measurement (identical either way), so the
+    # guard can key on the actual scratch size.
+    if B * n_cells > (1 << 24):
+        return np.array(
+            [float(np.unique(row, return_counts=True)[1].max()) for row in flat_idx]
+        )
+    offset = (np.arange(B, dtype=np.int64) * n_cells)[:, None]
+    counts = np.bincount((flat_idx + offset).ravel(), minlength=B * n_cells)
+    return counts.reshape(B, n_cells).max(axis=1).astype(np.float64)
 
 
 class AtomicSharedPheromone(PheromoneUpdate):
@@ -75,6 +100,32 @@ class AtomicSharedPheromone(PheromoneUpdate):
             state.n, state.m, state.device, hot_degree=stats_probe.atomic_hot_degree
         )
         return StageReport(stage="pheromone", kernel=self.key, stats=stats, launch=launch)
+
+    def update_batch(
+        self, bstate, tours: np.ndarray, lengths: np.ndarray
+    ) -> list[StageReport]:
+        """Batched atomic update with per-colony contention measurement.
+
+        The hottest-cell multiplicity is measured per direction (forward,
+        backward) and per row, matching the solo path's two ``add_float``
+        probes whose maxima accumulate into one hot degree.
+        """
+        evaporate_batch(bstate)
+        flat_fw, flat_bw, _ = deposit_all_batch(bstate, tours, lengths)
+        cells = bstate.n * bstate.n
+        hot = np.maximum(
+            _row_hot_degree(flat_fw, cells), _row_hot_degree(flat_bw, cells)
+        )
+
+        def build(h: float) -> StageReport:
+            stats, launch = self.predict_stats(
+                bstate.n, bstate.m, bstate.device, hot_degree=h
+            )
+            return StageReport(
+                stage="pheromone", kernel=self.key, stats=stats, launch=launch
+            )
+
+        return cached_stage_reports((float(h) for h in hot), build)
 
     # --------------------------------------------------------------- ledger
 

@@ -26,12 +26,36 @@ from repro.simt.counters import KernelStats
 from repro.simt.device import DeviceSpec
 from repro.simt.kernel import Kernel, LaunchConfig
 
-__all__ = ["PheromoneUpdate", "evaporate", "deposit_all"]
+__all__ = [
+    "PheromoneUpdate",
+    "evaporate",
+    "deposit_all",
+    "evaporate_batch",
+    "deposit_all_batch",
+]
+
+
+#: per-colony cell count above which the batched deposit falls back from
+#: dense bincount scratch (one float per cell per colony) to np.add.at
+_BINCOUNT_CELL_LIMIT = 1 << 22
+
+#: whole-batch counter budget for the single-pass bincount deposit; above
+#: this the (bit-identical) per-row bincount loop bounds scratch at n² floats
+_BINCOUNT_SCRATCH_LIMIT = 1 << 24
 
 
 def evaporate(state: ColonyState) -> None:
     """In-place evaporation ``tau *= (1 - rho)`` (paper eq. 2)."""
     state.pheromone *= 1.0 - state.params.rho
+
+
+def evaporate_batch(bstate) -> None:
+    """Per-colony evaporation on a ``(B, n, n)`` pheromone stack.
+
+    Elementwise multiply with a per-row ``(1 - rho)`` — bit-identical to the
+    solo scalar multiply on each row.
+    """
+    bstate.pheromone *= (1.0 - bstate.rho)[:, None, None]
 
 
 def deposit_all(
@@ -56,6 +80,68 @@ def deposit_all(
     return flat_fw, flat_bw, values
 
 
+def deposit_all_batch(
+    bstate, tours: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched symmetric deposit over ``(B, m, n + 1)`` tours, in place.
+
+    Rows touch disjoint ``n²`` blocks of the flattened stack, and the code
+    path taken depends only on per-colony quantities, so a row's result is
+    exactly independent of how many rows share the batch — the invariant
+    the engine (and ``AntSystem``, its B = 1 view) is built on.  Note the
+    bincount fast path folds each cell's deposit *total* into ``tau`` in
+    one add, which can differ in the last ulp from :func:`deposit_all`'s
+    per-deposit ``np.add.at`` folding; the two functions are numerically
+    equivalent, not bit-identical.
+
+    Returns the per-colony *local* flat forward/backward indices (``(B,
+    m * n)``, no batch offset) and the deposit values, for the atomic
+    strategies' contention accounting.
+    """
+    n, B = bstate.n, bstate.B
+    frm = tours[:, :, :-1].astype(np.int64)
+    to = tours[:, :, 1:].astype(np.int64)
+    deltas = (1.0 / lengths.astype(np.float64))[:, :, None]
+    values = np.broadcast_to(deltas, frm.shape).reshape(B, -1)
+    flat_fw = (frm * n + to).reshape(B, -1)
+    flat_bw = (to * n + frm).reshape(B, -1)
+    offsets = (np.arange(B, dtype=np.int64) * (n * n))[:, None]
+    flat_tau = bstate.pheromone.reshape(-1)
+    if n * n > _BINCOUNT_CELL_LIMIT:
+        # Huge instances: np.add.at needs no counter scratch.  This branch
+        # keys on the *per-colony* cell count (bincount and add.at fold
+        # deposits differently in the last ulp), so a row's result never
+        # depends on how many rows share the batch.
+        np.add.at(flat_tau, (flat_fw + offsets).ravel(), values.reshape(-1))
+        np.add.at(flat_tau, (flat_bw + offsets).ravel(), values.reshape(-1))
+    elif B * n * n <= _BINCOUNT_SCRATCH_LIMIT:
+        # bincount(..., weights=...) accumulates deposits per cell in input
+        # order (the atomic-sum semantics of np.add.at) at a fraction of
+        # its cost, then one vector add folds each direction into the
+        # stack.
+        vals = np.ascontiguousarray(values.reshape(-1))
+        flat_tau += np.bincount(
+            (flat_fw + offsets).ravel(), weights=vals, minlength=flat_tau.size
+        )
+        flat_tau += np.bincount(
+            (flat_bw + offsets).ravel(), weights=vals, minlength=flat_tau.size
+        )
+    else:
+        # Whole-batch counter scratch would be excessive: bincount row by
+        # row instead.  Rows are disjoint, so this is bit-identical to the
+        # single-pass variant above — the split is purely about memory.
+        for b in range(B):
+            row_tau = bstate.pheromone[b].reshape(-1)
+            row_vals = np.ascontiguousarray(values[b])
+            row_tau += np.bincount(
+                flat_fw[b], weights=row_vals, minlength=row_tau.size
+            )
+            row_tau += np.bincount(
+                flat_bw[b], weights=row_vals, minlength=row_tau.size
+            )
+    return flat_fw, flat_bw, values
+
+
 class PheromoneUpdate(Kernel, abc.ABC):
     """Base class for the Table III/IV pheromone-update kernels.
 
@@ -73,6 +159,24 @@ class PheromoneUpdate(Kernel, abc.ABC):
         self, state: ColonyState, tours: np.ndarray, lengths: np.ndarray
     ) -> StageReport:
         """Apply the update in place, returning the stage report."""
+
+    def update_batch(
+        self, bstate, tours: np.ndarray, lengths: np.ndarray
+    ) -> list[StageReport]:
+        """Apply the update to ``B`` colonies in place; one report per colony.
+
+        The default covers the scatter-to-gather family (versions 3-5),
+        whose functional effect is exactly evaporation + deposit and whose
+        ledger is closed-form; the atomic strategies override to measure
+        per-colony contention.
+        """
+        evaporate_batch(bstate)
+        deposit_all_batch(bstate, tours, lengths)
+        stats, launch = self.predict_stats(bstate.n, bstate.m, bstate.device)
+        report = StageReport(
+            stage="pheromone", kernel=self.key, stats=stats, launch=launch
+        )
+        return [report] * bstate.B
 
     @abc.abstractmethod
     def predict_stats(

@@ -18,7 +18,24 @@ from repro.simt.device import DeviceSpec
 from repro.simt.kernel import LaunchConfig
 from repro.simt.timing import CostParams, estimate_time
 
-__all__ = ["StageReport", "IterationReport"]
+__all__ = ["StageReport", "IterationReport", "cached_stage_reports"]
+
+
+def cached_stage_reports(keys, build) -> list["StageReport"]:
+    """Per-colony reports, building one per *distinct* key.
+
+    ``build(key)`` must return the :class:`StageReport` for that key; rows
+    with equal keys share the instance (ledgers are pure functions of the
+    key plus the problem size, and nothing mutates a report downstream).
+    """
+    cache: dict = {}
+    reports = []
+    for key in keys:
+        report = cache.get(key)
+        if report is None:
+            report = cache[key] = build(key)
+        reports.append(report)
+    return reports
 
 
 @dataclass

@@ -1,22 +1,33 @@
-"""Experiment harness: model-mode reproduction of every table and figure.
+"""Experiment harness: model-mode artefacts plus batched functional sweeps.
 
-The harness evaluates the calibrated analytical model over the paper's
-benchmark sizes.  Model mode needs only instance *dimensions* (n, m, nn) —
-never the coordinate data — so reproducing Table II's pr2392 column takes
-milliseconds.  The measured counterpart (functional simulation under
+The model-mode half evaluates the calibrated analytical model over the
+paper's benchmark sizes.  Model mode needs only instance *dimensions* (n, m,
+nn) — never the coordinate data — so reproducing Table II's pr2392 column
+takes milliseconds.  The measured counterpart (functional simulation under
 ``pytest-benchmark``) lives in ``benchmarks/``.
 
-Each runner returns an :class:`ExperimentResult` bundling the model rows,
-the paper rows, shape metrics and rendered tables.
+The functional half dispatches replicate and parameter-sweep workloads
+through the :class:`~repro.core.batch.BatchEngine`: :func:`run_replicas`
+runs B seed-replicas and :func:`run_sweep` runs a parameter grid ×
+replicas, each as one vectorized batch instead of B sequential Python runs.
+
+Each model runner returns an :class:`ExperimentResult` bundling the model
+rows, the paper rows, shape metrics and rendered tables.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import dataclasses
+import itertools
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.batch import BatchEngine, BatchRunResult
 from repro.core.choice import ChoiceKernel
 from repro.core.construction import expected_fallback_steps, make_construction
+from repro.core.params import ACOParams
 from repro.core.pheromone import make_pheromone
 from repro.errors import ExperimentError
 from repro.experiments.calibration import cpu_cost_params, gpu_cost_params
@@ -27,8 +38,9 @@ from repro.seq.engine import (
     predict_construction_ops_for,
     predict_update_ops_for,
 )
-from repro.simt.device import DEVICES, DeviceSpec
+from repro.simt.device import DEVICES, TESLA_M2050, DeviceSpec
 from repro.simt.timing import estimate_time
+from repro.tsp.instance import TSPInstance
 from repro.tsp.suite import suite_entry
 from repro.util.tables import Table
 
@@ -39,6 +51,10 @@ __all__ = [
     "construction_model_time",
     "pheromone_model_time",
     "sequential_model_time",
+    "run_replicas",
+    "run_sweep",
+    "SweepResult",
+    "SWEEPABLE_FIELDS",
 ]
 
 
@@ -223,6 +239,149 @@ def sequential_model_time(
         n, m, nn, mode, fallback_steps=fallback_steps
     )
     return estimate_cpu_time(ops, params)
+
+
+# -------------------------------------------------- batched functional runs
+
+#: ACOParams fields a sweep may vary; everything else must stay uniform
+#: across the batch (array shapes share n, m and nn).
+SWEEPABLE_FIELDS = ("alpha", "beta", "rho", "eta_shift", "seed")
+
+
+def run_replicas(
+    instance: TSPInstance,
+    *,
+    replicas: int,
+    iterations: int,
+    params: ACOParams | None = None,
+    device: DeviceSpec = TESLA_M2050,
+    construction: int | str = 8,
+    pheromone: int | str = 1,
+    seed_stride: int = 1,
+) -> BatchRunResult:
+    """Run ``replicas`` independent seed-replicas as one vectorized batch.
+
+    Row ``b`` uses seed ``params.seed + b * seed_stride`` and is
+    bit-identical to a solo :class:`~repro.core.AntSystem` run with that
+    seed — the whole point is getting B solo runs for roughly the
+    interpreter cost of one.
+    """
+    engine = BatchEngine.replicas(
+        instance,
+        params,
+        replicas=replicas,
+        seed_stride=seed_stride,
+        device=device,
+        construction=construction,
+        pheromone=pheromone,
+    )
+    return engine.run(iterations)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a :func:`run_sweep` call.
+
+    ``points[i]`` holds the parameter overrides of grid point ``i``;
+    ``results[i]`` its per-replica
+    :class:`~repro.core.colony.RunResult` list.  The underlying
+    :class:`~repro.core.batch.BatchRunResult` (one batch over every point ×
+    replica) is kept for wall-clock accounting.
+    """
+
+    points: list[dict[str, float]]
+    results: list[list]  # per point: list[RunResult], one per replica
+    batch: BatchRunResult
+    iterations: int
+
+    def best_lengths(self, i: int) -> np.ndarray:
+        return np.array([r.best_length for r in self.results[i]], dtype=np.int64)
+
+    def table(self) -> Table:
+        """One row per grid point: overrides, best/mean/std across replicas."""
+        keys = sorted({k for p in self.points for k in p}) or ["-"]
+        t = Table(
+            keys + ["replicas", "best", "mean", "std"],
+            title=f"parameter sweep ({self.iterations} iterations)",
+        )
+        for i, point in enumerate(self.points):
+            lengths = self.best_lengths(i)
+            t.add_row(
+                [point.get(k, "-") for k in keys]
+                + [
+                    len(self.results[i]),
+                    int(lengths.min()),
+                    f"{lengths.mean():.1f}",
+                    f"{lengths.std():.1f}",
+                ]
+            )
+        return t
+
+
+def run_sweep(
+    instance: TSPInstance,
+    grid: dict[str, Sequence],
+    *,
+    iterations: int,
+    replicas: int = 1,
+    params: ACOParams | None = None,
+    device: DeviceSpec = TESLA_M2050,
+    construction: int | str = 8,
+    pheromone: int | str = 1,
+) -> SweepResult:
+    """Cartesian parameter sweep × seed replicas, one vectorized batch.
+
+    ``grid`` maps :data:`SWEEPABLE_FIELDS` names to value lists; every grid
+    point is replicated ``replicas`` times with seeds ``seed + r``.  All
+    ``len(grid product) * replicas`` colonies run together through the
+    :class:`~repro.core.batch.BatchEngine`.
+    """
+    base = params or ACOParams()
+    for key, values in grid.items():
+        if key not in SWEEPABLE_FIELDS:
+            raise ExperimentError(
+                f"cannot sweep {key!r}; sweepable fields: {SWEEPABLE_FIELDS}"
+            )
+        if not values:
+            raise ExperimentError(f"sweep axis {key!r} has no values")
+    keys = list(grid)
+    # An empty grid degenerates to the single base-parameter point
+    # (itertools.product() of nothing yields one empty combination).
+    points = [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+    if replicas < 1:
+        raise ExperimentError(f"replicas must be >= 1, got {replicas}")
+    if "seed" in grid and replicas > 1:
+        # Replica seeds are point_seed + r; combined with a swept seed axis
+        # adjacent points would silently share colonies (seed s+1 appears in
+        # both point s's replicas and point s+1's), skewing per-point stats.
+        raise ExperimentError(
+            "cannot combine a 'seed' sweep axis with replicas > 1; sweep the "
+            "seed values directly instead"
+        )
+    plist = []
+    for point in points:
+        for r in range(replicas):
+            overrides = dict(point)
+            overrides["seed"] = int(overrides.get("seed", base.seed)) + r
+            plist.append(dataclasses.replace(base, **overrides))
+    engine = BatchEngine(
+        instance,
+        plist,
+        device=device,
+        construction=construction,
+        pheromone=pheromone,
+    )
+    batch = engine.run(iterations)
+    results = [
+        batch.results[i * replicas : (i + 1) * replicas]
+        for i in range(len(points))
+    ]
+    return SweepResult(
+        points=points, results=results, batch=batch, iterations=iterations
+    )
 
 
 # ----------------------------------------------------------------- registry

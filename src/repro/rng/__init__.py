@@ -27,6 +27,7 @@ __all__ = [
     "LCG_IA",
     "LCG_IM",
     "make_rng",
+    "make_batched_rng",
 ]
 
 _GENERATORS = {
@@ -56,3 +57,19 @@ def make_rng(kind: str, n_streams: int, seed: int) -> DeviceRNG:
             f"unknown rng kind {kind!r}; expected one of {sorted(_GENERATORS)}"
         ) from None
     return cls(n_streams=n_streams, seed=seed)
+
+
+def make_batched_rng(kind: str, streams_per_colony: int, seeds) -> DeviceRNG:
+    """Batched generator: ``streams_per_colony`` streams per seed in ``seeds``.
+
+    Stream block ``b`` reproduces exactly the sequence
+    ``make_rng(kind, streams_per_colony, seeds[b])`` produces — the invariant
+    the batched colony engine relies on for solo/batch equivalence.
+    """
+    try:
+        cls = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown rng kind {kind!r}; expected one of {sorted(_GENERATORS)}"
+        ) from None
+    return cls.from_seeds(streams_per_colony, seeds)

@@ -7,9 +7,9 @@ paper's kernel version 3 replaces CURAND with this same generator compiled as
 a device function and reports a 10-20 % speed-up ("Although randomness could,
 in principle, be compromised, this function is used by the sequential code").
 
-We implement the exact recurrence (including Schrage's decomposition, so the
-intermediate arithmetic stays within the ranges the C code uses) vectorised
-over streams.
+We implement the exact recurrence vectorised over streams; see
+:func:`lcg_step` for why the direct 64-bit modular form replaces Schrage's
+decomposition without changing a single output.
 """
 
 from __future__ import annotations
@@ -22,12 +22,20 @@ __all__ = ["ParkMillerLCG", "LCG_IA", "LCG_IM", "lcg_step"]
 
 LCG_IA = 16807
 LCG_IM = 2147483647  # 2**31 - 1
-_IQ = LCG_IM // LCG_IA  # 127773
-_IR = LCG_IM % LCG_IA  # 2836
 
 
 def lcg_step(state: np.ndarray) -> np.ndarray:
-    """One Park-Miller step via Schrage's method, vectorised.
+    """One Park-Miller step, vectorised.
+
+    The C code needs Schrage's decomposition (``k = s / IQ; s = IA * (s - k *
+    IQ) - IR * k``) because ``IA * s`` overflows 32-bit arithmetic; in int64
+    the product is at most ``16807 * (2^31 - 2) < 2^46``, so ``(IA * s) mod
+    IM`` can be computed directly and yields the *identical* value (that
+    identity is exactly what Schrage's trick proves).  Because ``IM = 2^31 -
+    1`` is a Mersenne prime, the modulo itself reduces to mask-and-shift
+    folding (``x mod (2^31 - 1) == (x & IM) + (x >> 31)``, folded once more
+    into ``[0, IM)``) — no integer division anywhere, which matters when the
+    simulator advances millions of streams per construction step.
 
     Parameters
     ----------
@@ -39,10 +47,14 @@ def lcg_step(state: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Next states, same shape/dtype, each in ``[1, IM - 1]``.
     """
-    k = state // _IQ
-    nxt = LCG_IA * (state - k * _IQ) - _IR * k
-    np.add(nxt, LCG_IM, out=nxt, where=nxt < 0)
-    return nxt
+    if state.size < 8192:
+        # Few streams: ufunc-call overhead dominates, so the two-op direct
+        # modulo wins despite the hardware divide.
+        return (state * LCG_IA) % LCG_IM
+    x = state * LCG_IA  # < 2^46, exact in int64
+    x = (x & LCG_IM) + (x >> 31)  # < 2^31 + 2^15: at most one more fold
+    np.subtract(x, LCG_IM, out=x, where=x >= LCG_IM)
+    return x
 
 
 class ParkMillerLCG(DeviceRNG):
@@ -63,9 +75,16 @@ class ParkMillerLCG(DeviceRNG):
 
     def __init__(self, n_streams: int, seed: int) -> None:
         super().__init__(n_streams=n_streams, seed=seed)
+        self._state = self._derive_states(seed, n_streams)
+
+    @classmethod
+    def _derive_states(cls, seed: int, n_streams: int) -> np.ndarray:
         sub = split_seed(seed, n_streams)
         # Map 64-bit sub-seeds into the valid state range [1, IM-1].
-        self._state = (sub % np.uint64(LCG_IM - 1)).astype(np.int64) + 1
+        return (sub % np.uint64(LCG_IM - 1)).astype(np.int64) + 1
+
+    def _load_states(self, per_seed_states: list) -> None:
+        self._state = np.concatenate(per_seed_states)
 
     def _next_raw(self) -> np.ndarray:
         self._state = lcg_step(self._state)

@@ -49,6 +49,13 @@ class DeviceRNG(abc.ABC):
     word per stream; the base class converts to floats and tracks how many
     numbers have been drawn (the cost model charges per generated sample, and
     the charge differs between the library generator and the device LCG).
+
+    A generator can also be built *batched* via :meth:`from_seeds`: the state
+    vector then holds ``len(seeds)`` independently seeded colonies laid out
+    contiguously, so batch row ``b`` of a ``uniform().reshape(B, -1)`` draw is
+    bit-identical to the sequence a solo generator seeded with ``seeds[b]``
+    produces.  This is the property that lets the batched engine reproduce
+    solo runs exactly.
     """
 
     #: modelled device cost class, read by the SIMT cost model
@@ -71,13 +78,51 @@ class DeviceRNG(abc.ABC):
     def _max_raw(self) -> float:
         """Exclusive upper bound of the raw word range (for normalisation)."""
 
+    @classmethod
+    @abc.abstractmethod
+    def _derive_states(cls, seed: int, n_streams: int):
+        """Per-stream state for one seed — the exact ``__init__`` derivation."""
+
+    @abc.abstractmethod
+    def _load_states(self, per_seed_states: list) -> None:
+        """Replace the state vector with concatenated per-seed states."""
+
+    # -- batched construction ------------------------------------------------
+
+    @classmethod
+    def from_seeds(cls, streams_per_seed: int, seeds) -> "DeviceRNG":
+        """Batched generator: ``streams_per_seed`` streams per entry of ``seeds``.
+
+        Stream block ``b`` (rows ``[b * streams_per_seed, (b + 1) *
+        streams_per_seed)``) carries exactly the state a solo generator
+        ``cls(streams_per_seed, seeds[b])`` would hold, so every draw,
+        reshaped to ``(len(seeds), streams_per_seed)``, reproduces the solo
+        sequences row for row.
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("from_seeds needs at least one seed")
+        if streams_per_seed <= 0:
+            raise ValueError(
+                f"streams_per_seed must be positive, got {streams_per_seed}"
+            )
+        # Construct with a single throwaway stream (deriving the full batch
+        # state in __init__ would be immediately discarded), then install
+        # the real per-seed state blocks.
+        rng = cls(n_streams=1, seed=seeds[0])
+        rng._load_states([cls._derive_states(s, streams_per_seed) for s in seeds])
+        rng.n_streams = int(streams_per_seed) * len(seeds)
+        return rng
+
     # -- public API ----------------------------------------------------------
 
     def uniform(self) -> np.ndarray:
         """One uniform ``float64`` in ``[0, 1)`` per stream, shape ``(n_streams,)``."""
         raw = self._next_raw()
         self.samples_drawn += self.n_streams
-        return raw.astype(np.float64) / self._max_raw()
+        # Single-pass cast-and-divide; bit-identical to astype + divide
+        # (each element is exactly representable in float64 before dividing).
+        return np.true_divide(raw, self._max_raw())
 
     def uniform_block(self, rounds: int) -> np.ndarray:
         """Draw ``rounds`` successive vectors; shape ``(rounds, n_streams)``.

@@ -43,18 +43,33 @@ class XorwowRNG(DeviceRNG):
 
     def __init__(self, n_streams: int, seed: int) -> None:
         super().__init__(n_streams=n_streams, seed=seed)
+        self._x, self._y, self._z, self._w, self._v, self._d = self._derive_states(
+            seed, n_streams
+        )
+
+    @classmethod
+    def _derive_states(
+        cls, seed: int, n_streams: int
+    ) -> tuple[np.ndarray, ...]:
         # Six words of state per stream, derived independently.
-        words = [split_seed(seed + i, n_streams) for i in range(6)]
-        self._x = (words[0] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        self._y = (words[1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        self._z = (words[2] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        self._w = (words[3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        self._v = (words[4] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        self._d = (words[5] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        words = [
+            (split_seed(seed + i, n_streams) & np.uint64(0xFFFFFFFF)).astype(
+                np.uint32
+            )
+            for i in range(6)
+        ]
+        x, y, z, w, v, d = words
         # Guard against the all-zero xorshift state (probability ~2^-160, but
         # deterministic seeds deserve a deterministic guard).
-        dead = (self._x | self._y | self._z | self._w | self._v) == 0
-        self._x[dead] = np.uint32(1)
+        dead = (x | y | z | w | v) == 0
+        x[dead] = np.uint32(1)
+        return x, y, z, w, v, d
+
+    def _load_states(self, per_seed_states: list) -> None:
+        self._x, self._y, self._z, self._w, self._v, self._d = (
+            np.concatenate([states[i] for states in per_seed_states])
+            for i in range(6)
+        )
 
     def _next_raw(self) -> np.ndarray:
         x, v = self._x, self._v

@@ -40,15 +40,27 @@ def nearest_neighbor_lists(dist: np.ndarray, nn: int) -> np.ndarray:
         raise ValueError(f"nn must be positive, got {nn}")
     nn = min(int(nn), n - 1)
 
-    # Exclude self-loops by masking the diagonal with +inf.
+    # A plain argpartition on distances picks an *arbitrary* subset when
+    # several cities tie at the list boundary; the index tie-break must be
+    # part of the partition key.  Integer distances (the ACOTSP convention)
+    # admit an exact composite key ``d * n + j`` that makes the order total.
+    if np.issubdtype(d.dtype, np.integer) and (
+        n == 1 or int(d.max()) < (2**62) // n
+    ):
+        key = d.astype(np.int64) * n + np.arange(n, dtype=np.int64)
+        np.fill_diagonal(key, np.iinfo(np.int64).max)
+        part = np.argpartition(key, nn - 1, axis=1)[:, :nn]
+        part_key = np.take_along_axis(key, part, axis=1)
+        order = np.argsort(part_key, axis=1)
+        return np.take_along_axis(part, order, axis=1).astype(np.int32)
+
+    # Generic (float) distances: full per-row lexsort — distance first, city
+    # index second — whose prefix is exactly the tie-broken list.  O(n² log n)
+    # instead of the integer branch's partition, but this path only runs for
+    # non-integer matrices (which no suite instance produces) and only once
+    # per instance at load time.
     work = d.astype(np.float64, copy=True)
     np.fill_diagonal(work, np.inf)
-
-    # argpartition pulls the nn smallest per row in O(n); a secondary sort of
-    # just those nn entries restores increasing-distance order.
-    part = np.argpartition(work, nn - 1, axis=1)[:, :nn]
-    part_d = np.take_along_axis(work, part, axis=1)
-    # Stable lexicographic order: distance first, then city index.
-    order = np.lexsort((part, part_d), axis=1)
-    out = np.take_along_axis(part, order, axis=1).astype(np.int32)
-    return out
+    idx = np.broadcast_to(np.arange(n), (n, n))
+    order = np.lexsort((idx, work), axis=1)[:, :nn]
+    return order.astype(np.int32)

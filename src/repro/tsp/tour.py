@@ -15,6 +15,7 @@ from repro.errors import InvalidTourError
 __all__ = [
     "tour_length",
     "tour_lengths",
+    "tour_lengths_batch",
     "tour_edges",
     "validate_tour",
     "random_tour",
@@ -72,6 +73,19 @@ def tour_lengths(tours: np.ndarray, dist: np.ndarray) -> np.ndarray:
     if t.ndim != 2:
         raise InvalidTourError(f"tours must be (m, n + 1), got shape {t.shape}")
     return dist[t[:, :-1], t[:, 1:]].sum(axis=1)
+
+
+def tour_lengths_batch(tours: np.ndarray, dist: np.ndarray) -> np.ndarray:
+    """Lengths of ``(B, m, n + 1)`` closed tours under ``(B, n, n)`` distances.
+
+    ``dist`` may be a broadcast view with a length-1 batch axis (replicas of
+    one instance); row ``b`` equals ``tour_lengths(tours[b], dist[b])``.
+    """
+    t = np.asarray(tours, dtype=np.int64)
+    if t.ndim != 3:
+        raise InvalidTourError(f"tours must be (B, m, n + 1), got shape {t.shape}")
+    b_idx = np.arange(t.shape[0])[:, None, None]
+    return dist[b_idx, t[:, :, :-1], t[:, :, 1:]].sum(axis=2)
 
 
 def tour_edges(tour: np.ndarray) -> np.ndarray:

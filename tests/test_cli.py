@@ -46,6 +46,47 @@ class TestSolveCommand:
         with pytest.raises(SystemExit):
             cli_main(["solve", "att48", "--construction", "9"])
 
+    def test_solve_replicas_batched(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--replicas", "3", "--seed", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 batched replicas" in out
+        assert "best overall" in out
+        # per-replica rows with consecutive seeds
+        assert " 5 " in out and " 6 " in out and " 7 " in out
+
+
+class TestSweepCommand:
+    def test_sweep_grid(self, capsys):
+        rc = cli_main(
+            ["sweep", "att48", "--iterations", "2", "--param", "rho=0.3,0.7",
+             "--replicas", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 grid points x 2 replicas = 4 batched colonies" in out
+        assert "parameter sweep" in out
+
+    def test_sweep_bad_param_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "att48", "--param", "rho"])
+
+    def test_sweep_repeated_axis_extends(self, capsys):
+        rc = cli_main(
+            ["sweep", "att48", "--iterations", "1", "--param", "rho=0.2",
+             "--param", "rho=0.8"]
+        )
+        assert rc == 0
+        assert "2 grid points" in capsys.readouterr().out
+
+    def test_sweep_unsweepable_field(self, capsys):
+        rc = cli_main(["sweep", "att48", "--iterations", "1", "--param", "nn=5,10"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot sweep" in err and "nn" in err
+
 
 class TestExperimentsCommand:
     def test_single_artefact(self, capsys):

@@ -13,16 +13,28 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
 
 CASES = [
     ("quickstart.py", []),
     ("kernel_showdown.py", ["--instance", "att48", "--iterations", "2"]),
     ("pheromone_strategies.py", ["--instance", "att48"]),
     ("tsplib_workflow.py", []),
-    ("convergence_quality.py", ["--n", "50", "--iterations", "6"]),
+    ("convergence_quality.py", ["--n", "50", "--iterations", "6", "--replicas", "2"]),
     ("acs_extension.py", ["--n", "60", "--iterations", "5"]),
     ("device_scaling.py", []),
 ]
+
+
+def _env_with_src():
+    """Subprocess env with src/ importable, independent of how pytest was
+    launched (PYTHONPATH export vs the pyproject pythonpath setting)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else os.pathsep.join([SRC_DIR, existing])
+    )
+    return env
 
 
 @pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
@@ -36,6 +48,7 @@ def test_example_runs(script, args, tmp_path):
         capture_output=True,
         text=True,
         timeout=240,
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"
