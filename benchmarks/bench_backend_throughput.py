@@ -1,0 +1,122 @@
+"""Backend throughput: the same batched engine on every available substrate.
+
+For every *available* registered backend (numpy always; CuPy when a CUDA
+device is present), measures the wall-clock of a ``BatchEngine`` run for
+B in {1, 16, 64} colonies of one instance, under both kernel families:
+
+* the **nn-list kernel** (v4) — interpreter/dispatch-dominated, where a
+  device backend pays per-step launch overhead but wins on wide batches;
+* the **data-parallel kernel** (v8) — element-work-dominated, the regime
+  the paper's GPU mapping targets.
+
+Rows report seconds, colony-iterations/sec and the speedup against the
+numpy backend at the same (construction, B) point, so the artefact answers
+the only question that matters for a backend: *when* does it pay.
+
+Results are written to ``BENCH_backend.json`` at the repository root; the
+schema is pinned by ``benchmarks/conftest.py`` (``validate_bench_backend``).
+
+Run:  python benchmarks/bench_backend_throughput.py [--iterations 10]
+      [--instance att48] [--out BENCH_backend.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.backend import available_backends, get_backend
+from repro.core import ACOParams, BatchEngine
+from repro.tsp import load_instance
+
+BATCH_SIZES = (1, 16, 64)
+CONSTRUCTIONS = (4, 8)
+PHEROMONE = 1
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+
+def measure(instance, params, backend_name, B, iterations, construction) -> dict:
+    """Time one B-wide batched run on one backend."""
+    backend = get_backend(backend_name)
+    engine = BatchEngine.replicas(
+        instance,
+        params,
+        replicas=B,
+        construction=construction,
+        pheromone=PHEROMONE,
+        backend=backend,
+    )
+    t0 = time.perf_counter()
+    engine.run(iterations)
+    backend.synchronize()
+    seconds = time.perf_counter() - t0
+    return {
+        "backend": backend_name,
+        "construction": construction,
+        "B": B,
+        "seconds": round(seconds, 4),
+        "colonies_per_sec": round(B * iterations / seconds, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instance", default="att48")
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    instance = load_instance(args.instance)
+    params = ACOParams(seed=1)
+    availability = {
+        info.name: {"available": info.available, "reason": info.reason}
+        for info in available_backends()
+    }
+    runnable = [name for name, info in availability.items() if info["available"]]
+    skipped = sorted(set(availability) - set(runnable))
+    if skipped:
+        print(f"skipping unavailable backends: {', '.join(skipped)}")
+
+    rows = []
+    numpy_seconds: dict[tuple[int, int], float] = {}
+    for construction in CONSTRUCTIONS:
+        for B in BATCH_SIZES:
+            # numpy first: it is the speedup baseline for the other rows.
+            for name in sorted(runnable, key=lambda k: k != "numpy"):
+                row = measure(
+                    instance, params, name, B, args.iterations, construction
+                )
+                if name == "numpy":
+                    numpy_seconds[(construction, B)] = row["seconds"]
+                base = numpy_seconds[(construction, B)]
+                row["speedup_vs_numpy"] = round(base / row["seconds"], 2)
+                rows.append(row)
+                print(
+                    f"v{construction} B={B:3d} {name:>6s}  "
+                    f"{row['seconds']:7.3f}s  "
+                    f"{row['colonies_per_sec']:8.1f} colony-iter/s  "
+                    f"{row['speedup_vs_numpy']:5.2f}x vs numpy"
+                )
+
+    payload = {
+        "instance": args.instance,
+        "iterations": args.iterations,
+        "pheromone": PHEROMONE,
+        "backends": availability,
+        "results": rows,
+    }
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import validate_bench_backend
+
+    validate_bench_backend(payload)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

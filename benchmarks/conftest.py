@@ -23,6 +23,52 @@ from repro.tsp import load_instance
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+# ------------------------------------------------------- BENCH_backend.json
+#
+# Schema of the artefact bench_backend_throughput.py writes at the repo
+# root.  Kept here (next to the other benchmark helpers) so both the
+# benchmark script and the test-suite validate the same contract.
+
+#: top-level keys -> required type
+BENCH_BACKEND_SCHEMA: dict[str, type] = {
+    "instance": str,  # TSPLIB/suite instance name
+    "iterations": int,  # iterations per measured run
+    "pheromone": int,  # pheromone strategy version shared by all rows
+    "backends": dict,  # backend name -> {"available": bool, "reason": str|None}
+    "results": list,  # list of per-(backend, construction, B) row dicts
+}
+
+#: per-row keys -> required type
+BENCH_BACKEND_ROW_SCHEMA: dict[str, type] = {
+    "backend": str,  # registry key the row ran on
+    "construction": int,  # construction strategy version
+    "B": int,  # batched colony count
+    "seconds": float,  # wall-clock of the batched run
+    "colonies_per_sec": float,  # B * iterations / seconds
+    "speedup_vs_numpy": float,  # numpy seconds / this backend's (1.0 on numpy)
+}
+
+
+def validate_bench_backend(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_backend.json schema above."""
+    for key, typ in BENCH_BACKEND_SCHEMA.items():
+        assert key in payload, f"BENCH_backend missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_backend[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_backend has no result rows"
+    for row in payload["results"]:
+        for key, typ in BENCH_BACKEND_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_backend row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_backend row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["backend"] in payload["backends"], (
+            f"row backend {row['backend']!r} absent from availability map"
+        )
+
 
 def emit_result(result: ExperimentResult) -> None:
     """Print an artefact comparison and persist it under results/."""

@@ -8,6 +8,8 @@ simulator (no GPU required):
 * :mod:`repro.tsp` — TSPLIB substrate (parser, distances, candidate lists,
   synthetic benchmark suite);
 * :mod:`repro.rng` — device-function LCG and CURAND-style XORWOW generators;
+* :mod:`repro.backend` — pluggable array backends (numpy host execution,
+  optional CuPy GPU execution) behind one :class:`ArrayBackend` seam;
 * :mod:`repro.simt` — the simulated GPUs (Tesla C1060 / M2050), memory and
   atomic models, occupancy, and the analytical cost model;
 * :mod:`repro.seq` — the sequential ACOTSP baseline;
@@ -27,6 +29,7 @@ True
 
 from __future__ import annotations
 
+from repro.backend import ArrayBackend, available_backends, get_backend
 from repro.core import (
     ACOParams,
     ACSParams,
@@ -55,6 +58,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ACOParams",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
     "ACSParams",
     "AntColonySystem",
     "AntSystem",

@@ -1,0 +1,42 @@
+"""Pluggable array backends: run the same engines on different substrates.
+
+The paper's contribution is mapping ACO kernels onto GPU hardware; this
+package is the reproduction's seam for doing the same.  Every per-colony
+array the engines allocate goes through an
+:class:`~repro.backend.base.ArrayBackend` — numpy on the host by default,
+CuPy on a CUDA device when available — selected per engine
+(``AntSystem(..., backend="cupy")``), per process (``ACO_BACKEND=cupy``),
+or per invocation (``gpu-aco solve att48 --backend cupy``).
+
+See ``README.md`` ("Backends") for how to select one and how to add one.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import ArrayBackend
+from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    BACKENDS,
+    DEFAULT_BACKEND_NAME,
+    ENV_VAR,
+    BackendInfo,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "BackendInfo",
+    "BACKENDS",
+    "DEFAULT_BACKEND_NAME",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,126 @@
+"""The :class:`ArrayBackend` protocol: where the colony's arrays live.
+
+The source paper is entirely about *where* ACO kernels execute; this module
+is the seam that lets the same engine code run its arrays on different
+substrates.  A backend bundles
+
+* an **array module** (:attr:`ArrayBackend.xp`) exposing the numpy API the
+  vectorised kernels are written against (numpy itself, or a drop-in such as
+  CuPy),
+* **host transfer** (:meth:`ArrayBackend.from_host` /
+  :meth:`ArrayBackend.to_host`) — the engine uploads instance data once at
+  construction and downloads tours/lengths once per iteration boundary for
+  reporting,
+* the handful of **named operations whose spelling differs between array
+  libraries** (:meth:`ArrayBackend.scatter_add` is ``np.add.at`` on numpy
+  but ``cupyx.scatter_add`` on CuPy), and
+* a **capability probe** (:meth:`ArrayBackend.probe`) so the registry can
+  report *why* a backend is unavailable instead of failing at first use.
+
+Engine code obtains ``xp = state.backend.xp`` and writes ordinary
+``xp.take`` / ``xp.cumsum`` / ``xp.argmax`` expressions; with the default
+:class:`~repro.backend.numpy_backend.NumpyBackend`, ``xp`` *is* numpy and
+every operation is bit-identical to the pre-backend code path.
+"""
+
+from __future__ import annotations
+
+import abc
+from types import ModuleType
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """Abstract array backend: array module + transfers + divergent ops.
+
+    Class attributes identify the backend: ``name`` is the registry key
+    (also what ``--backend`` and ``ACO_BACKEND`` select), ``is_accelerated``
+    tells tests and benchmarks whether results live off-host.
+    """
+
+    name: str = ""
+    is_accelerated: bool = False
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    @abc.abstractmethod
+    def xp(self) -> ModuleType:
+        """The array module (numpy-compatible namespace) of this backend."""
+
+    @classmethod
+    @abc.abstractmethod
+    def probe(cls) -> tuple[bool, str | None]:
+        """``(available, reason)``: can this backend run here?
+
+        ``reason`` is ``None`` when available, otherwise a short string
+        (import error, missing device) surfaced by ``gpu-aco backends``.
+        """
+
+    # ------------------------------------------------------------ transfers
+
+    def from_host(self, array: np.ndarray):
+        """Upload a host array (no copy when the backend *is* the host)."""
+        return self.xp.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:
+        """Download to a host numpy array (no copy when already on host)."""
+        return np.asarray(array)
+
+    def synchronize(self) -> None:
+        """Block until queued device work is complete (no-op on host)."""
+
+    # ------------------------------------------- protocol ops (xp-delegating)
+    #
+    # The engines mostly use ``backend.xp`` directly; these named methods
+    # pin the minimum operation set every backend must support (the registry
+    # smoke-tests them) and give subclasses a hook where an array library
+    # spells an operation differently.
+
+    def empty(self, shape, dtype=np.float64):
+        return self.xp.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64):
+        return self.xp.zeros(shape, dtype=dtype)
+
+    def full(self, shape, fill_value, dtype=np.float64):
+        return self.xp.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, *args, dtype=None):
+        return self.xp.arange(*args, dtype=dtype)
+
+    def asarray(self, array, dtype=None):
+        return self.xp.asarray(array, dtype=dtype)
+
+    def power(self, base, exponent, out=None):
+        return self.xp.power(base, exponent, out=out)
+
+    def cumsum(self, array, axis=None):
+        return self.xp.cumsum(array, axis=axis)
+
+    def argmax(self, array, axis=None):
+        return self.xp.argmax(array, axis=axis)
+
+    def argmin(self, array, axis=None):
+        return self.xp.argmin(array, axis=axis)
+
+    def take(self, array, indices, axis=None, out=None):
+        return self.xp.take(array, indices, axis=axis, out=out)
+
+    def take_along_axis(self, array, indices, axis):
+        return self.xp.take_along_axis(array, indices, axis)
+
+    def bincount(self, array, weights=None, minlength=0):
+        return self.xp.bincount(array, weights=weights, minlength=minlength)
+
+    @abc.abstractmethod
+    def scatter_add(self, target, indices, values) -> None:
+        """In-place ``target[indices] += values`` with duplicate indices
+        accumulating (the atomic-add semantics every deposit kernel needs);
+        ``np.add.at`` on numpy, ``cupyx.scatter_add`` on CuPy."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,76 @@
+"""CuPy backend: the engine's arrays live in GPU global memory.
+
+This is the real-hardware counterpart of the simulated device: the same
+batched kernels the numpy path runs (choice, construction, tour evaluation,
+pheromone update) execute as CuPy element-wise/reduction kernels on an
+actual GPU, the way Skinderowicz's GPU ACS/MMAS codes run the same kernel
+set on device arrays.  The import is guarded — environments without CuPy
+(or without a CUDA device) keep the module importable and the registry
+reports the probe failure instead of crashing.
+
+Numerical caveat: CuPy reductions (``cumsum``, ``sum``) may use different
+accumulation orders than numpy's sequential semantics, so cross-backend
+results are *statistically* equivalent rather than guaranteed bit-identical;
+the parity property test (skip-marked without a device) pins tour-level
+agreement for fixed seeds.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.backend.base import ArrayBackend
+from repro.errors import BackendUnavailableError
+
+__all__ = ["CupyBackend"]
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy as _cupy
+    import cupyx as _cupyx
+
+    _IMPORT_ERROR: str | None = None
+except Exception as exc:  # pragma: no cover - the common path in CI
+    _cupy = None
+    _cupyx = None
+    _IMPORT_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+class CupyBackend(ArrayBackend):
+    """GPU execution through CuPy (requires a CUDA device)."""
+
+    name = "cupy"
+    is_accelerated = True
+
+    def __init__(self) -> None:
+        available, reason = self.probe()
+        if not available:
+            raise BackendUnavailableError(
+                f"backend 'cupy' is unavailable: {reason}", reason=reason
+            )
+
+    @property
+    def xp(self) -> ModuleType:
+        return _cupy
+
+    @classmethod
+    def probe(cls) -> tuple[bool, str | None]:
+        if _cupy is None:
+            return False, _IMPORT_ERROR
+        try:  # pragma: no cover - needs real hardware
+            count = _cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # pragma: no cover
+            return False, f"{type(exc).__name__}: {exc}"
+        if count < 1:  # pragma: no cover
+            return False, "no CUDA device visible"
+        return True, None  # pragma: no cover
+
+    # ------------------------------------------------------------ transfers
+
+    def to_host(self, array):  # pragma: no cover - needs real hardware
+        return _cupy.asnumpy(array)
+
+    def synchronize(self) -> None:  # pragma: no cover - needs real hardware
+        _cupy.cuda.get_current_stream().synchronize()
+
+    def scatter_add(self, target, indices, values) -> None:  # pragma: no cover
+        _cupyx.scatter_add(target, indices, values)

@@ -1,0 +1,36 @@
+"""The default host backend: arrays are plain numpy arrays.
+
+Everything the pre-backend engine did, it did through numpy; this backend
+simply *names* that substrate so it can be swapped.  ``from_host`` /
+``to_host`` are no-copy pass-throughs, which is what keeps the backend seam
+free on the host path: the whole engine runs bit-identically to the code
+before the seam existed.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Host execution on numpy — always available, the reference substrate."""
+
+    name = "numpy"
+    is_accelerated = False
+
+    @property
+    def xp(self) -> ModuleType:
+        return np
+
+    @classmethod
+    def probe(cls) -> tuple[bool, str | None]:
+        return True, None
+
+    def scatter_add(self, target, indices, values) -> None:
+        np.add.at(target, indices, values)

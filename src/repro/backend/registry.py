@@ -1,0 +1,148 @@
+"""Backend registry: name -> class, with probing and graceful fallback.
+
+Resolution order for the engines (``resolve_backend``):
+
+1. an explicit :class:`~repro.backend.base.ArrayBackend` instance or name
+   (``backend="cupy"`` — unavailable names raise, the caller asked for
+   exactly that substrate);
+2. the ``ACO_BACKEND`` environment variable — a *soft* preference: a
+   registered-but-unavailable backend falls back to numpy with a warning
+   (an unknown name is still an error — typos should be loud);
+3. the default :class:`~repro.backend.numpy_backend.NumpyBackend`.
+
+Instances are cached per name: backends are stateless façades over an array
+module, so every caller sharing one instance is both safe and what makes
+``engine_a.backend is engine_b.backend`` comparisons cheap.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+from repro.backend.base import ArrayBackend
+from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import BackendError, BackendUnavailableError
+
+__all__ = [
+    "BACKENDS",
+    "BackendInfo",
+    "DEFAULT_BACKEND_NAME",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: environment variable consulted when no backend is passed explicitly
+ENV_VAR = "ACO_BACKEND"
+
+DEFAULT_BACKEND_NAME = "numpy"
+
+#: registry key -> backend class
+BACKENDS: dict[str, type[ArrayBackend]] = {}
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(cls: type[ArrayBackend]) -> type[ArrayBackend]:
+    """Register a backend class under ``cls.name`` (usable as a decorator)."""
+    if not cls.name:
+        raise BackendError(f"{cls.__name__} has no registry name")
+    existing = BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise BackendError(
+            f"backend name {cls.name!r} already registered by {existing.__name__}"
+        )
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+register_backend(NumpyBackend)
+register_backend(CupyBackend)
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Availability record for one registered backend."""
+
+    name: str
+    available: bool
+    accelerated: bool
+    reason: str | None  # why unavailable; None when available
+
+
+def available_backends() -> list[BackendInfo]:
+    """Probe every registered backend, never raising."""
+    infos = []
+    for name in sorted(BACKENDS):
+        cls = BACKENDS[name]
+        try:
+            available, reason = cls.probe()
+        except Exception as exc:  # defensive: a probe must not kill listing
+            available, reason = False, f"probe failed: {type(exc).__name__}: {exc}"
+        infos.append(
+            BackendInfo(
+                name=name,
+                available=available,
+                accelerated=cls.is_accelerated,
+                reason=None if available else (reason or "unavailable"),
+            )
+        )
+    return infos
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Instantiate (or fetch the cached) backend registered under ``name``.
+
+    Raises
+    ------
+    BackendError
+        Unknown name.
+    BackendUnavailableError
+        Known backend whose probe fails here (reason attached).
+    """
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
+        ) from None
+    available, reason = cls.probe()
+    if not available:
+        raise BackendUnavailableError(
+            f"backend {name!r} is unavailable: {reason}", reason=reason
+        )
+    backend = _INSTANCES[name] = cls()
+    return backend
+
+
+def resolve_backend(spec: str | ArrayBackend | None = None) -> ArrayBackend:
+    """The engines' resolution entry point (see module docstring).
+
+    ``spec=None`` consults ``ACO_BACKEND`` and degrades gracefully when the
+    requested backend is registered but cannot run here; explicit specs are
+    strict.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is not None:
+        return get_backend(spec)
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env and env != DEFAULT_BACKEND_NAME:
+        try:
+            return get_backend(env)
+        except BackendUnavailableError as exc:
+            warnings.warn(
+                f"{ENV_VAR}={env!r} requested but {exc}; falling back to "
+                f"{DEFAULT_BACKEND_NAME!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return get_backend(DEFAULT_BACKEND_NAME)

@@ -15,6 +15,9 @@ Subcommands
     calibrate).
 ``devices``
     Print the simulated device inventory (the paper's Table I).
+``backends``
+    List the registered array backends, their availability, and — for
+    unavailable ones — why the probe failed.
 
 Examples
 --------
@@ -22,10 +25,12 @@ Examples
 
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
     gpu-aco solve att48 --replicas 16 --iterations 20
+    gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
     gpu-aco experiments table2
     gpu-aco devices
+    gpu-aco backends
 """
 
 from __future__ import annotations
@@ -34,7 +39,9 @@ import argparse
 import os
 import sys
 
+from repro.backend import BACKENDS, available_backends, resolve_backend
 from repro.core import ACOParams, AntSystem, BatchEngine
+from repro.errors import BackendError
 from repro.simt.device import DEVICES
 from repro.tsp import load_instance, parse_tsplib
 from repro.tsp.suite import PAPER_INSTANCE_NAMES
@@ -72,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent seed-replicas run as one vectorized batch",
     )
+    solve.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="array backend (default: $ACO_BACKEND or numpy)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="batched parameter sweep over one instance"
@@ -102,11 +115,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ants", type=int, default=None)
     sweep.add_argument("--nn", type=int, default=30)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="array backend (default: $ACO_BACKEND or numpy)",
+    )
 
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
     exps.add_argument("args", nargs=argparse.REMAINDER)
 
     sub.add_parser("devices", help="print the simulated device inventory")
+    sub.add_parser(
+        "backends", help="list registered array backends and their availability"
+    )
     return parser
 
 
@@ -116,23 +138,34 @@ def _load(name_or_path: str):
     return load_instance(name_or_path)
 
 
+def _resolve_backend_arg(name: str | None):
+    """Resolve a ``--backend`` value, exiting cleanly when unavailable."""
+    try:
+        return resolve_backend(name)
+    except BackendError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
     instance = _load(args.instance)
     device = DEVICES[args.device]
+    backend = _resolve_backend_arg(args.backend)
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
     if args.replicas > 1:
-        return _solve_replicas(args, instance, device, params)
+        return _solve_replicas(args, instance, device, params, backend)
     colony = AntSystem(
         instance,
         params=params,
         device=device,
         construction=args.construction,
         pheromone=args.pheromone,
+        backend=backend,
     )
     print(
         f"solving {instance.name} (n={instance.n}) on {device.name} "
+        f"[backend {backend.name}] "
         f"with construction v{colony.construction.version} "
         f"({colony.construction.label}) + pheromone v{colony.pheromone.version} "
         f"({colony.pheromone.label})"
@@ -155,7 +188,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve_replicas(args, instance, device, params) -> int:
+def _solve_replicas(args, instance, device, params, backend) -> int:
     engine = BatchEngine.replicas(
         instance,
         params,
@@ -163,9 +196,11 @@ def _solve_replicas(args, instance, device, params) -> int:
         device=device,
         construction=args.construction,
         pheromone=args.pheromone,
+        backend=backend,
     )
     print(
-        f"solving {instance.name} (n={instance.n}) on {device.name} with "
+        f"solving {instance.name} (n={instance.n}) on {device.name} "
+        f"[backend {backend.name}] with "
         f"{args.replicas} batched replicas, construction "
         f"v{engine.construction.version} + pheromone v{engine.pheromone.version}"
     )
@@ -205,6 +240,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     instance = _load(args.instance)
     device = DEVICES[args.device]
+    backend = _resolve_backend_arg(args.backend)
     grid = _parse_sweep_params(args.param)
     # seed values must stay integers (they feed the RNG's seed derivation)
     if "seed" in grid:
@@ -220,6 +256,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             device=device,
             construction=args.construction,
             pheromone=args.pheromone,
+            backend=backend,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -234,6 +271,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"wall-clock (batched functional simulation): "
         f"{sweep.batch.wall_seconds:.2f}s for {sweep.batch.B} x "
         f"{args.iterations} iterations"
+    )
+    return 0
+
+
+def _cmd_backends() -> int:
+    t = Table(
+        ["key", "available", "accelerated", "detail"],
+        title="registered array backends",
+    )
+    for info in available_backends():
+        t.add_row(
+            [
+                info.name,
+                "yes" if info.available else "no",
+                "yes" if info.accelerated else "no",
+                "-" if info.available else (info.reason or "unavailable"),
+            ]
+        )
+    print(t.render())
+    print(
+        "select with --backend NAME, the ACO_BACKEND environment variable, "
+        "or AntSystem/BatchEngine(backend=...)"
     )
     return 0
 
@@ -271,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "devices":
         return _cmd_devices()
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "experiments":
         from repro.experiments.__main__ import main as exp_main
 

@@ -132,7 +132,6 @@ class AntColonySystem(Kernel):
     # ------------------------------------------------------------- geometry
 
     def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
-        n = problem.get("n", self.state.n)
         m = problem.get("m", self.state.m)
         theta = min(256, device.max_threads_per_block)
         return LaunchConfig(grid=m, block=theta, smem_per_block=8 * theta)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.choice import ChoiceKernel
 from repro.core.construction import TourConstruction, make_construction
 from repro.core.params import ACOParams
@@ -51,12 +52,13 @@ from repro.util.timer import WallClock
 __all__ = ["BatchColonyState", "BatchEngine", "BatchRunResult"]
 
 
-def _stack_or_broadcast(rows: list[np.ndarray], B: int) -> np.ndarray:
-    """Stack per-colony arrays, sharing memory when every row is the same
-    object (the replica case — B views of one matrix, not B copies)."""
+def _stack_or_broadcast(rows: list[np.ndarray], B: int, bk: ArrayBackend):
+    """Stack per-colony host arrays onto the backend, sharing memory when
+    every row is the same object (the replica case — B views of one
+    uploaded matrix, not B copies)."""
     if all(r is rows[0] for r in rows):
-        return np.broadcast_to(rows[0], (B,) + rows[0].shape)
-    return np.stack(rows)
+        return bk.xp.broadcast_to(bk.from_host(rows[0]), (B,) + rows[0].shape)
+    return bk.from_host(np.stack(rows))
 
 
 @dataclass
@@ -67,6 +69,11 @@ class BatchColonyState:
     broadcast views when all colonies share an instance; the pheromone stack
     is always ``B`` writable rows.  Rows never alias each other's mutable
     state, so batched kernels cannot couple colonies.
+
+    Array residency: the per-colony matrices and exponent vectors live on
+    ``backend`` (numpy by default); the reporting fields (``tours``,
+    ``lengths``, best records) are **host** numpy arrays, refreshed once per
+    iteration boundary by :meth:`record_tours`.
     """
 
     instances: tuple[TSPInstance, ...]
@@ -84,12 +91,13 @@ class BatchColonyState:
     alpha: np.ndarray  # (B,) float64 per-colony exponents
     beta: np.ndarray  # (B,)
     rho: np.ndarray  # (B,)
+    backend: ArrayBackend = field(default_factory=resolve_backend)
     choice_info: np.ndarray | None = None  # (B, n, n), refreshed per iter
-    tours: np.ndarray | None = None  # (B, m, n + 1) int32, last iteration
-    lengths: np.ndarray | None = None  # (B, m) int64, last iteration
+    tours: np.ndarray | None = None  # (B, m, n + 1) int32 host, last iteration
+    lengths: np.ndarray | None = None  # (B, m) int64 host, last iteration
     iteration: int = 0
     best_tours: np.ndarray | None = field(default=None, repr=False)
-    best_lengths: np.ndarray | None = None  # (B,) int64
+    best_lengths: np.ndarray | None = None  # (B,) int64 host
 
     @classmethod
     def create(
@@ -97,13 +105,17 @@ class BatchColonyState:
         instances: list[TSPInstance],
         params: list[ACOParams],
         device: DeviceSpec,
+        backend: ArrayBackend | str | None = None,
     ) -> "BatchColonyState":
         """Initialise every row the ACOTSP way (``tau0 = m / C_nn`` per row).
 
         All rows must agree on ``n``, ``m`` and ``nn`` (the batch shares
         array shapes); per-instance derivations are cached so replicas of
-        one instance build each matrix once.
+        one instance build each matrix once.  Derivations run on the host;
+        the resident stacks are then uploaded through ``backend`` (a no-copy
+        pass-through on numpy).
         """
+        bk = resolve_backend(backend)
         B = len(instances)
         if B == 0:
             raise ACOConfigError("batch needs at least one colony")
@@ -157,20 +169,24 @@ class BatchColonyState:
             n=n,
             m=m,
             nn=nn,
-            dist=_stack_or_broadcast(dist_rows, B),
-            eta=_stack_or_broadcast(eta_rows, B),
-            pheromone=pheromone,
-            nn_list=_stack_or_broadcast(nn_rows, B),
-            tau0=tau0,
-            alpha=np.array([p.alpha for p in params], dtype=np.float64),
-            beta=np.array([p.beta for p in params], dtype=np.float64),
-            rho=np.array([p.rho for p in params], dtype=np.float64),
+            dist=_stack_or_broadcast(dist_rows, B, bk),
+            eta=_stack_or_broadcast(eta_rows, B, bk),
+            pheromone=bk.from_host(pheromone),
+            nn_list=_stack_or_broadcast(nn_rows, B, bk),
+            tau0=bk.from_host(tau0),
+            alpha=bk.from_host(np.array([p.alpha for p in params], dtype=np.float64)),
+            beta=bk.from_host(np.array([p.beta for p in params], dtype=np.float64)),
+            rho=bk.from_host(np.array([p.rho for p in params], dtype=np.float64)),
+            backend=bk,
         )
 
     # ----------------------------------------------------------- bookkeeping
 
     def record_tours(self, tours: np.ndarray, lengths: np.ndarray) -> None:
-        """Store the iteration's tours and update every row's best record."""
+        """Store the iteration's (host) tours and update every row's best
+        record.  This is the per-iteration host transfer boundary: callers
+        pass ``backend.to_host`` copies and the bookkeeping below is plain
+        numpy regardless of where the kernels ran."""
         self.tours = tours
         self.lengths = lengths
         rows = np.arange(self.B)
@@ -207,6 +223,7 @@ class BatchColonyState:
             pheromone=self.pheromone[b],
             nn_list=self.nn_list[b],
             tau0=float(self.tau0[b]),
+            backend=self.backend,
         )
 
     @property
@@ -275,6 +292,10 @@ class BatchEngine:
     device / construction / pheromone / *_options:
         As for :class:`~repro.core.colony.AntSystem`; one strategy pair is
         shared by the whole batch (strategies are stateless between calls).
+    backend:
+        Array backend the batch executes on — a name (``"numpy"``,
+        ``"cupy"``), an :class:`~repro.backend.ArrayBackend` instance, or
+        ``None`` to resolve ``ACO_BACKEND`` / the numpy default.
     """
 
     def __init__(
@@ -286,6 +307,7 @@ class BatchEngine:
         pheromone: int | str | PheromoneUpdate = 1,
         construction_options: dict | None = None,
         pheromone_options: dict | None = None,
+        backend: ArrayBackend | str | None = None,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -305,15 +327,21 @@ class BatchEngine:
                 "parameter sets"
             )
         self.device = device
+        self.backend = resolve_backend(backend)
         self.construction = make_construction(
             construction, **(construction_options or {})
         )
         self.pheromone = make_pheromone(pheromone, **(pheromone_options or {}))
-        self.state = BatchColonyState.create(instances, plist, device)
+        self.state = BatchColonyState.create(
+            instances, plist, device, backend=self.backend
+        )
         self.choice_kernel = ChoiceKernel()
         streams = self.construction.rng_streams(self.state.n, self.state.m)
         self.rng = make_batched_rng(
-            self.construction.rng_kind, streams, [p.seed for p in plist]
+            self.construction.rng_kind,
+            streams,
+            [p.seed for p in plist],
+            backend=self.backend,
         )
 
     @classmethod
@@ -350,7 +378,12 @@ class BatchEngine:
     # ------------------------------------------------------------ iteration
 
     def run_iteration(self) -> list[IterationReport]:
-        """One full AS iteration for every colony; one report per row."""
+        """One full AS iteration for every colony; one report per row.
+
+        Every stage runs on ``self.backend``; tours and lengths cross to the
+        host exactly once, at the end of the iteration, for bookkeeping and
+        the per-colony reports (a no-copy pass-through on numpy).
+        """
         bs = self.state
         stages: list[list] = [[] for _ in range(bs.B)]
 
@@ -359,20 +392,22 @@ class BatchEngine:
                 stages[b].append(rep)
 
         result = self.construction.build_batch(bs, self.rng)
-        lengths = tour_lengths_batch(result.tours, bs.dist)
+        lengths = tour_lengths_batch(result.tours, bs.dist, xp=self.backend.xp)
         for b, rep in enumerate(result.reports):
             stages[b].append(rep)
 
         for b, rep in enumerate(self.pheromone.update_batch(bs, result.tours, lengths)):
             stages[b].append(rep)
 
-        bs.record_tours(result.tours, lengths)
+        bs.record_tours(
+            self.backend.to_host(result.tours), self.backend.to_host(lengths)
+        )
         bs.iteration += 1
         return [
             IterationReport(
                 iteration=bs.iteration,
-                tours=result.tours[b],
-                lengths=lengths[b],
+                tours=bs.tours[b],
+                lengths=bs.lengths[b],
                 stages=stages[b],
             )
             for b in range(bs.B)

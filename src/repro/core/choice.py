@@ -18,7 +18,43 @@ from repro.simt.device import DeviceSpec
 from repro.simt.kernel import Kernel, LaunchConfig, grid_for
 from repro.simt.memory import AccessPattern, GlobalMemory
 
-__all__ = ["ChoiceKernel"]
+__all__ = ["ChoiceKernel", "compute_choice", "compute_choice_batch"]
+
+
+def compute_choice(tau, eta, alpha: float, beta: float, *, xp=np, out=None):
+    """``tau^alpha * eta^beta`` with identity-exponent fast paths.
+
+    ``pow(x, 1.0)`` is required (and verified by the test-suite) to return
+    ``x`` bit-for-bit, so skipping the ``powf`` pass for the paper's default
+    ``alpha = 1`` never changes an output.  ``out`` (an ``(n, n)`` float64
+    buffer) receives the product when given, letting callers reuse one
+    allocation across iterations; it doubles as the scratch for whichever
+    power pass actually runs, so the common ``alpha = 1`` case performs no
+    per-call allocation at all.
+    """
+    tau_p = tau if alpha == 1.0 else xp.power(tau, alpha, out=out)
+    eta_scratch = out if tau_p is tau else None
+    eta_p = eta if beta == 1.0 else xp.power(eta, beta, out=eta_scratch)
+    if out is None:
+        return tau_p * eta_p
+    return xp.multiply(tau_p, eta_p, out=out)
+
+
+def compute_choice_batch(tau, eta, alpha, beta, *, xp=np, out=None):
+    """Batched :func:`compute_choice` with per-row ``(B,)`` exponent vectors.
+
+    The fast path applies only when *every* row uses the identity exponent;
+    mixed batches take the full ``power`` pass, which is still bit-identical
+    row-for-row (``pow(x, 1.0) == x`` exactly).
+    """
+    a_one = bool((alpha == 1.0).all())
+    b_one = bool((beta == 1.0).all())
+    tau_p = tau if a_one else xp.power(tau, alpha[:, None, None], out=out)
+    eta_scratch = out if a_one else None
+    eta_p = eta if b_one else xp.power(eta, beta[:, None, None], out=eta_scratch)
+    if out is None:
+        return tau_p * eta_p
+    return xp.multiply(tau_p, eta_p, out=out)
 
 
 class ChoiceKernel(Kernel):
@@ -33,6 +69,17 @@ class ChoiceKernel(Kernel):
 
     def __init__(self, block: int = 256) -> None:
         self.block = int(block)
+        # Reused (B?, n, n) output buffer: choice_info is rebound every
+        # iteration and nothing retains the previous matrix, so recycling
+        # the allocation removes an n² (or B·n²) alloc per iteration.
+        self._buf = None
+        self._buf_xp = None
+
+    def _buffer(self, shape: tuple, xp):
+        if self._buf is None or self._buf.shape != shape or self._buf_xp is not xp:
+            self._buf = xp.empty(shape, dtype=np.float64)
+            self._buf_xp = xp
+        return self._buf
 
     def launch_config(self, device: DeviceSpec, *, n: int) -> LaunchConfig:
         block = min(self.block, device.max_threads_per_block)
@@ -43,10 +90,17 @@ class ChoiceKernel(Kernel):
     def run(self, state: ColonyState) -> StageReport:
         """Compute ``state.choice_info`` in place and account the kernel."""
         params = state.params
-        choice = np.power(state.pheromone, params.alpha) * np.power(
-            state.eta, params.beta
+        xp = state.backend.xp
+        choice = compute_choice(
+            state.pheromone,
+            state.eta,
+            params.alpha,
+            params.beta,
+            xp=xp,
+            out=self._buffer((state.n, state.n), xp),
         )
-        np.fill_diagonal(choice, 0.0)
+        diag = xp.arange(state.n)
+        choice[diag, diag] = 0.0
         state.choice_info = choice
 
         stats, launch = self.predict_stats(state.n, state.device)
@@ -58,10 +112,16 @@ class ChoiceKernel(Kernel):
         One elementwise pass with per-row exponents — row ``b`` is
         bit-identical to the solo :meth:`run` on colony ``b``.
         """
-        choice = np.power(bstate.pheromone, bstate.alpha[:, None, None]) * np.power(
-            bstate.eta, bstate.beta[:, None, None]
+        xp = bstate.backend.xp
+        choice = compute_choice_batch(
+            bstate.pheromone,
+            bstate.eta,
+            bstate.alpha,
+            bstate.beta,
+            xp=xp,
+            out=self._buffer((bstate.B, bstate.n, bstate.n), xp),
         )
-        diag = np.arange(bstate.n)
+        diag = xp.arange(bstate.n)
         choice[:, diag, diag] = 0.0
         bstate.choice_info = choice
 

@@ -103,6 +103,11 @@ class AntSystem:
     construction_options / pheromone_options:
         Extra constructor arguments for the strategies (e.g. ``tile=512``,
         ``theta=128``).
+    backend:
+        Array backend executing the iteration kernels — a name
+        (``"numpy"``, ``"cupy"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` to
+        resolve ``ACO_BACKEND`` / the numpy default.
     """
 
     def __init__(
@@ -114,6 +119,7 @@ class AntSystem:
         pheromone: int | str | PheromoneUpdate = 1,
         construction_options: dict | None = None,
         pheromone_options: dict | None = None,
+        backend=None,
     ) -> None:
         self.params = params or ACOParams()
         self.device = device
@@ -129,7 +135,9 @@ class AntSystem:
             device=device,
             construction=self.construction,
             pheromone=self.pheromone,
+            backend=backend,
         )
+        self.backend = self.engine.backend
         self.state = self.engine.state.colony_view(0)
         self.choice_kernel = self.engine.choice_kernel
         self.rng = self.engine.rng

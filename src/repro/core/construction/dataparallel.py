@@ -112,6 +112,7 @@ class DataParallelConstruction(TourConstruction):
         self._validate_state(state)
         assert state.choice_info is not None
         n, m, device = state.n, state.m, state.device
+        xp = state.backend.xp
         if rng.n_streams < m * n:
             raise ACOConfigError(
                 f"data-parallel construction needs m*n={m * n} rng streams, "
@@ -127,11 +128,11 @@ class DataParallelConstruction(TourConstruction):
         gmem = GlobalMemory(device, stats)
         tex = TextureMemory(device, stats)
 
-        ant_idx = np.arange(m)
-        tours = np.empty((m, n + 1), dtype=np.int32)
-        visited = np.zeros((m, n), dtype=bool)
+        ant_idx = xp.arange(m)
+        tours = xp.empty((m, n + 1), dtype=np.int32)
+        visited = xp.zeros((m, n), dtype=bool)
 
-        start = np.minimum((rng.uniform()[:m] * n).astype(np.int64), n - 1)
+        start = xp.minimum((rng.uniform()[:m] * n).astype(np.int64), n - 1)
         stats.rng_lcg += m
         tours[:, 0] = start
         visited[ant_idx, start] = True
@@ -153,10 +154,10 @@ class DataParallelConstruction(TourConstruction):
             stats.smem_accesses += float(m) * n  # product written to shared
 
             # Per-tile partial winners via the block reduction.
-            tile_city = np.empty((m, len(spans)), dtype=np.int64)
-            tile_val = np.empty((m, len(spans)), dtype=np.float64)
+            tile_city = xp.empty((m, len(spans)), dtype=np.int64)
+            tile_val = xp.empty((m, len(spans)), dtype=np.float64)
             for t, (lo, hi) in enumerate(spans):
-                idx, val = block_argmax(w[:, lo:hi], stats)
+                idx, val = block_argmax(w[:, lo:hi], stats, xp=xp)
                 tile_city[:, t] = idx + lo
                 tile_val[:, t] = val
             stats.serial_barriers += float(
@@ -166,13 +167,13 @@ class DataParallelConstruction(TourConstruction):
             # Final selection among tile winners.
             stats.int_ops += float(m) * len(spans)
             if self.tile_rule == "product" or len(spans) == 1:
-                pick = np.argmax(tile_val, axis=1)
+                pick = xp.argmax(tile_val, axis=1)
             else:
                 # Heuristic rule: compare winners by raw choice value, but a
                 # tile whose every city is visited (value 0) cannot win.
                 winner_choice = choice[cur[:, None], tile_city]
-                winner_choice = np.where(tile_val > 0.0, winner_choice, -np.inf)
-                pick = np.argmax(winner_choice, axis=1)
+                winner_choice = xp.where(tile_val > 0.0, winner_choice, -np.inf)
+                pick = xp.argmax(winner_choice, axis=1)
                 stats.int_ops += float(m) * len(spans)
             nxt = tile_city[ant_idx, pick]
 
@@ -198,6 +199,7 @@ class DataParallelConstruction(TourConstruction):
         exactly), so per-colony reports come from the closed form.
         """
         B, n, m, device = bstate.B, bstate.n, bstate.m, bstate.device
+        xp = bstate.backend.xp
         self._validate_batch_rng(rng, B, n, m)
         if bstate.choice_info is None:
             raise ACOConfigError(
@@ -210,45 +212,45 @@ class DataParallelConstruction(TourConstruction):
         # Flattened mega-colony layout: B * m ants, ant b*m+a reading choice
         # rows b*n + city — every per-step op keeps the solo 2-D shape.
         M = B * m
-        choice_rows = np.ascontiguousarray(bstate.choice_info).reshape(B * n, n)
+        choice_rows = xp.ascontiguousarray(bstate.choice_info).reshape(B * n, n)
         choice_flat = choice_rows.reshape(-1)
-        row_off = np.repeat(np.arange(B, dtype=np.int64) * n, m)  # (M,)
-        ant_idx = np.arange(M)
-        tours = np.empty((M, n + 1), dtype=np.int32)
+        row_off = xp.repeat(xp.arange(B, dtype=np.int64) * n, m)  # (M,)
+        ant_idx = xp.arange(M)
+        tours = xp.empty((M, n + 1), dtype=np.int32)
 
-        u0 = np.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M)
-        start = np.minimum((u0 * n).astype(np.int64), n - 1)
+        u0 = xp.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M)
+        start = xp.minimum((u0 * n).astype(np.int64), n - 1)
         tours[:, 0] = start
         cur = start
 
         # ``live`` mirrors the register tabu as a 1.0/0.0 multiplicand (a
         # float multiply by the flag, exactly the kernel's branchless form);
         # scratch buffers are reused across steps to avoid allocator churn.
-        live = np.ones((M, n), dtype=np.float64)
+        live = xp.ones((M, n), dtype=np.float64)
         live[ant_idx, start] = 0.0
-        rows_buf = np.empty((M, n), dtype=np.float64)
-        rows_idx = np.empty(M, dtype=np.int64)
-        tile_city = np.empty((M, len(spans)), dtype=np.int64)
-        tile_val = np.empty((M, len(spans)), dtype=np.float64)
+        rows_buf = xp.empty((M, n), dtype=np.float64)
+        rows_idx = xp.empty(M, dtype=np.int64)
+        tile_city = xp.empty((M, len(spans)), dtype=np.int64)
+        tile_val = xp.empty((M, len(spans)), dtype=np.float64)
 
         for step in range(1, n):
             u = rng.uniform().reshape(M, n)
-            np.add(row_off, cur, out=rows_idx)
-            w = np.take(choice_rows, rows_idx, axis=0, out=rows_buf)
-            np.multiply(w, u, out=w)
-            np.multiply(w, live, out=w)
+            xp.add(row_off, cur, out=rows_idx)
+            w = xp.take(choice_rows, rows_idx, axis=0, out=rows_buf)
+            xp.multiply(w, u, out=w)
+            xp.multiply(w, live, out=w)
 
             for t, (lo, hi) in enumerate(spans):
-                idx, val = block_argmax(w[:, lo:hi])
+                idx, val = block_argmax(w[:, lo:hi], xp=xp)
                 tile_city[:, t] = idx + lo
                 tile_val[:, t] = val
 
             if self.tile_rule == "product" or len(spans) == 1:
-                pick = np.argmax(tile_val, axis=1)
+                pick = xp.argmax(tile_val, axis=1)
             else:
                 winner_choice = choice_flat[rows_idx[:, None] * n + tile_city]
-                winner_choice = np.where(tile_val > 0.0, winner_choice, -np.inf)
-                pick = np.argmax(winner_choice, axis=1)
+                winner_choice = xp.where(tile_val > 0.0, winner_choice, -np.inf)
+                pick = xp.argmax(winner_choice, axis=1)
             nxt = tile_city[ant_idx, pick]
 
             live[ant_idx, nxt] = 0.0

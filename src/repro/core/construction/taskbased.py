@@ -67,6 +67,7 @@ def construct_exact(
     rng: DeviceRNG,
     m: int,
     n: int,
+    xp=np,
 ) -> tuple[np.ndarray, float]:
     """Exact random-proportional construction, vectorised across ants.
 
@@ -94,7 +95,7 @@ def construct_exact(
         exhaustion events (always 0.0 for the full rule).
     """
     tours, fallbacks = construct_exact_batch(
-        choice[None], None if nn_list is None else nn_list[None], rng, 1, m, n
+        choice[None], None if nn_list is None else nn_list[None], rng, 1, m, n, xp=xp
     )
     return tours[0], float(fallbacks[0])
 
@@ -106,6 +107,7 @@ def construct_exact_batch(
     B: int,
     m: int,
     n: int,
+    xp=np,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched :func:`construct_exact`: ``B`` colonies in one vectorized pass.
 
@@ -132,24 +134,24 @@ def construct_exact_batch(
     layout and trivially equivalent row-for-row.
     """
     M = B * m
-    choice_rows = np.ascontiguousarray(choice).reshape(B * n, n)
+    choice_rows = xp.ascontiguousarray(choice).reshape(B * n, n)
     choice_flat = choice_rows.reshape(-1)
     if nn_list is None:
         nn_rows = nn_cols = None
     else:
-        nn_rows = np.ascontiguousarray(nn_list).reshape(B * n, -1)
+        nn_rows = xp.ascontiguousarray(nn_list).reshape(B * n, -1)
         # Transposed copy so the per-step candidate gather lands directly in
         # the (candidates, ants) layout the roulette runs in.
-        nn_cols = np.ascontiguousarray(nn_rows.T.astype(np.int64))
-    row_off = np.repeat(np.arange(B, dtype=np.int64) * n, m)  # (M,)
-    ant_idx = np.arange(M)
+        nn_cols = xp.ascontiguousarray(nn_rows.T.astype(np.int64))
+    row_off = xp.repeat(xp.arange(B, dtype=np.int64) * n, m)  # (M,)
+    ant_idx = xp.arange(M)
     ant_base_t = (ant_idx * n)[None, :]  # (1, M) visited offsets, loop-invariant
-    tours = np.empty((M, n + 1), dtype=np.int32)
-    visited = np.zeros((M, n), dtype=bool)
+    tours = xp.empty((M, n + 1), dtype=np.int32)
+    visited = xp.zeros((M, n), dtype=bool)
     # 1.0/0.0 twin of ``visited``: weights are masked by a float multiply
     # (the branchless tabu-flag form) instead of boolean fancy assignment,
     # whose cost grows with the visited count.
-    live = np.ones((M, n), dtype=np.float64)
+    live = xp.ones((M, n), dtype=np.float64)
     live_flat = live.reshape(-1)
 
     # One colony-major dart vector per step; with one stream per ant the
@@ -160,62 +162,62 @@ def construct_exact_batch(
     draw = (
         (lambda: rng.uniform())
         if spc == m
-        else (lambda: np.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M))
+        else (lambda: xp.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M))
     )
 
-    start = np.minimum((draw() * n).astype(np.int64), n - 1)
+    start = xp.minimum((draw() * n).astype(np.int64), n - 1)
     tours[:, 0] = start
     visited[ant_idx, start] = True
     live[ant_idx, start] = 0.0
     cur = start
-    fallbacks = np.zeros(B, dtype=np.float64)
+    fallbacks = xp.zeros(B, dtype=np.float64)
 
-    col_t = np.arange(n, dtype=np.int64)[:, None]  # (n, 1) full-rule columns
+    col_t = xp.arange(n, dtype=np.int64)[:, None]  # (n, 1) full-rule columns
     k = n if nn_list is None else nn_cols.shape[0]
     if nn_list is not None:
         # Candidate choice values are static for the whole build: gather the
         # (candidate, row) weight table once instead of once per step.
-        base = (np.arange(B * n, dtype=np.int64) * n)[:, None]
+        base = (xp.arange(B * n, dtype=np.int64) * n)[:, None]
         cand_choice_t = choice_flat[(base + nn_rows).T]  # (nn, B * n)
 
     # Per-step scratch, allocated once: every step writes the same buffers
     # in place (``out=``), which removes the allocator/cache churn that
     # otherwise dominates the per-step cost of these small arrays.
-    idx_buf = np.empty((k, M), dtype=np.int64)
-    cand_buf = np.empty((k, M), dtype=np.int64)
-    w_buf = np.empty((k, M), dtype=np.float64)
-    live_buf = np.empty((k, M), dtype=np.float64)
-    cmp_buf = np.empty((k, M), dtype=bool)
-    rows_idx = np.empty(M, dtype=np.int64)
-    diag_off = np.empty(M, dtype=np.int64)
-    r_buf = np.empty(M, dtype=np.float64)
+    idx_buf = xp.empty((k, M), dtype=np.int64)
+    cand_buf = xp.empty((k, M), dtype=np.int64)
+    w_buf = xp.empty((k, M), dtype=np.float64)
+    live_buf = xp.empty((k, M), dtype=np.float64)
+    cmp_buf = xp.empty((k, M), dtype=bool)
+    rows_idx = xp.empty(M, dtype=np.int64)
+    diag_off = xp.empty(M, dtype=np.int64)
+    r_buf = xp.empty(M, dtype=np.float64)
 
     for step in range(1, n):
         darts = draw()
-        np.add(row_off, cur, out=rows_idx)
+        xp.add(row_off, cur, out=rows_idx)
         # All per-step arrays live in the transposed (candidates, ants)
         # layout: reductions over the candidate axis then run as ~nn
         # contiguous M-wide vector operations instead of M short rows —
         # the difference between per-row overhead and streaming throughput.
         if nn_list is None:
             cand_t = None
-            np.add(ant_base_t, col_t, out=idx_buf)
-            np.take(live_flat, idx_buf, out=live_buf)
-            np.multiply(rows_idx, n, out=diag_off)
-            np.subtract(diag_off, ant_base_t[0], out=diag_off)
-            np.add(idx_buf, diag_off[None, :], out=idx_buf)
-            np.take(choice_flat, idx_buf, out=w_buf)
+            xp.add(ant_base_t, col_t, out=idx_buf)
+            xp.take(live_flat, idx_buf, out=live_buf)
+            xp.multiply(rows_idx, n, out=diag_off)
+            xp.subtract(diag_off, ant_base_t[0], out=diag_off)
+            xp.add(idx_buf, diag_off[None, :], out=idx_buf)
+            xp.take(choice_flat, idx_buf, out=w_buf)
         else:
-            cand_t = np.take(nn_cols, rows_idx, axis=1, out=cand_buf)
-            np.add(ant_base_t, cand_t, out=idx_buf)
-            np.take(live_flat, idx_buf, out=live_buf)
-            np.take(cand_choice_t, rows_idx, axis=1, out=w_buf)
-        np.multiply(w_buf, live_buf, out=w_buf)
-        cum_t = _accumulate_rows(w_buf)
+            cand_t = xp.take(nn_cols, rows_idx, axis=1, out=cand_buf)
+            xp.add(ant_base_t, cand_t, out=idx_buf)
+            xp.take(live_flat, idx_buf, out=live_buf)
+            xp.take(cand_choice_t, rows_idx, axis=1, out=w_buf)
+        xp.multiply(w_buf, live_buf, out=w_buf)
+        cum_t = _accumulate_rows(w_buf, xp=xp)
         sums = cum_t[-1]
-        np.multiply(darts, sums, out=r_buf)
-        np.less(cum_t, r_buf[None, :], out=cmp_buf)
-        pick = np.minimum(cmp_buf.sum(axis=0), k - 1)
+        xp.multiply(darts, sums, out=r_buf)
+        xp.less(cum_t, r_buf[None, :], out=cmp_buf)
+        pick = xp.minimum(cmp_buf.sum(axis=0), k - 1)
         if nn_list is None:
             nxt = pick
         else:
@@ -224,12 +226,12 @@ def construct_exact_batch(
             if not alive.all():
                 # Exhausted candidate lists: overwrite those ants with the
                 # best-choice full-row fallback (ACOTSP's choose_best_next).
-                dead = np.nonzero(~alive)[0]
-                sub = np.where(
+                dead = xp.nonzero(~alive)[0]
+                sub = xp.where(
                     visited[dead], -np.inf, choice_rows[rows_idx[dead]]
                 )
-                nxt[dead] = np.argmax(sub, axis=1)
-                fallbacks += np.bincount(dead // m, minlength=B).astype(np.float64)
+                nxt[dead] = xp.argmax(sub, axis=1)
+                fallbacks += xp.bincount(dead // m, minlength=B).astype(np.float64)
         visited[ant_idx, nxt] = True
         live[ant_idx, nxt] = 0.0
         tours[:, step] = nxt
@@ -265,7 +267,7 @@ def _pick_from_cum(
     return np.minimum(idx, cum_t.shape[0] - 1)
 
 
-def _accumulate_rows(w: np.ndarray) -> np.ndarray:
+def _accumulate_rows(w: np.ndarray, xp=np) -> np.ndarray:
     """In-place cumulative sum down axis 0; returns ``w``.
 
     Bit-identical to ``np.add.accumulate(w, axis=0)`` (same sequential
@@ -273,11 +275,12 @@ def _accumulate_rows(w: np.ndarray) -> np.ndarray:
     ant-axis vector adds, which the ufunc's per-column accumulate does not —
     a large win once the batch is wide.  Branching on the width is safe for
     cross-batch equivalence precisely because both forms produce identical
-    bits.
+    bits.  Non-numpy backends always take the explicit row loop (the
+    ``ufunc.accumulate`` method is a numpy-only API).
     """
-    if w.shape[1] >= 512:
+    if w.shape[1] >= 512 or xp is not np:
         for i in range(1, w.shape[0]):
-            np.add(w[i - 1], w[i], out=w[i])
+            xp.add(w[i - 1], w[i], out=w[i])
         return w
     return np.add.accumulate(w, axis=0, out=w)
 
@@ -300,7 +303,9 @@ class _TaskBasedFull(TourConstruction):
 
     def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
         choice = self._choice_matrix(state)
-        tours, fallbacks = construct_exact(choice, None, rng, state.m, state.n)
+        tours, fallbacks = construct_exact(
+            choice, None, rng, state.m, state.n, xp=state.backend.xp
+        )
         stats, launch = self.predict_stats(
             state.n, state.m, state.nn, state.device, fallback_steps=fallbacks
         )
@@ -313,7 +318,9 @@ class _TaskBasedFull(TourConstruction):
         B, n, m = bstate.B, bstate.n, bstate.m
         self._validate_batch_rng(rng, B, n, m)
         choice = self._choice_matrix_batch(bstate)
-        tours, fallbacks = construct_exact_batch(choice, None, rng, B, m, n)
+        tours, fallbacks = construct_exact_batch(
+            choice, None, rng, B, m, n, xp=bstate.backend.xp
+        )
         return BatchConstructionResult(
             tours=tours,
             reports=self._batch_reports(bstate, fallbacks),
@@ -392,16 +399,23 @@ class BaselineTaskConstruction(_TaskBasedFull):
     def _choice_matrix(self, state: ColonyState) -> np.ndarray:
         # Functionally identical to the on-the-fly computation; the *cost*
         # of recomputation is charged per candidate in predict_stats.
+        from repro.core.choice import compute_choice
+
         p = state.params
-        w = np.power(state.pheromone, p.alpha) * np.power(state.eta, p.beta)
-        np.fill_diagonal(w, 0.0)
+        xp = state.backend.xp
+        w = compute_choice(state.pheromone, state.eta, p.alpha, p.beta, xp=xp)
+        diag = xp.arange(state.n)
+        w[diag, diag] = 0.0
         return w
 
     def _choice_matrix_batch(self, bstate) -> np.ndarray:
-        w = np.power(bstate.pheromone, bstate.alpha[:, None, None]) * np.power(
-            bstate.eta, bstate.beta[:, None, None]
+        from repro.core.choice import compute_choice_batch
+
+        xp = bstate.backend.xp
+        w = compute_choice_batch(
+            bstate.pheromone, bstate.eta, bstate.alpha, bstate.beta, xp=xp
         )
-        diag = np.arange(bstate.n)
+        diag = xp.arange(bstate.n)
         w[:, diag, diag] = 0.0
         return w
 

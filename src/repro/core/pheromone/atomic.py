@@ -43,23 +43,26 @@ __all__ = ["AtomicSharedPheromone", "AtomicPheromone"]
 PHEROMONE_BLOCK = 256
 
 
-def _row_hot_degree(flat_idx: np.ndarray, n_cells: int) -> np.ndarray:
+def _row_hot_degree(flat_idx: np.ndarray, n_cells: int, bk) -> np.ndarray:
     """Hottest-cell update multiplicity per row of a ``(B, k)`` index batch.
 
-    Row ``b``'s value equals ``AtomicModel``'s contention record for that
-    colony's index vector alone (offsets keep rows disjoint, so one
-    ``np.unique`` pass covers the whole batch).
+    ``bk`` is the backend ``flat_idx`` lives on.  Row ``b``'s value equals
+    ``AtomicModel``'s contention record for that colony's index vector alone
+    (offsets keep rows disjoint, so one ``unique``/``bincount`` pass covers
+    the whole batch).  Integer counting, so every backend returns identical
+    values.
     """
+    xp = bk.xp
     B = flat_idx.shape[0]
     # The dense path allocates B * n_cells counters; unlike the deposit,
     # the hot degree is a pure measurement (identical either way), so the
     # guard can key on the actual scratch size.
     if B * n_cells > (1 << 24):
-        return np.array(
-            [float(np.unique(row, return_counts=True)[1].max()) for row in flat_idx]
+        return xp.asarray(
+            [float(xp.unique(row, return_counts=True)[1].max()) for row in flat_idx]
         )
-    offset = (np.arange(B, dtype=np.int64) * n_cells)[:, None]
-    counts = np.bincount((flat_idx + offset).ravel(), minlength=B * n_cells)
+    offset = (xp.arange(B, dtype=np.int64) * n_cells)[:, None]
+    counts = bk.bincount((flat_idx + offset).ravel(), minlength=B * n_cells)
     return counts.reshape(B, n_cells).max(axis=1).astype(np.float64)
 
 
@@ -113,8 +116,9 @@ class AtomicSharedPheromone(PheromoneUpdate):
         evaporate_batch(bstate)
         flat_fw, flat_bw, _ = deposit_all_batch(bstate, tours, lengths)
         cells = bstate.n * bstate.n
-        hot = np.maximum(
-            _row_hot_degree(flat_fw, cells), _row_hot_degree(flat_bw, cells)
+        bk = bstate.backend
+        hot = bk.xp.maximum(
+            _row_hot_degree(flat_fw, cells, bk), _row_hot_degree(flat_bw, cells, bk)
         )
 
         def build(h: float) -> StageReport:

@@ -67,16 +67,18 @@ def deposit_all(
     deposit values so atomic-flavoured strategies can re-use them for
     contention accounting.
     """
+    bk = state.backend
+    xp = bk.xp
     n = state.n
     frm = tours[:, :-1].astype(np.int64)
     to = tours[:, 1:].astype(np.int64)
     deltas = (1.0 / lengths.astype(np.float64))[:, None]
-    values = np.broadcast_to(deltas, frm.shape).ravel()
+    values = xp.broadcast_to(deltas, frm.shape).ravel()
     flat_fw = (frm * n + to).ravel()
     flat_bw = (to * n + frm).ravel()
     flat_tau = state.pheromone.reshape(-1)
-    np.add.at(flat_tau, flat_fw, values)
-    np.add.at(flat_tau, flat_bw, values)
+    bk.scatter_add(flat_tau, flat_fw, values)
+    bk.scatter_add(flat_tau, flat_bw, values)
     return flat_fw, flat_bw, values
 
 
@@ -98,32 +100,34 @@ def deposit_all_batch(
     m * n)``, no batch offset) and the deposit values, for the atomic
     strategies' contention accounting.
     """
+    bk = bstate.backend
+    xp = bk.xp
     n, B = bstate.n, bstate.B
     frm = tours[:, :, :-1].astype(np.int64)
     to = tours[:, :, 1:].astype(np.int64)
     deltas = (1.0 / lengths.astype(np.float64))[:, :, None]
-    values = np.broadcast_to(deltas, frm.shape).reshape(B, -1)
+    values = xp.broadcast_to(deltas, frm.shape).reshape(B, -1)
     flat_fw = (frm * n + to).reshape(B, -1)
     flat_bw = (to * n + frm).reshape(B, -1)
-    offsets = (np.arange(B, dtype=np.int64) * (n * n))[:, None]
+    offsets = (xp.arange(B, dtype=np.int64) * (n * n))[:, None]
     flat_tau = bstate.pheromone.reshape(-1)
     if n * n > _BINCOUNT_CELL_LIMIT:
-        # Huge instances: np.add.at needs no counter scratch.  This branch
-        # keys on the *per-colony* cell count (bincount and add.at fold
+        # Huge instances: scatter_add needs no counter scratch.  This branch
+        # keys on the *per-colony* cell count (bincount and scatter_add fold
         # deposits differently in the last ulp), so a row's result never
         # depends on how many rows share the batch.
-        np.add.at(flat_tau, (flat_fw + offsets).ravel(), values.reshape(-1))
-        np.add.at(flat_tau, (flat_bw + offsets).ravel(), values.reshape(-1))
+        bk.scatter_add(flat_tau, (flat_fw + offsets).ravel(), values.reshape(-1))
+        bk.scatter_add(flat_tau, (flat_bw + offsets).ravel(), values.reshape(-1))
     elif B * n * n <= _BINCOUNT_SCRATCH_LIMIT:
         # bincount(..., weights=...) accumulates deposits per cell in input
         # order (the atomic-sum semantics of np.add.at) at a fraction of
         # its cost, then one vector add folds each direction into the
         # stack.
-        vals = np.ascontiguousarray(values.reshape(-1))
-        flat_tau += np.bincount(
+        vals = xp.ascontiguousarray(values.reshape(-1))
+        flat_tau += bk.bincount(
             (flat_fw + offsets).ravel(), weights=vals, minlength=flat_tau.size
         )
-        flat_tau += np.bincount(
+        flat_tau += bk.bincount(
             (flat_bw + offsets).ravel(), weights=vals, minlength=flat_tau.size
         )
     else:
@@ -132,11 +136,11 @@ def deposit_all_batch(
         # single-pass variant above — the split is purely about memory.
         for b in range(B):
             row_tau = bstate.pheromone[b].reshape(-1)
-            row_vals = np.ascontiguousarray(values[b])
-            row_tau += np.bincount(
+            row_vals = xp.ascontiguousarray(values[b])
+            row_tau += bk.bincount(
                 flat_fw[b], weights=row_vals, minlength=row_tau.size
             )
-            row_tau += np.bincount(
+            row_tau += bk.bincount(
                 flat_bw[b], weights=row_vals, minlength=row_tau.size
             )
     return flat_fw, flat_bw, values

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.params import ACOParams
 from repro.simt.device import DeviceSpec
 from repro.tsp.instance import TSPInstance
@@ -39,6 +40,8 @@ class ColonyState:
     pheromone: np.ndarray  # (n, n) float64 tau
     nn_list: np.ndarray  # (n, nn) int32 candidate lists
     tau0: float
+    #: array substrate the per-colony arrays live on (numpy by default)
+    backend: ArrayBackend = field(default_factory=resolve_backend)
     choice_info: np.ndarray | None = None  # (n, n) float64, refreshed per iter
     tours: np.ndarray | None = None  # (m, n + 1) int32, last iteration
     lengths: np.ndarray | None = None  # (m,) int64, last iteration
@@ -48,14 +51,22 @@ class ColonyState:
 
     @classmethod
     def create(
-        cls, instance: TSPInstance, params: ACOParams, device: DeviceSpec
+        cls,
+        instance: TSPInstance,
+        params: ACOParams,
+        device: DeviceSpec,
+        backend: ArrayBackend | str | None = None,
     ) -> "ColonyState":
         """Initialise state the ACOTSP way.
 
         * ``eta = 1 / (d + eta_shift)``
         * ``tau0 = m / C_nn`` with ``C_nn`` the greedy nearest-neighbour tour
           length — every edge starts with the same pheromone.
+
+        Derivations run on the host (they are one-time setup); the resident
+        arrays are then uploaded through ``backend`` (no copy on numpy).
         """
+        bk = resolve_backend(backend)
         n = instance.n
         m = params.resolve_ants(n)
         nn = params.resolve_nn(n)
@@ -72,11 +83,12 @@ class ColonyState:
             n=n,
             m=m,
             nn=nn,
-            dist=dist,
-            eta=eta,
-            pheromone=pheromone,
-            nn_list=instance.nn_lists(nn),
+            dist=bk.from_host(dist),
+            eta=bk.from_host(eta),
+            pheromone=bk.from_host(pheromone),
+            nn_list=bk.from_host(instance.nn_lists(nn)),
             tau0=tau0,
+            backend=bk,
         )
 
     # ----------------------------------------------------------- bookkeeping

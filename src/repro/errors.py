@@ -19,6 +19,8 @@ __all__ = [
     "MemoryModelError",
     "DeviceFeatureError",
     "ACOConfigError",
+    "BackendError",
+    "BackendUnavailableError",
     "ExperimentError",
     "CalibrationError",
 ]
@@ -94,6 +96,30 @@ class DeviceFeatureError(SimtError):
 
 class ACOConfigError(ReproError):
     """Invalid Ant System parameterisation."""
+
+
+# ----------------------------------------------------------------------- backend
+
+
+class BackendError(ReproError):
+    """Array-backend failure (unknown name, broken registration)."""
+
+
+class BackendUnavailableError(BackendError):
+    """A registered backend cannot run here (import failure, no device).
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    reason:
+        The underlying probe failure (e.g. the import error string), kept
+        separately so the ``gpu-aco backends`` listing can surface it.
+    """
+
+    def __init__(self, message: str, reason: str | None = None) -> None:
+        self.reason = reason
+        super().__init__(message)
 
 
 # -------------------------------------------------------------------- experiments

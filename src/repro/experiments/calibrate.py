@@ -28,7 +28,7 @@ values in :mod:`repro.experiments.calibration`.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 
 import numpy as np
 from scipy.optimize import least_squares

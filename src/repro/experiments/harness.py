@@ -32,7 +32,6 @@ from repro.core.pheromone import make_pheromone
 from repro.errors import ExperimentError
 from repro.experiments.calibration import cpu_cost_params, gpu_cost_params
 from repro.seq.cost import estimate_cpu_time
-from repro.seq.counts import CpuOps
 from repro.seq.engine import (
     SequentialAntSystem,
     predict_construction_ops_for,
@@ -258,13 +257,15 @@ def run_replicas(
     construction: int | str = 8,
     pheromone: int | str = 1,
     seed_stride: int = 1,
+    backend=None,
 ) -> BatchRunResult:
     """Run ``replicas`` independent seed-replicas as one vectorized batch.
 
     Row ``b`` uses seed ``params.seed + b * seed_stride`` and is
     bit-identical to a solo :class:`~repro.core.AntSystem` run with that
     seed — the whole point is getting B solo runs for roughly the
-    interpreter cost of one.
+    interpreter cost of one.  ``backend`` selects the array substrate
+    (name, instance, or ``None`` for ``ACO_BACKEND`` / numpy).
     """
     engine = BatchEngine.replicas(
         instance,
@@ -274,6 +275,7 @@ def run_replicas(
         device=device,
         construction=construction,
         pheromone=pheromone,
+        backend=backend,
     )
     return engine.run(iterations)
 
@@ -328,6 +330,7 @@ def run_sweep(
     device: DeviceSpec = TESLA_M2050,
     construction: int | str = 8,
     pheromone: int | str = 1,
+    backend=None,
 ) -> SweepResult:
     """Cartesian parameter sweep × seed replicas, one vectorized batch.
 
@@ -373,6 +376,7 @@ def run_sweep(
         device=device,
         construction=construction,
         pheromone=pheromone,
+        backend=backend,
     )
     batch = engine.run(iterations)
     results = [

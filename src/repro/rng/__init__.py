@@ -37,7 +37,7 @@ _GENERATORS = {
 }
 
 
-def make_rng(kind: str, n_streams: int, seed: int) -> DeviceRNG:
+def make_rng(kind: str, n_streams: int, seed: int, backend=None) -> DeviceRNG:
     """Instantiate a generator by name.
 
     Parameters
@@ -49,6 +49,9 @@ def make_rng(kind: str, n_streams: int, seed: int) -> DeviceRNG:
         Number of independent per-thread streams.
     seed:
         Master seed; per-stream seeds are derived with :func:`split_seed`.
+    backend:
+        Array backend (name, instance or ``None`` for the resolved default)
+        holding the per-stream state vector.
     """
     try:
         cls = _GENERATORS[kind]
@@ -56,10 +59,12 @@ def make_rng(kind: str, n_streams: int, seed: int) -> DeviceRNG:
         raise ValueError(
             f"unknown rng kind {kind!r}; expected one of {sorted(_GENERATORS)}"
         ) from None
-    return cls(n_streams=n_streams, seed=seed)
+    return cls(n_streams=n_streams, seed=seed, backend=backend)
 
 
-def make_batched_rng(kind: str, streams_per_colony: int, seeds) -> DeviceRNG:
+def make_batched_rng(
+    kind: str, streams_per_colony: int, seeds, backend=None
+) -> DeviceRNG:
     """Batched generator: ``streams_per_colony`` streams per seed in ``seeds``.
 
     Stream block ``b`` reproduces exactly the sequence
@@ -72,4 +77,4 @@ def make_batched_rng(kind: str, streams_per_colony: int, seeds) -> DeviceRNG:
         raise ValueError(
             f"unknown rng kind {kind!r}; expected one of {sorted(_GENERATORS)}"
         ) from None
-    return cls.from_seeds(streams_per_colony, seeds)
+    return cls.from_seeds(streams_per_colony, seeds, backend=backend)

@@ -24,7 +24,7 @@ LCG_IA = 16807
 LCG_IM = 2147483647  # 2**31 - 1
 
 
-def lcg_step(state: np.ndarray) -> np.ndarray:
+def lcg_step(state: np.ndarray, xp=np) -> np.ndarray:
     """One Park-Miller step, vectorised.
 
     The C code needs Schrage's decomposition (``k = s / IQ; s = IA * (s - k *
@@ -41,6 +41,10 @@ def lcg_step(state: np.ndarray) -> np.ndarray:
     ----------
     state:
         ``int64`` array of current states, each in ``[1, IM - 1]``.
+    xp:
+        Array module the state lives in (numpy by default; a backend's
+        ``xp`` for device-resident streams).  Integer arithmetic is exact,
+        so every branch returns identical values on every backend.
 
     Returns
     -------
@@ -53,7 +57,10 @@ def lcg_step(state: np.ndarray) -> np.ndarray:
         return (state * LCG_IA) % LCG_IM
     x = state * LCG_IA  # < 2^46, exact in int64
     x = (x & LCG_IM) + (x >> 31)  # < 2^31 + 2^15: at most one more fold
-    np.subtract(x, LCG_IM, out=x, where=x >= LCG_IM)
+    if xp is np:
+        np.subtract(x, LCG_IM, out=x, where=x >= LCG_IM)
+    else:
+        x -= (x >= LCG_IM) * LCG_IM
     return x
 
 
@@ -73,9 +80,9 @@ class ParkMillerLCG(DeviceRNG):
 
     cost_kind = "lcg"
 
-    def __init__(self, n_streams: int, seed: int) -> None:
-        super().__init__(n_streams=n_streams, seed=seed)
-        self._state = self._derive_states(seed, n_streams)
+    def __init__(self, n_streams: int, seed: int, backend=None) -> None:
+        super().__init__(n_streams=n_streams, seed=seed, backend=backend)
+        self._state = self.backend.from_host(self._derive_states(seed, n_streams))
 
     @classmethod
     def _derive_states(cls, seed: int, n_streams: int) -> np.ndarray:
@@ -84,10 +91,10 @@ class ParkMillerLCG(DeviceRNG):
         return (sub % np.uint64(LCG_IM - 1)).astype(np.int64) + 1
 
     def _load_states(self, per_seed_states: list) -> None:
-        self._state = np.concatenate(per_seed_states)
+        self._state = self.backend.from_host(np.concatenate(per_seed_states))
 
     def _next_raw(self) -> np.ndarray:
-        self._state = lcg_step(self._state)
+        self._state = lcg_step(self._state, xp=self.backend.xp)
         return self._state
 
     def _max_raw(self) -> float:

@@ -61,12 +61,17 @@ class DeviceRNG(abc.ABC):
     #: modelled device cost class, read by the SIMT cost model
     cost_kind: str = "lcg"
 
-    def __init__(self, n_streams: int, seed: int) -> None:
+    def __init__(self, n_streams: int, seed: int, backend=None) -> None:
+        from repro.backend import resolve_backend
+
         if n_streams <= 0:
             raise ValueError(f"n_streams must be positive, got {n_streams}")
         self.n_streams = int(n_streams)
         self.seed = int(seed)
         self.samples_drawn = 0
+        #: where the per-stream state vector lives; seeds are always derived
+        #: on the host (cheap, once) and uploaded through the backend.
+        self.backend = resolve_backend(backend)
 
     # -- subclass interface -------------------------------------------------
 
@@ -90,7 +95,7 @@ class DeviceRNG(abc.ABC):
     # -- batched construction ------------------------------------------------
 
     @classmethod
-    def from_seeds(cls, streams_per_seed: int, seeds) -> "DeviceRNG":
+    def from_seeds(cls, streams_per_seed: int, seeds, backend=None) -> "DeviceRNG":
         """Batched generator: ``streams_per_seed`` streams per entry of ``seeds``.
 
         Stream block ``b`` (rows ``[b * streams_per_seed, (b + 1) *
@@ -109,7 +114,7 @@ class DeviceRNG(abc.ABC):
         # Construct with a single throwaway stream (deriving the full batch
         # state in __init__ would be immediately discarded), then install
         # the real per-seed state blocks.
-        rng = cls(n_streams=1, seed=seeds[0])
+        rng = cls(n_streams=1, seed=seeds[0], backend=backend)
         rng._load_states([cls._derive_states(s, streams_per_seed) for s in seeds])
         rng.n_streams = int(streams_per_seed) * len(seeds)
         return rng
@@ -122,7 +127,7 @@ class DeviceRNG(abc.ABC):
         self.samples_drawn += self.n_streams
         # Single-pass cast-and-divide; bit-identical to astype + divide
         # (each element is exactly representable in float64 before dividing).
-        return np.true_divide(raw, self._max_raw())
+        return self.backend.xp.true_divide(raw, self._max_raw())
 
     def uniform_block(self, rounds: int) -> np.ndarray:
         """Draw ``rounds`` successive vectors; shape ``(rounds, n_streams)``.
@@ -133,7 +138,7 @@ class DeviceRNG(abc.ABC):
         """
         if rounds < 0:
             raise ValueError(f"rounds must be non-negative, got {rounds}")
-        out = np.empty((rounds, self.n_streams), dtype=np.float64)
+        out = self.backend.xp.empty((rounds, self.n_streams), dtype=np.float64)
         for r in range(rounds):
             out[r] = self.uniform()
         return out

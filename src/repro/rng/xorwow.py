@@ -41,10 +41,11 @@ class XorwowRNG(DeviceRNG):
 
     cost_kind = "curand"
 
-    def __init__(self, n_streams: int, seed: int) -> None:
-        super().__init__(n_streams=n_streams, seed=seed)
-        self._x, self._y, self._z, self._w, self._v, self._d = self._derive_states(
-            seed, n_streams
+    def __init__(self, n_streams: int, seed: int, backend=None) -> None:
+        super().__init__(n_streams=n_streams, seed=seed, backend=backend)
+        self._x, self._y, self._z, self._w, self._v, self._d = (
+            self.backend.from_host(word)
+            for word in self._derive_states(seed, n_streams)
         )
 
     @classmethod
@@ -67,7 +68,9 @@ class XorwowRNG(DeviceRNG):
 
     def _load_states(self, per_seed_states: list) -> None:
         self._x, self._y, self._z, self._w, self._v, self._d = (
-            np.concatenate([states[i] for states in per_seed_states])
+            self.backend.from_host(
+                np.concatenate([states[i] for states in per_seed_states])
+            )
             for i in range(6)
         )
 

@@ -43,25 +43,26 @@ def _account(stats: KernelStats, blocks: int, width: int) -> None:
 
 
 def block_argmax(
-    values: np.ndarray, stats: KernelStats | None = None
+    values: np.ndarray, stats: KernelStats | None = None, xp=np
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-block argmax over a ``(blocks, width)`` matrix.
 
     Ties resolve to the lowest index, matching a deterministic tree reduction
-    that prefers the left operand on equality.
+    that prefers the left operand on equality.  ``xp`` selects the array
+    module when ``values`` lives on a non-numpy backend.
 
     Returns
     -------
     (argmax, max):
         ``(blocks,)`` winning lane indices and winning values.
     """
-    vals = np.asarray(values)
+    vals = xp.asarray(values)
     if vals.ndim != 2:
         raise ValueError(f"values must be (blocks, width), got shape {vals.shape}")
     if stats is not None:
         _account(stats, vals.shape[0], vals.shape[1])
-    idx = np.argmax(vals, axis=1)
-    return idx.astype(np.int64), vals[np.arange(vals.shape[0]), idx]
+    idx = xp.argmax(vals, axis=1)
+    return idx.astype(np.int64), vals[xp.arange(vals.shape[0]), idx]
 
 
 def block_sum(values: np.ndarray, stats: KernelStats | None = None) -> np.ndarray:

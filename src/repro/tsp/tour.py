@@ -75,16 +75,18 @@ def tour_lengths(tours: np.ndarray, dist: np.ndarray) -> np.ndarray:
     return dist[t[:, :-1], t[:, 1:]].sum(axis=1)
 
 
-def tour_lengths_batch(tours: np.ndarray, dist: np.ndarray) -> np.ndarray:
+def tour_lengths_batch(tours: np.ndarray, dist: np.ndarray, xp=np) -> np.ndarray:
     """Lengths of ``(B, m, n + 1)`` closed tours under ``(B, n, n)`` distances.
 
     ``dist`` may be a broadcast view with a length-1 batch axis (replicas of
     one instance); row ``b`` equals ``tour_lengths(tours[b], dist[b])``.
+    ``xp`` selects the array module when tours/distances live on a non-numpy
+    backend (integer sums, so every backend returns identical values).
     """
-    t = np.asarray(tours, dtype=np.int64)
+    t = xp.asarray(tours, dtype=np.int64)
     if t.ndim != 3:
         raise InvalidTourError(f"tours must be (B, m, n + 1), got shape {t.shape}")
-    b_idx = np.arange(t.shape[0])[:, None, None]
+    b_idx = xp.arange(t.shape[0])[:, None, None]
     return dist[b_idx, t[:, :, :-1], t[:, :, 1:]].sum(axis=2)
 
 

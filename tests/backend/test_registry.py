@@ -1,0 +1,179 @@
+"""Registry resolution, fallback behaviour, and the NumpyBackend protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    ArrayBackend,
+    BackendInfo,
+    CupyBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backend.registry import ENV_VAR
+from repro.errors import BackendError, BackendUnavailableError
+
+CUPY_AVAILABLE = CupyBackend.probe()[0]
+
+
+class TestRegistry:
+    def test_numpy_and_cupy_registered(self):
+        assert BACKENDS["numpy"] is NumpyBackend
+        assert BACKENDS["cupy"] is CupyBackend
+
+    def test_get_backend_numpy_singleton(self):
+        a = get_backend("numpy")
+        b = get_backend("numpy")
+        assert isinstance(a, NumpyBackend)
+        assert a is b
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(BackendError, match="unknown backend 'tpu'"):
+            get_backend("tpu")
+
+    @pytest.mark.skipif(CUPY_AVAILABLE, reason="cupy importable here")
+    def test_get_backend_unavailable_carries_reason(self):
+        with pytest.raises(BackendUnavailableError, match="cupy") as exc_info:
+            get_backend("cupy")
+        assert exc_info.value.reason  # the import failure string
+
+    def test_register_rejects_nameless(self):
+        class Nameless(NumpyBackend):
+            name = ""
+
+        with pytest.raises(BackendError, match="no registry name"):
+            register_backend(Nameless)
+
+    def test_register_rejects_duplicate_name(self):
+        class Impostor(NumpyBackend):
+            name = "numpy"
+
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend(Impostor)
+
+    def test_available_backends_listing(self):
+        infos = {info.name: info for info in available_backends()}
+        assert infos["numpy"] == BackendInfo(
+            name="numpy", available=True, accelerated=False, reason=None
+        )
+        cupy = infos["cupy"]
+        assert cupy.accelerated
+        if not cupy.available:
+            assert cupy.reason  # unavailable entries must say why
+
+
+class TestResolveBackend:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_instance_passthrough(self):
+        backend = get_backend("numpy")
+        assert resolve_backend(backend) is backend
+
+    def test_name_resolution(self):
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_var_empty_means_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_var_unknown_name_is_loud(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "tpu")
+        with pytest.raises(BackendError, match="unknown backend"):
+            resolve_backend(None)
+
+    @pytest.mark.skipif(CUPY_AVAILABLE, reason="cupy importable here")
+    def test_env_var_unavailable_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "cupy")
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            backend = resolve_backend(None)
+        assert backend.name == "numpy"
+
+    @pytest.mark.skipif(CUPY_AVAILABLE, reason="cupy importable here")
+    def test_explicit_unavailable_is_strict(self):
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend("cupy")
+
+
+class TestNumpyBackendProtocol:
+    """The named protocol ops must match bare numpy on the host backend."""
+
+    @pytest.fixture()
+    def bk(self) -> ArrayBackend:
+        return get_backend("numpy")
+
+    def test_identity_transfers(self, bk):
+        a = np.arange(6.0)
+        assert bk.from_host(a) is a  # no copy on host
+        assert bk.to_host(a) is a
+        bk.synchronize()  # no-op, must not raise
+
+    def test_xp_is_numpy(self, bk):
+        assert bk.xp is np
+
+    def test_creation_ops(self, bk):
+        assert bk.zeros((2, 3)).shape == (2, 3)
+        assert bk.empty(4, dtype=np.int32).dtype == np.int32
+        np.testing.assert_array_equal(bk.full(3, 7.0), np.full(3, 7.0))
+        np.testing.assert_array_equal(bk.arange(5), np.arange(5))
+        np.testing.assert_array_equal(bk.asarray([1, 2]), np.asarray([1, 2]))
+
+    def test_math_ops_match_numpy(self, bk):
+        rng = np.random.default_rng(7)
+        x = rng.random((4, 5)) + 0.1
+        np.testing.assert_array_equal(bk.power(x, 2.5), np.power(x, 2.5))
+        np.testing.assert_array_equal(bk.cumsum(x, axis=1), np.cumsum(x, axis=1))
+        np.testing.assert_array_equal(bk.argmax(x, axis=1), np.argmax(x, axis=1))
+        np.testing.assert_array_equal(bk.argmin(x, axis=0), np.argmin(x, axis=0))
+        idx = np.array([3, 0, 2])
+        np.testing.assert_array_equal(
+            bk.take(x, idx, axis=0), np.take(x, idx, axis=0)
+        )
+        order = np.argsort(x, axis=1)
+        np.testing.assert_array_equal(
+            bk.take_along_axis(x, order, 1), np.take_along_axis(x, order, 1)
+        )
+
+    def test_bincount_with_weights(self, bk):
+        idx = np.array([0, 2, 2, 5])
+        w = np.array([1.0, 0.5, 0.25, 2.0])
+        np.testing.assert_array_equal(
+            bk.bincount(idx, weights=w, minlength=8),
+            np.bincount(idx, weights=w, minlength=8),
+        )
+
+    def test_scatter_add_accumulates_duplicates(self, bk):
+        target = np.zeros(4)
+        bk.scatter_add(target, np.array([1, 1, 3]), np.array([0.5, 0.25, 2.0]))
+        np.testing.assert_array_equal(target, [0.0, 0.75, 0.0, 2.0])
+
+
+class TestPowerIdentity:
+    """pow(x, 1.0) == x bitwise — the contract the choice fast path rests on."""
+
+    def test_power_one_is_bitwise_identity(self):
+        rng = np.random.default_rng(11)
+        x = rng.random(4096) * np.float64(10.0) ** rng.integers(-300, 300, 4096)
+        powed = np.power(x, 1.0)
+        np.testing.assert_array_equal(
+            powed.view(np.uint64), x.view(np.uint64)
+        )
+
+    def test_power_one_batched_exponent_vector(self):
+        rng = np.random.default_rng(13)
+        x = rng.random((3, 5, 5))
+        exps = np.ones(3)[:, None, None]
+        np.testing.assert_array_equal(
+            np.power(x, exps).view(np.uint64), x.view(np.uint64)
+        )

@@ -14,7 +14,7 @@ from repro.core.params import ACOParams
 from repro.core.state import ColonyState
 from repro.errors import ACOConfigError
 from repro.rng import ParkMillerLCG
-from repro.simt.device import TESLA_C1060, TESLA_M2050
+from repro.simt.device import TESLA_C1060
 from repro.tsp.tour import validate_tour
 
 

@@ -7,7 +7,6 @@ tiny inputs and demand identical results.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,122 @@
+"""Backend parity: every substrate must produce the same tours.
+
+Two layers, both across the full 8 construction × 5 pheromone strategy
+grid:
+
+* **NumpyBackend pins the pre-backend engine** — an engine explicitly
+  constructed with ``backend="numpy"`` must be bit-identical (tours,
+  lengths, pheromone stacks, best records) to the default engine for the
+  same seeds.  This is what makes the backend seam a pure refactor on the
+  host path.
+* **Accelerated backends pin numpy** — any importable accelerated backend
+  (CuPy today) must produce identical tours for fixed seeds.  These cases
+  are skip-marked wherever only numpy is present, so CPU-only CI records
+  them as skips rather than silently not testing GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.core import ACOParams, AntSystem, BatchEngine
+from repro.tsp import uniform_instance
+
+ITERATIONS = 2
+SEEDS = [11, 27]
+
+ACCELERATED = [
+    info.name for info in available_backends() if info.accelerated and info.available
+]
+
+# With no accelerated backend importable, keep one skip-marked placeholder
+# per grid point so CI *records* the untested GPU cases instead of silently
+# collecting nothing.
+ACCEL_PARAMS = [pytest.param(name) for name in ACCELERATED] or [
+    pytest.param(
+        "none",
+        marks=pytest.mark.skip(
+            reason="no accelerated backend importable (numpy only)"
+        ),
+    )
+]
+
+PAIRS = [
+    pytest.param(c, p, id=f"c{c}-p{p}")
+    for c in range(1, 9)
+    for p in range(1, 6)
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Small but not trivial; nn=7 keeps candidate-list fallbacks exercised.
+    return uniform_instance(20, seed=2024)
+
+
+def _params(seed: int) -> ACOParams:
+    return ACOParams(seed=seed, nn=7)
+
+
+@pytest.mark.parametrize("construction,pheromone", PAIRS)
+def test_numpy_backend_rows_pin_default_engine(instance, construction, pheromone):
+    named = BatchEngine(
+        instance,
+        [_params(s) for s in SEEDS],
+        construction=construction,
+        pheromone=pheromone,
+        backend=get_backend("numpy"),
+    )
+    default = BatchEngine(
+        instance,
+        [_params(s) for s in SEEDS],
+        construction=construction,
+        pheromone=pheromone,
+    )
+    named_batch = named.run(ITERATIONS)
+    default_batch = default.run(ITERATIONS)
+
+    for b in range(len(SEEDS)):
+        assert (
+            named_batch.results[b].best_length
+            == default_batch.results[b].best_length
+        )
+        np.testing.assert_array_equal(
+            named_batch.results[b].best_tour, default_batch.results[b].best_tour
+        )
+    np.testing.assert_array_equal(named.state.tours, default.state.tours)
+    np.testing.assert_array_equal(named.state.lengths, default.state.lengths)
+    np.testing.assert_array_equal(named.state.pheromone, default.state.pheromone)
+
+
+@pytest.mark.parametrize("backend_name", ACCEL_PARAMS)
+@pytest.mark.parametrize("construction,pheromone", PAIRS)
+def test_accelerated_backend_tours_match_numpy(
+    instance, backend_name, construction, pheromone
+):  # pragma: no cover - needs real accelerator hardware
+    accel = AntSystem(
+        instance,
+        _params(SEEDS[0]),
+        construction=construction,
+        pheromone=pheromone,
+        backend=backend_name,
+    )
+    host = AntSystem(
+        instance,
+        _params(SEEDS[0]),
+        construction=construction,
+        pheromone=pheromone,
+        backend="numpy",
+    )
+    accel_result = accel.run(ITERATIONS)
+    host_result = host.run(ITERATIONS)
+    assert accel_result.best_length == host_result.best_length
+    np.testing.assert_array_equal(accel_result.best_tour, host_result.best_tour)
+    np.testing.assert_array_equal(
+        accel.engine.state.tours, host.engine.state.tours
+    )
+    np.testing.assert_array_equal(
+        accel.backend.to_host(accel.engine.state.pheromone),
+        host.engine.state.pheromone,
+    )

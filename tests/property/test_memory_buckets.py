@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.simt.counters import KernelStats
 from repro.simt.device import TESLA_C1060
-from repro.simt.memory import TRAFFIC_MULTIPLIER, AccessPattern, GlobalMemory
+from repro.simt.memory import AccessPattern, GlobalMemory
 
 patterns = st.sampled_from(list(AccessPattern))
 accesses = st.lists(

@@ -16,6 +16,9 @@ class TestTopLevelApi:
     EXPECTED = {
         "ACOParams",
         "ACSParams",
+        "ArrayBackend",
+        "available_backends",
+        "get_backend",
         "AntColonySystem",
         "AntSystem",
         "MaxMinAntSystem",
@@ -46,6 +49,7 @@ class TestTopLevelApi:
         assert all(p.isdigit() for p in parts)
 
     def test_subpackage_roots_import(self):
+        import repro.backend
         import repro.core
         import repro.experiments
         import repro.rng

@@ -58,6 +58,61 @@ class TestSolveCommand:
         assert " 5 " in out and " 6 " in out and " 7 " in out
 
 
+class TestBackendsCommand:
+    def test_backends_lists_registry(self, capsys):
+        assert cli_main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out
+        assert "cupy" in out
+        assert "registered array backends" in out
+
+    def test_backends_reports_unavailability_reason(self, capsys):
+        from repro.backend import CupyBackend
+
+        available, reason = CupyBackend.probe()
+        if available:
+            pytest.skip("cupy importable here")
+        assert cli_main(["backends"]) == 0
+        out = capsys.readouterr().out
+        # The cupy row must carry the probe failure, not a bare "no".
+        assert reason.split(":")[0] in out
+
+    def test_solve_with_backend_flag(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "1", "--backend", "numpy"]
+        )
+        assert rc == 0
+        assert "[backend numpy]" in capsys.readouterr().out
+
+    def test_solve_replicas_with_backend_flag(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "1", "--replicas", "2",
+             "--backend", "numpy"]
+        )
+        assert rc == 0
+        assert "[backend numpy]" in capsys.readouterr().out
+
+    def test_solve_unavailable_backend_exits_cleanly(self, capsys):
+        from repro.backend import CupyBackend
+
+        if CupyBackend.probe()[0]:
+            pytest.skip("cupy importable here")
+        with pytest.raises(SystemExit, match="unavailable"):
+            cli_main(["solve", "att48", "--iterations", "1", "--backend", "cupy"])
+
+    def test_solve_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            cli_main(["solve", "att48", "--backend", "tpu"])
+
+    def test_sweep_with_backend_flag(self, capsys):
+        rc = cli_main(
+            ["sweep", "att48", "--iterations", "1", "--param", "rho=0.3",
+             "--backend", "numpy"]
+        )
+        assert rc == 0
+        assert "1 grid points" in capsys.readouterr().out
+
+
 class TestSweepCommand:
     def test_sweep_grid(self, capsys):
         rc = cli_main(

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.tsp.generator import uniform_instance
 from repro.tsp.local_search import TwoOptResult, best_exchange, two_opt
 from repro.tsp.tour import (
-    close_tour,
     nearest_neighbor_tour,
     random_tour,
     tour_length,
