@@ -15,7 +15,12 @@ from __future__ import annotations
 import os
 import sys
 
-import pytest
+try:
+    import pytest
+except ImportError:  # pragma: no cover - schema-only consumers
+    # The `gpu-aco bench` runner loads this module just for the BENCH_*
+    # schemas/validators; those must not require the test toolchain.
+    pytest = None
 
 from repro.core import ACOParams
 from repro.experiments.harness import ExperimentResult
@@ -70,6 +75,80 @@ def validate_bench_backend(payload: dict) -> None:
         )
 
 
+# ---------------------------------------------------------- BENCH_loop.json
+#
+# Schema of the artefact bench_loop_amortization.py writes at the repo root:
+# iterations/sec of the amortized device-resident loop (report_every = K,
+# bulk RNG, hoisted WorkBuffers) against the pre-amortisation baseline
+# (per-step draws, allocate-per-call, report every iteration).
+
+#: top-level keys -> required type
+BENCH_LOOP_SCHEMA: dict[str, type] = {
+    "instance": str,  # TSPLIB/suite instance name
+    "iterations": int,  # iterations per measured run
+    "pheromone": int,  # pheromone strategy version shared by all rows
+    "backend": str,  # backend every row ran on
+    "batch_sizes": list,  # B values covered
+    "report_every": list,  # K values covered (amortized rows)
+    "results": list,  # list of per-(construction, B, K, amortized) rows
+}
+
+#: per-row keys -> required type
+BENCH_LOOP_ROW_SCHEMA: dict[str, type] = {
+    "construction": int,  # construction strategy version
+    "B": int,  # batched colony count
+    "report_every": int,  # K of this row (1 for the baseline)
+    "amortized": bool,  # False = pre-amortisation reference path
+    "seconds": float,  # wall-clock of the run
+    "iters_per_sec": float,  # iterations / seconds
+    "colony_iters_per_sec": float,  # B * iterations / seconds
+    "speedup_vs_baseline": float,  # baseline seconds / this row's seconds
+}
+
+
+def validate_bench_loop(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_loop.json schema above."""
+    for key, typ in BENCH_LOOP_SCHEMA.items():
+        assert key in payload, f"BENCH_loop missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_loop[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_loop has no result rows"
+    seen_baselines = set()
+    seen_amortized = set()
+    for row in payload["results"]:
+        for key, typ in BENCH_LOOP_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_loop row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_loop row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["B"] in payload["batch_sizes"], (
+            f"row B={row['B']} absent from batch_sizes"
+        )
+        if row["amortized"]:
+            assert row["report_every"] in payload["report_every"], (
+                f"row K={row['report_every']} absent from report_every"
+            )
+            seen_amortized.add((row["construction"], row["B"]))
+        else:
+            assert row["report_every"] == 1, "baseline rows must use K=1"
+            seen_baselines.add((row["construction"], row["B"]))
+    assert seen_amortized == seen_baselines, (
+        "every (construction, B) point needs both baseline and amortized "
+        f"rows; baselines={sorted(seen_baselines)} amortized={sorted(seen_amortized)}"
+    )
+
+
+#: script filename -> (artefact filename, validator); the `gpu-aco bench`
+#: runner loads this registry to validate whatever a script wrote.
+BENCH_ARTIFACTS: dict = {
+    "bench_backend_throughput.py": ("BENCH_backend.json", validate_bench_backend),
+    "bench_loop_amortization.py": ("BENCH_loop.json", validate_bench_loop),
+}
+
+
 def emit_result(result: ExperimentResult) -> None:
     """Print an artefact comparison and persist it under results/."""
     text = result.render()
@@ -79,22 +158,21 @@ def emit_result(result: ExperimentResult) -> None:
         fh.write(text + "\n")
 
 
-@pytest.fixture(scope="session")
-def att48():
-    return load_instance("att48")
+if pytest is not None:
 
+    @pytest.fixture(scope="session")
+    def att48():
+        return load_instance("att48")
 
-@pytest.fixture(scope="session")
-def kroC100():
-    return load_instance("kroC100")
+    @pytest.fixture(scope="session")
+    def kroC100():
+        return load_instance("kroC100")
 
+    @pytest.fixture(scope="session")
+    def a280():
+        return load_instance("a280")
 
-@pytest.fixture(scope="session")
-def a280():
-    return load_instance("a280")
-
-
-@pytest.fixture(scope="session")
-def bench_params():
-    """Paper parameters with a fixed seed for reproducible benchmark work."""
-    return ACOParams(seed=1234)
+    @pytest.fixture(scope="session")
+    def bench_params():
+        """Paper parameters with a fixed seed for reproducible benchmark work."""
+        return ACOParams(seed=1234)

@@ -26,6 +26,7 @@ from repro.backend.registry import (
     register_backend,
     resolve_backend,
 )
+from repro.backend.workbuf import WorkBuffers
 
 __all__ = [
     "ArrayBackend",
@@ -35,6 +36,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND_NAME",
     "ENV_VAR",
+    "WorkBuffers",
     "available_backends",
     "get_backend",
     "register_backend",

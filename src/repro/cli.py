@@ -13,22 +13,32 @@ Subcommands
 ``experiments ...``
     Forward to ``python -m repro.experiments`` (tables, figures, report,
     calibrate).
+``bench``
+    Run a ``benchmarks/bench_*.py`` script and validate the JSON artefact
+    it writes against the schema pinned in ``benchmarks/conftest.py``.
 ``devices``
     Print the simulated device inventory (the paper's Table I).
 ``backends``
     List the registered array backends, their availability, and — for
     unavailable ones — why the probe failed.
 
+``solve`` and ``sweep`` accept ``--report-every K``: the run then keeps
+K-iteration blocks device-resident, reporting (and transferring tours to
+the host) only at K-boundaries — bit-identical results, amortised
+per-iteration overhead.
+
 Examples
 --------
 ::
 
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
-    gpu-aco solve att48 --replicas 16 --iterations 20
+    gpu-aco solve att48 --replicas 16 --iterations 20 --report-every 10
     gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
     gpu-aco experiments table2
+    gpu-aco bench loop -- --quick
+    gpu-aco bench --list
     gpu-aco devices
     gpu-aco backends
 """
@@ -85,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="array backend (default: $ACO_BACKEND or numpy)",
     )
+    solve.add_argument(
+        "--report-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="device-resident amortized loop: report/transfer only every "
+        "K-th iteration (bit-identical results; default 1)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="batched parameter sweep over one instance"
@@ -121,9 +139,47 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="array backend (default: $ACO_BACKEND or numpy)",
     )
+    sweep.add_argument(
+        "--report-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="device-resident amortized loop: report/transfer only every "
+        "K-th iteration (bit-identical results; default 1)",
+    )
 
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
     exps.add_argument("args", nargs=argparse.REMAINDER)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a benchmarks/bench_*.py script and validate its JSON artefact",
+    )
+    bench.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="benchmark name: 'loop' matches bench_loop_amortization.py; any "
+        "unique substring of a bench_*.py filename works",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_benchmarks",
+        help="list discoverable benchmark scripts and exit",
+    )
+    bench.add_argument(
+        "--benchmarks-dir",
+        default=None,
+        help="directory holding bench_*.py (default: ./benchmarks, or the "
+        "repository checkout next to the installed package)",
+    )
+    bench.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="extra arguments forwarded to the benchmark script "
+        "(prefix with -- to separate)",
+    )
 
     sub.add_parser("devices", help="print the simulated device inventory")
     sub.add_parser(
@@ -149,6 +205,10 @@ def _resolve_backend_arg(name: str | None):
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
+    if args.report_every < 1:
+        raise SystemExit(
+            f"error: --report-every must be >= 1, got {args.report_every}"
+        )
     instance = _load(args.instance)
     device = DEVICES[args.device]
     backend = _resolve_backend_arg(args.backend)
@@ -170,7 +230,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"({colony.construction.label}) + pheromone v{colony.pheromone.version} "
         f"({colony.pheromone.label})"
     )
-    result = colony.run(args.iterations)
+    result = colony.run(args.iterations, report_every=args.report_every)
     cost = colony.cost_params()
 
     print(f"best tour length: {result.best_length}")
@@ -204,7 +264,7 @@ def _solve_replicas(args, instance, device, params, backend) -> int:
         f"{args.replicas} batched replicas, construction "
         f"v{engine.construction.version} + pheromone v{engine.pheromone.version}"
     )
-    batch = engine.run(args.iterations)
+    batch = engine.run(args.iterations, report_every=args.report_every)
     t = Table(["replica", "seed", "best length"], title="per-replica results")
     for b, res in enumerate(batch.results):
         t.add_row([b, engine.state.params[b].seed, res.best_length])
@@ -238,6 +298,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ExperimentError
     from repro.experiments.harness import run_sweep
 
+    if args.report_every < 1:
+        raise SystemExit(
+            f"error: --report-every must be >= 1, got {args.report_every}"
+        )
     instance = _load(args.instance)
     device = DEVICES[args.device]
     backend = _resolve_backend_arg(args.backend)
@@ -257,6 +321,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             construction=args.construction,
             pheromone=args.pheromone,
             backend=backend,
+            report_every=args.report_every,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -272,6 +337,120 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{sweep.batch.wall_seconds:.2f}s for {sweep.batch.B} x "
         f"{args.iterations} iterations"
     )
+    return 0
+
+
+def _find_benchmarks_dir(explicit: str | None):
+    """Locate the benchmarks/ directory (cwd checkout or next to the package)."""
+    import pathlib
+
+    candidates = []
+    if explicit is not None:
+        candidates.append(pathlib.Path(explicit))
+    candidates.append(pathlib.Path.cwd() / "benchmarks")
+    # src layout: src/repro/cli.py -> repo root two levels above the package.
+    candidates.append(pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
+    for cand in candidates:
+        if cand.is_dir() and list(cand.glob("bench_*.py")):
+            return cand.resolve()
+    raise SystemExit(
+        "error: no benchmarks directory with bench_*.py scripts found; "
+        "pass --benchmarks-dir"
+    )
+
+
+def _load_bench_registry(bench_dir):
+    """The artefact registry pinned in benchmarks/conftest.py.
+
+    Maps script filename -> (artefact filename, validator callable); loaded
+    straight from the file so the CLI and the test-suite validate the same
+    contract.
+    """
+    import importlib.util
+
+    conftest = bench_dir / "conftest.py"
+    if not conftest.is_file():
+        return {}
+    spec = importlib.util.spec_from_file_location("_bench_conftest", conftest)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, "BENCH_ARTIFACTS", {})
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import subprocess
+
+    bench_dir = _find_benchmarks_dir(args.benchmarks_dir)
+    scripts = sorted(p.name for p in bench_dir.glob("bench_*.py"))
+    registry = _load_bench_registry(bench_dir)
+
+    if args.list_benchmarks or args.name is None:
+        t = Table(["script", "artefact"], title=f"benchmarks in {bench_dir}")
+        for name in scripts:
+            artefact = registry.get(name, (None,))[0]
+            t.add_row([name, artefact or "-"])
+        print(t.render())
+        print("run one with: gpu-aco bench NAME [-- extra script args]")
+        return 0
+
+    exact = f"bench_{args.name}.py"
+    if exact in scripts:
+        matches = [exact]
+    else:
+        matches = [s for s in scripts if args.name in s]
+    if not matches:
+        raise SystemExit(
+            f"error: no benchmark matches {args.name!r}; known: {', '.join(scripts)}"
+        )
+    if len(matches) > 1:
+        raise SystemExit(
+            f"error: {args.name!r} is ambiguous: {', '.join(matches)}"
+        )
+    script = bench_dir / matches[0]
+
+    extra = list(args.args)
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    # The script imports repro; make sure the subprocess resolves the same
+    # package this CLI is running from, installed or from a src checkout.
+    import pathlib
+
+    env = dict(os.environ)
+    pkg_parent = str(pathlib.Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_parent, env.get("PYTHONPATH")) if p
+    )
+    cmd = [sys.executable, str(script), *extra]
+    print(f"running: {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        print(f"error: {matches[0]} exited with {proc.returncode}", file=sys.stderr)
+        return proc.returncode
+
+    entry = registry.get(matches[0])
+    if entry is None:
+        print(f"{matches[0]}: no pinned artefact schema; skipping validation")
+        return 0
+    artefact_name, validator = entry
+    out_path = None
+    for i, arg in enumerate(extra):  # honour a forwarded --out override
+        if arg == "--out" and i + 1 < len(extra):
+            out_path = pathlib.Path(extra[i + 1])
+        elif arg.startswith("--out="):
+            out_path = pathlib.Path(arg.split("=", 1)[1])
+    if out_path is None:
+        out_path = bench_dir.parent / artefact_name
+    if not out_path.is_file():
+        print(f"error: expected artefact {out_path} was not written", file=sys.stderr)
+        return 1
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    try:
+        validator(payload)
+    except AssertionError as exc:
+        print(f"error: {out_path.name} failed schema validation: {exc}", file=sys.stderr)
+        return 1
+    print(f"validated {out_path} against the pinned schema")
     return 0
 
 
@@ -332,6 +511,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_devices()
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as exp_main
 

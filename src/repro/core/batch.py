@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backend import ArrayBackend, resolve_backend
+from repro.backend import ArrayBackend, WorkBuffers, resolve_backend
 from repro.core.choice import ChoiceKernel
 from repro.core.construction import TourConstruction, make_construction
 from repro.core.params import ACOParams
@@ -92,6 +92,12 @@ class BatchColonyState:
     beta: np.ndarray  # (B,)
     rho: np.ndarray  # (B,)
     backend: ArrayBackend = field(default_factory=resolve_backend)
+    #: scratch arena hoisting kernel buffers across steps and iterations
+    #: (``None`` = allocate per call, the pre-amortisation behaviour)
+    work: WorkBuffers | None = field(default=None, repr=False)
+    #: pregenerate each iteration's RNG draws in bulk (bit-identical to
+    #: per-step draws; ``False`` is the benchmark baseline mode)
+    bulk_rng: bool = True
     choice_info: np.ndarray | None = None  # (B, n, n), refreshed per iter
     tours: np.ndarray | None = None  # (B, m, n + 1) int32 host, last iteration
     lengths: np.ndarray | None = None  # (B, m) int64 host, last iteration
@@ -296,6 +302,13 @@ class BatchEngine:
         Array backend the batch executes on — a name (``"numpy"``,
         ``"cupy"``), an :class:`~repro.backend.ArrayBackend` instance, or
         ``None`` to resolve ``ACO_BACKEND`` / the numpy default.
+    amortize:
+        Hot-loop amortisation (default on): per-iteration bulk RNG blocks
+        and a per-engine :class:`~repro.backend.WorkBuffers` scratch arena
+        reused across iterations.  Results are bit-identical either way;
+        ``False`` restores the per-step-draw, allocate-per-call behaviour
+        and exists as the measured baseline for
+        ``benchmarks/bench_loop_amortization.py``.
     """
 
     def __init__(
@@ -308,6 +321,7 @@ class BatchEngine:
         construction_options: dict | None = None,
         pheromone_options: dict | None = None,
         backend: ArrayBackend | str | None = None,
+        amortize: bool = True,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -335,6 +349,10 @@ class BatchEngine:
         self.state = BatchColonyState.create(
             instances, plist, device, backend=self.backend
         )
+        self.amortize = bool(amortize)
+        self.work = WorkBuffers(self.backend) if self.amortize else None
+        self.state.work = self.work
+        self.state.bulk_rng = self.amortize
         self.choice_kernel = ChoiceKernel()
         streams = self.construction.rng_streams(self.state.n, self.state.m)
         self.rng = make_batched_rng(
@@ -377,6 +395,38 @@ class BatchEngine:
 
     # ------------------------------------------------------------ iteration
 
+    def _advance(self, collect: bool = True):
+        """One iteration's kernels on the backend — no host crossing.
+
+        Returns ``(tours, lengths, stages)`` with tours/lengths still
+        backend-resident; ``stages`` is the per-row stage-report list when
+        ``collect`` (a report boundary) and ``None`` between boundaries,
+        where report materialization — and measurement that exists only to
+        feed it, like atomic hot degrees — is skipped entirely.
+        """
+        bs = self.state
+
+        if self.construction.needs_choice_info:
+            choice_reports = self.choice_kernel.run_batch(bs, collect=collect)
+        else:
+            choice_reports = []
+
+        result = self.construction.build_batch(bs, self.rng, collect=collect)
+        lengths = tour_lengths_batch(
+            result.tours, bs.dist, xp=self.backend.xp, work=self.work
+        )
+        pher_reports = self.pheromone.update_batch(
+            bs, result.tours, lengths, collect=collect
+        )
+
+        if not collect:
+            return result.tours, lengths, None
+        stages: list[list] = [[] for _ in range(bs.B)]
+        for reps in (choice_reports, result.reports, pher_reports):
+            for b, rep in enumerate(reps):
+                stages[b].append(rep)
+        return result.tours, lengths, stages
+
     def run_iteration(self) -> list[IterationReport]:
         """One full AS iteration for every colony; one report per row.
 
@@ -385,23 +435,8 @@ class BatchEngine:
         the per-colony reports (a no-copy pass-through on numpy).
         """
         bs = self.state
-        stages: list[list] = [[] for _ in range(bs.B)]
-
-        if self.construction.needs_choice_info:
-            for b, rep in enumerate(self.choice_kernel.run_batch(bs)):
-                stages[b].append(rep)
-
-        result = self.construction.build_batch(bs, self.rng)
-        lengths = tour_lengths_batch(result.tours, bs.dist, xp=self.backend.xp)
-        for b, rep in enumerate(result.reports):
-            stages[b].append(rep)
-
-        for b, rep in enumerate(self.pheromone.update_batch(bs, result.tours, lengths)):
-            stages[b].append(rep)
-
-        bs.record_tours(
-            self.backend.to_host(result.tours), self.backend.to_host(lengths)
-        )
+        tours, lengths, stages = self._advance(collect=True)
+        bs.record_tours(self.backend.to_host(tours), self.backend.to_host(lengths))
         bs.iteration += 1
         return [
             IterationReport(
@@ -413,20 +448,38 @@ class BatchEngine:
             for b in range(bs.B)
         ]
 
-    def run(self, iterations: int) -> BatchRunResult:
-        """Run several iterations for every colony, tracking per-row bests."""
+    def run(self, iterations: int, report_every: int = 1) -> BatchRunResult:
+        """Run several iterations for every colony, tracking per-row bests.
+
+        ``report_every=K`` keeps the loop device-resident between report
+        boundaries: tours/lengths cross to the host, and
+        :class:`~repro.core.report.IterationReport` rows are materialized,
+        only every K-th iteration (and at the final one), with best-so-far
+        records folded on the backend in between.  The best tour, best
+        length, per-iteration best lengths and the final pheromone stack
+        are bit-identical for every K; only the ``reports`` lists thin out
+        (boundary iterations only).  ``K=1`` (the default) is the classic
+        report-every-iteration loop.
+        """
         from repro.core.colony import RunResult
 
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        if report_every < 1:
+            raise ACOConfigError(
+                f"report_every must be >= 1, got {report_every}"
+            )
         bs = self.state
         reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
         bests: list[list[int]] = [[] for _ in range(bs.B)]
         with WallClock() as clock:
-            for _ in range(iterations):
-                for b, rep in enumerate(self.run_iteration()):
-                    reports[b].append(rep)
-                    bests[b].append(rep.best_length)
+            if report_every == 1:
+                for _ in range(iterations):
+                    for b, rep in enumerate(self.run_iteration()):
+                        reports[b].append(rep)
+                        bests[b].append(rep.best_length)
+            else:
+                self._run_amortized(iterations, report_every, reports, bests)
         assert bs.best_tours is not None and bs.best_lengths is not None
         results = [
             RunResult(
@@ -442,3 +495,63 @@ class BatchEngine:
         return BatchRunResult(
             results=results, wall_seconds=clock.elapsed, device=self.device
         )
+
+    def _run_amortized(
+        self,
+        iterations: int,
+        report_every: int,
+        reports: list[list[IterationReport]],
+        bests: list[list[int]],
+    ) -> None:
+        """The device-resident ``report_every=K`` loop body.
+
+        Best-so-far records are folded on the backend every iteration (the
+        same first-argmin/strict-improvement rule ``record_tours`` applies
+        on the host, so the fold is bit-identical to K=1); host transfer and
+        report materialization happen only at K-boundaries and at the final
+        iteration.
+        """
+        bs = self.state
+        xp = self.backend.xp
+        rows = xp.arange(bs.B)
+        if bs.best_lengths is None:
+            # Sentinel init: every real length improves on it, so iteration
+            # 1 seeds the records exactly as record_tours' first call would.
+            best_len = xp.full((bs.B,), np.iinfo(np.int64).max, dtype=np.int64)
+            best_tours = xp.zeros((bs.B, bs.n + 1), dtype=np.int32)
+        else:
+            assert bs.best_tours is not None
+            best_len = self.backend.from_host(bs.best_lengths).copy()
+            best_tours = self.backend.from_host(bs.best_tours).copy()
+        block_vals: list = []  # per-iteration (B,) iteration-best lengths
+
+        for it in range(iterations):
+            boundary = ((it + 1) % report_every == 0) or (it + 1 == iterations)
+            tours, lengths, stages = self._advance(collect=boundary)
+            ib = xp.argmin(lengths, axis=1)
+            vals = lengths[rows, ib]
+            block_vals.append(vals)
+            improved = xp.nonzero(vals < best_len)[0]
+            if improved.size:
+                best_len[improved] = vals[improved]
+                best_tours[improved] = tours[improved, ib[improved]]
+            bs.iteration += 1
+            if boundary:
+                host_tours = self.backend.to_host(tours)
+                host_lengths = self.backend.to_host(lengths)
+                bs.tours = host_tours
+                bs.lengths = host_lengths
+                bs.best_lengths = self.backend.to_host(best_len).copy()
+                bs.best_tours = self.backend.to_host(best_tours).copy()
+                host_vals = self.backend.to_host(xp.stack(block_vals))
+                block_vals.clear()
+                for b in range(bs.B):
+                    bests[b].extend(int(v) for v in host_vals[:, b])
+                    reports[b].append(
+                        IterationReport(
+                            iteration=bs.iteration,
+                            tours=host_tours[b],
+                            lengths=host_lengths[b],
+                            stages=stages[b],
+                        )
+                    )

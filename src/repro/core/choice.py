@@ -40,18 +40,26 @@ def compute_choice(tau, eta, alpha: float, beta: float, *, xp=np, out=None):
     return xp.multiply(tau_p, eta_p, out=out)
 
 
-def compute_choice_batch(tau, eta, alpha, beta, *, xp=np, out=None):
+def compute_choice_batch(tau, eta, alpha, beta, *, xp=np, out=None, eta_pow=None):
     """Batched :func:`compute_choice` with per-row ``(B,)`` exponent vectors.
 
     The fast path applies only when *every* row uses the identity exponent;
     mixed batches take the full ``power`` pass, which is still bit-identical
-    row-for-row (``pow(x, 1.0) == x`` exactly).
+    row-for-row (``pow(x, 1.0) == x`` exactly).  ``eta_pow`` optionally
+    supplies a precomputed ``eta ** beta`` — both factors are
+    engine-constant, so callers with an arena hoist the (expensive) power
+    pass out of the iteration entirely; the product is bit-identical.
     """
     a_one = bool((alpha == 1.0).all())
     b_one = bool((beta == 1.0).all())
     tau_p = tau if a_one else xp.power(tau, alpha[:, None, None], out=out)
-    eta_scratch = out if a_one else None
-    eta_p = eta if b_one else xp.power(eta, beta[:, None, None], out=eta_scratch)
+    if b_one:
+        eta_p = eta
+    elif eta_pow is not None:
+        eta_p = eta_pow
+    else:
+        eta_scratch = out if a_one else None
+        eta_p = xp.power(eta, beta[:, None, None], out=eta_scratch)
     if out is None:
         return tau_p * eta_p
     return xp.multiply(tau_p, eta_p, out=out)
@@ -71,11 +79,15 @@ class ChoiceKernel(Kernel):
         self.block = int(block)
         # Reused (B?, n, n) output buffer: choice_info is rebound every
         # iteration and nothing retains the previous matrix, so recycling
-        # the allocation removes an n² (or B·n²) alloc per iteration.
+        # the allocation removes an n² (or B·n²) alloc per iteration.  When
+        # the owning engine carries a WorkBuffers arena the buffer lives
+        # there instead (one amortisation home per engine).
         self._buf = None
         self._buf_xp = None
 
-    def _buffer(self, shape: tuple, xp):
+    def _buffer(self, shape: tuple, xp, work=None):
+        if work is not None:
+            return work.get("choice.out", shape, np.float64)
         if self._buf is None or self._buf.shape != shape or self._buf_xp is not xp:
             self._buf = xp.empty(shape, dtype=np.float64)
             self._buf_xp = xp
@@ -97,7 +109,7 @@ class ChoiceKernel(Kernel):
             params.alpha,
             params.beta,
             xp=xp,
-            out=self._buffer((state.n, state.n), xp),
+            out=self._buffer((state.n, state.n), xp, work=state.work),
         )
         diag = xp.arange(state.n)
         choice[diag, diag] = 0.0
@@ -106,25 +118,40 @@ class ChoiceKernel(Kernel):
         stats, launch = self.predict_stats(state.n, state.device)
         return StageReport(stage="choice", kernel=self.name, stats=stats, launch=launch)
 
-    def run_batch(self, bstate) -> list[StageReport]:
+    def run_batch(self, bstate, collect: bool = True) -> list[StageReport]:
         """Refresh ``bstate.choice_info`` (``(B, n, n)``) for all colonies.
 
         One elementwise pass with per-row exponents — row ``b`` is
         bit-identical to the solo :meth:`run` on colony ``b``.
+        ``collect=False`` skips report materialization (the amortized
+        ``report_every`` loop) and returns an empty list.
         """
         xp = bstate.backend.xp
+        wb = bstate.work
+        eta_pow = None
+        if wb is not None and not bool((bstate.beta == 1.0).all()):
+            eta_pow = wb.cached(
+                f"choice.eta_pow.{bstate.B}x{bstate.n}",
+                lambda: xp.power(bstate.eta, bstate.beta[:, None, None]),
+            )
         choice = compute_choice_batch(
             bstate.pheromone,
             bstate.eta,
             bstate.alpha,
             bstate.beta,
             xp=xp,
-            out=self._buffer((bstate.B, bstate.n, bstate.n), xp),
+            out=self._buffer((bstate.B, bstate.n, bstate.n), xp, work=wb),
+            eta_pow=eta_pow,
         )
-        diag = xp.arange(bstate.n)
+        if wb is not None:
+            diag = wb.cached(f"choice.diag.{bstate.n}", lambda: xp.arange(bstate.n))
+        else:
+            diag = xp.arange(bstate.n)
         choice[:, diag, diag] = 0.0
         bstate.choice_info = choice
 
+        if not collect:
+            return []
         stats, launch = self.predict_stats(bstate.n, bstate.device)
         report = StageReport(stage="choice", kernel=self.name, stats=stats, launch=launch)
         return [report] * bstate.B

@@ -44,7 +44,6 @@ from repro.errors import ACOConfigError
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.simt.timing import CostParams
 from repro.tsp.instance import TSPInstance
-from repro.util.timer import WallClock
 
 __all__ = ["AntSystem", "RunResult"]
 
@@ -138,6 +137,7 @@ class AntSystem:
             backend=backend,
         )
         self.backend = self.engine.backend
+        self.work = self.engine.work
         self.state = self.engine.state.colony_view(0)
         self.choice_kernel = self.engine.choice_kernel
         self.rng = self.engine.rng
@@ -168,26 +168,22 @@ class AntSystem:
             st.best_length = int(bs.best_lengths[0])
             st.best_tour = bs.best_tours[0].copy()
 
-    def run(self, iterations: int) -> RunResult:
-        """Run several iterations, tracking the best tour found."""
+    def run(self, iterations: int, report_every: int = 1) -> RunResult:
+        """Run several iterations, tracking the best tour found.
+
+        ``report_every=K`` runs the amortized device-resident loop: host
+        transfers and :class:`~repro.core.report.IterationReport`
+        materialization happen only every K-th iteration (and at the last),
+        with the best-so-far record folded on the backend in between.  Best
+        tour/length, per-iteration best lengths and the final pheromone are
+        bit-identical for every K; only ``reports`` thins to boundary
+        iterations.
+        """
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
-        reports: list[IterationReport] = []
-        bests: list[int] = []
-        with WallClock() as clock:
-            for _ in range(iterations):
-                rep = self.run_iteration()
-                reports.append(rep)
-                bests.append(rep.best_length)
-        assert self.state.best_tour is not None and self.state.best_length is not None
-        return RunResult(
-            best_tour=self.state.best_tour,
-            best_length=self.state.best_length,
-            iteration_best_lengths=bests,
-            reports=reports,
-            wall_seconds=clock.elapsed,
-            device=self.device,
-        )
+        batch = self.engine.run(iterations, report_every=report_every)
+        self._sync_view()
+        return batch.results[0]
 
     # -------------------------------------------------------------- costing
 

@@ -80,13 +80,20 @@ class TourConstruction(Kernel, abc.ABC):
     def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
         """Construct one tour per ant, recording kernel work."""
 
-    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+    def build_batch(
+        self, bstate, rng: DeviceRNG, collect: bool = True
+    ) -> BatchConstructionResult:
         """Construct tours for ``bstate.B`` colonies in one vectorized pass.
 
         ``bstate`` is a :class:`~repro.core.batch.BatchColonyState`; ``rng``
         must hold ``B * rng_streams(n, m)`` streams laid out colony-major
         (see :func:`repro.rng.make_batched_rng`).  Row ``b`` of the result is
         bit-identical to a solo :meth:`build` on colony ``b`` alone.
+
+        ``collect=False`` skips per-colony report materialization (the
+        amortized ``report_every=K`` loop only reports at K-boundaries);
+        the returned ``reports`` list is then empty.  The tours themselves
+        are identical either way.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement batched construction"

@@ -128,18 +128,26 @@ class DataParallelConstruction(TourConstruction):
         gmem = GlobalMemory(device, stats)
         tex = TextureMemory(device, stats)
 
+        from repro.rng.streams import make_draws
+
         ant_idx = xp.arange(m)
         tours = xp.empty((m, n + 1), dtype=np.int32)
         visited = xp.zeros((m, n), dtype=bool)
 
-        start = xp.minimum((rng.uniform()[:m] * n).astype(np.int64), n - 1)
+        # One draw vector per step, pregenerated in bulk (bit-identical to
+        # per-step uniform() calls; the ledger charge below is unchanged).
+        draws = make_draws(
+            rng, n, bulk=state.bulk_rng, work=state.work, key="dp_solo.rng"
+        )
+
+        start = xp.minimum((draws.next()[:m] * n).astype(np.int64), n - 1)
         stats.rng_lcg += m
         tours[:, 0] = start
         visited[ant_idx, start] = True
         cur = start
 
         for step in range(1, n):
-            u = rng.uniform().reshape(m, n)
+            u = draws.next().reshape(m, n)
             stats.rng_lcg += float(m) * n
 
             rows = choice[cur]  # (m, n) coalesced row reads
@@ -188,7 +196,9 @@ class DataParallelConstruction(TourConstruction):
         )
         return ConstructionResult(tours=tours, report=report, fallback_steps=0.0)
 
-    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+    def build_batch(
+        self, bstate, rng: DeviceRNG, collect: bool = True
+    ) -> BatchConstructionResult:
         """Batched I-Roulette: ``B`` colonies advance through every step in
         one set of vectorized array operations.
 
@@ -198,8 +208,11 @@ class DataParallelConstruction(TourConstruction):
         deterministic for this kernel (``predict_stats`` mirrors ``build``
         exactly), so per-colony reports come from the closed form.
         """
+        from repro.rng.streams import make_draws
+
         B, n, m, device = bstate.B, bstate.n, bstate.m, bstate.device
         xp = bstate.backend.xp
+        wb = bstate.work
         self._validate_batch_rng(rng, B, n, m)
         if bstate.choice_info is None:
             raise ACOConfigError(
@@ -209,49 +222,99 @@ class DataParallelConstruction(TourConstruction):
         theta = self.tile_width(device, n)
         spans = self._tile_spans(n, theta)
 
+        def _buf(key: str, shape, dtype):
+            if wb is None:
+                return xp.empty(shape, dtype=dtype)
+            return wb.get("dp." + key, shape, dtype)
+
+        def _const(key: str, builder):
+            if wb is None:
+                return builder()
+            # Geometry-stamped: see construct_exact_batch's _const.
+            return wb.cached(f"dp.{key}.{B}x{m}x{n}", builder)
+
         # Flattened mega-colony layout: B * m ants, ant b*m+a reading choice
         # rows b*n + city — every per-step op keeps the solo 2-D shape.
         M = B * m
         choice_rows = xp.ascontiguousarray(bstate.choice_info).reshape(B * n, n)
         choice_flat = choice_rows.reshape(-1)
-        row_off = xp.repeat(xp.arange(B, dtype=np.int64) * n, m)  # (M,)
-        ant_idx = xp.arange(M)
-        tours = xp.empty((M, n + 1), dtype=np.int32)
+        row_off = _const(
+            "row_off", lambda: xp.repeat(xp.arange(B, dtype=np.int64) * n, m)
+        )  # (M,)
+        ant_idx = _const("ant_idx", lambda: xp.arange(M))
+        tours = xp.empty((M, n + 1), dtype=np.int32)  # escapes: never pooled
 
-        u0 = xp.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M)
-        start = xp.minimum((u0 * n).astype(np.int64), n - 1)
+        # The iteration's draws, pregenerated in bulk: the first-step vector
+        # is a single sliced view off the block row (each colony's leading m
+        # streams), with no contiguity copies.
+        draws = make_draws(rng, n, bulk=bstate.bulk_rng, work=wb, key="dp.rng")
+        u0 = draws.next().reshape(B, -1)[:, :m]
+        start = xp.minimum((u0 * n).astype(np.int64), n - 1).reshape(M)
         tours[:, 0] = start
         cur = start
 
         # ``live`` mirrors the register tabu as a 1.0/0.0 multiplicand (a
         # float multiply by the flag, exactly the kernel's branchless form);
-        # scratch buffers are reused across steps to avoid allocator churn.
-        live = xp.ones((M, n), dtype=np.float64)
+        # scratch buffers are reused across steps — and, with an arena,
+        # across iterations — to avoid allocator churn.
+        live = _buf("live", (M, n), np.float64)
+        live[:] = 1.0
         live[ant_idx, start] = 0.0
-        rows_buf = xp.empty((M, n), dtype=np.float64)
-        rows_idx = xp.empty(M, dtype=np.int64)
-        tile_city = xp.empty((M, len(spans)), dtype=np.int64)
-        tile_val = xp.empty((M, len(spans)), dtype=np.float64)
+        rows_buf = _buf("rows", (M, n), np.float64)
+        rows_idx = _buf("rows_idx", (M,), np.int64)
+        tile_city = _buf("tile_city", (M, len(spans)), np.int64)
+        tile_val = _buf("tile_val", (M, len(spans)), np.float64)
 
+        # In-range indices by construction: numpy's bounds check is pure
+        # overhead, so mode="clip" skips it (CuPy's take has no mode kwarg
+        # and wraps unconditionally).  The skip rides with the hoisted path
+        # so the arena-less mode stays a faithful pre-amortisation baseline.
+        take_kw = {"mode": "clip"} if xp is np and wb is not None else {}
+        # (M,) flat row bases into the (M, n) product matrix, for gathering
+        # each ant's winning value without per-step index allocations.
+        ant_base = _const("ant_base", lambda: xp.arange(M, dtype=np.int64) * n)
+        win_idx = _buf("win_idx", (M,), np.int64)
+        win_val = _buf("win_val", (M,), np.float64)
         for step in range(1, n):
-            u = rng.uniform().reshape(M, n)
+            u = draws.next().reshape(M, n)
             xp.add(row_off, cur, out=rows_idx)
-            w = xp.take(choice_rows, rows_idx, axis=0, out=rows_buf)
+            w = xp.take(choice_rows, rows_idx, axis=0, out=rows_buf, **take_kw)
             xp.multiply(w, u, out=w)
             xp.multiply(w, live, out=w)
 
-            for t, (lo, hi) in enumerate(spans):
-                idx, val = block_argmax(w[:, lo:hi], xp=xp)
-                tile_city[:, t] = idx + lo
-                tile_val[:, t] = val
+            # Per-tile winners.  With an arena, block_argmax is inlined
+            # (same argmax + value gather, minus its per-call index scratch;
+            # ties resolve to the lowest lane either way); without one, the
+            # original helper keeps the pre-amortisation baseline faithful.
+            if wb is not None:
+                w_flat = w.reshape(-1)
+                for t, (lo, hi) in enumerate(spans):
+                    idx = xp.argmax(w[:, lo:hi], axis=1)
+                    xp.add(idx, lo, out=win_idx)
+                    tile_city[:, t] = win_idx
+                    xp.add(win_idx, ant_base, out=win_idx)
+                    xp.take(w_flat, win_idx, out=win_val, **take_kw)
+                    tile_val[:, t] = win_val
+            else:
+                for t, (lo, hi) in enumerate(spans):
+                    idx, val = block_argmax(w[:, lo:hi], xp=xp)
+                    tile_city[:, t] = idx + lo
+                    tile_val[:, t] = val
 
-            if self.tile_rule == "product" or len(spans) == 1:
+            if len(spans) == 1 and wb is not None:
+                # One tile covers every city: its winner IS the next city
+                # (argmax over a single column is identically zero).  Gated
+                # with the arena so the arena-less mode keeps the original
+                # argmax-and-gather, as a faithful pre-amortisation baseline.
+                nxt = tile_city[:, 0]
+            elif self.tile_rule == "product" or len(spans) == 1:
                 pick = xp.argmax(tile_val, axis=1)
+                nxt = tile_city[ant_idx, pick]
             else:
                 winner_choice = choice_flat[rows_idx[:, None] * n + tile_city]
                 winner_choice = xp.where(tile_val > 0.0, winner_choice, -np.inf)
                 pick = xp.argmax(winner_choice, axis=1)
-            nxt = tile_city[ant_idx, pick]
+                nxt = tile_city[ant_idx, pick]
 
             live[ant_idx, nxt] = 0.0
             tours[:, step] = nxt
@@ -261,7 +324,7 @@ class DataParallelConstruction(TourConstruction):
         tours = tours.reshape(B, m, n + 1)
         return BatchConstructionResult(
             tours=tours,
-            reports=self._batch_reports(bstate, np.zeros(B)),
+            reports=self._batch_reports(bstate, np.zeros(B)) if collect else [],
             fallback_steps=np.zeros(B),
         )
 

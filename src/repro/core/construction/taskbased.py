@@ -68,6 +68,8 @@ def construct_exact(
     m: int,
     n: int,
     xp=np,
+    work=None,
+    bulk_rng: bool = True,
 ) -> tuple[np.ndarray, float]:
     """Exact random-proportional construction, vectorised across ants.
 
@@ -95,7 +97,15 @@ def construct_exact(
         exhaustion events (always 0.0 for the full rule).
     """
     tours, fallbacks = construct_exact_batch(
-        choice[None], None if nn_list is None else nn_list[None], rng, 1, m, n, xp=xp
+        choice[None],
+        None if nn_list is None else nn_list[None],
+        rng,
+        1,
+        m,
+        n,
+        xp=xp,
+        work=work,
+        bulk_rng=bulk_rng,
     )
     return tours[0], float(fallbacks[0])
 
@@ -108,6 +118,8 @@ def construct_exact_batch(
     m: int,
     n: int,
     xp=np,
+    work=None,
+    bulk_rng: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched :func:`construct_exact`: ``B`` colonies in one vectorized pass.
 
@@ -132,68 +144,146 @@ def construct_exact_batch(
     rows ``b * n + city``.  Every per-step operation then has exactly the
     solo code's 2-D shape (rows = ants), which is both the fastest numpy
     layout and trivially equivalent row-for-row.
+
+    ``work`` optionally supplies a per-engine
+    :class:`~repro.backend.WorkBuffers` arena: all per-step scratch (and the
+    loop-invariant index tables) are then hoisted across *iterations* too,
+    so a steady-state build allocates only what escapes (tours, fallback
+    counts).  ``bulk_rng=False`` falls back to per-step ``uniform()`` calls
+    (the pre-amortisation reference; draws are bit-identical either way).
     """
+    from repro.rng.streams import MAX_BLOCK_ELEMENTS, make_draws
+
     M = B * m
+
+    def _buf(key: str, shape, dtype):
+        if work is None:
+            return xp.empty(shape, dtype=dtype)
+        return work.get("taskexact." + key, shape, dtype)
+
+    def _const(key: str, builder):
+        if work is None:
+            return builder()
+        # Geometry-stamped keys: an arena is per-engine (fixed B, m, n), but
+        # a stale constant after a geometry change would be silently wrong,
+        # unlike get()'s shape-checked buffers.
+        return work.cached(f"taskexact.{key}.{B}x{m}x{n}", builder)
+
+    # All gather indices below are constructed from valid cities/ants, so
+    # numpy's bounds check is pure overhead; mode="clip" skips it (measured
+    # ~1.7x faster takes).  Only numpy spells the kwarg (CuPy's take wraps
+    # unconditionally), and the skip rides with the hoisted path so the
+    # arena-less mode stays a faithful pre-amortisation baseline.
+    take_kw = {"mode": "clip"} if xp is np and work is not None else {}
+
     choice_rows = xp.ascontiguousarray(choice).reshape(B * n, n)
     choice_flat = choice_rows.reshape(-1)
     if nn_list is None:
-        nn_rows = nn_cols = None
+        nn_cols = None
     else:
-        nn_rows = xp.ascontiguousarray(nn_list).reshape(B * n, -1)
-        # Transposed copy so the per-step candidate gather lands directly in
-        # the (candidates, ants) layout the roulette runs in.
-        nn_cols = xp.ascontiguousarray(nn_rows.T.astype(np.int64))
-    row_off = xp.repeat(xp.arange(B, dtype=np.int64) * n, m)  # (M,)
-    ant_idx = xp.arange(M)
-    ant_base_t = (ant_idx * n)[None, :]  # (1, M) visited offsets, loop-invariant
-    tours = xp.empty((M, n + 1), dtype=np.int32)
-    visited = xp.zeros((M, n), dtype=bool)
-    # 1.0/0.0 twin of ``visited``: weights are masked by a float multiply
-    # (the branchless tabu-flag form) instead of boolean fancy assignment,
-    # whose cost grows with the visited count.
-    live = xp.ones((M, n), dtype=np.float64)
+        # Candidate lists are engine-constant: the transposed copy (so the
+        # per-step gather lands directly in the (candidates, ants) roulette
+        # layout) is derived once per engine, not once per iteration.
+        nn_cols = _const(
+            "nn_cols",
+            lambda: xp.ascontiguousarray(
+                xp.ascontiguousarray(nn_list).reshape(B * n, -1).T.astype(np.int64)
+            ),
+        )
+    row_off = _const(
+        "row_off", lambda: xp.repeat(xp.arange(B, dtype=np.int64) * n, m)
+    )  # (M,)
+    ant_idx = _const("ant_idx", lambda: xp.arange(M))
+    # (1, M) visited offsets, loop-invariant.
+    ant_base_t = _const("ant_base_t", lambda: (xp.arange(M) * n)[None, :])
+    tours = xp.empty((M, n + 1), dtype=np.int32)  # escapes: never pooled
+    # Hoisted mode keeps the tabu list once, as its 1.0/0.0 float form:
+    # weights are masked by a float multiply (the branchless tabu-flag
+    # form) and the rare fallback path reads visitedness back as
+    # ``live == 0.0``, so no boolean twin is scattered into every step.
+    # The arena-less mode maintains the boolean twin the original kernels
+    # carried, keeping it a faithful pre-amortisation baseline.
+    visited = None if work is not None else xp.zeros((M, n), dtype=bool)
+    live = _buf("live", (M, n), np.float64)
+    live[:] = 1.0
     live_flat = live.reshape(-1)
 
-    # One colony-major dart vector per step; with one stream per ant the
-    # draw already is the flat (M,) layout, larger stream counts slice the
-    # leading m streams of every colony block (what the solo code's ``[:m]``
-    # does).
+    # One colony-major dart vector per step, pregenerated in bulk: every
+    # step's vector is a zero-copy view of the block.  With one stream per
+    # ant the row already is the flat (M,) layout, larger stream counts
+    # slice the leading m streams of every colony block (what the solo
+    # code's ``[:m]`` does) — also a view, consumed in the (B, m) shape.
+    # Task-based kernels hold few streams, so the whole iteration's draws
+    # usually fit one block and per-step consumption collapses to an index;
+    # oversized cases chunk through BlockedDraws, huge ones per-step.
     spc = rng.n_streams // B
-    draw = (
-        (lambda: rng.uniform())
-        if spc == m
-        else (lambda: xp.ascontiguousarray(rng.uniform().reshape(B, -1)[:, :m]).reshape(M))
-    )
+    whole_block = bulk_rng and n * rng.n_streams <= MAX_BLOCK_ELEMENTS
+    if whole_block:
+        blk = rng.uniform_block(
+            n, out=_buf("rngblk", (n, rng.n_streams), np.float64)
+        )
+        u_steps = blk.reshape(n, B, spc)[:, :, :m]  # (n, B, m) view
+        draw = None
+    else:
+        draws = make_draws(rng, n, bulk=bulk_rng, work=work, key="taskexact.rng")
+        if spc == m:
+            def draw():
+                return draws.next().reshape(B, m)
+        else:
+            def draw():
+                return draws.next().reshape(B, -1)[:, :m]
 
-    start = xp.minimum((draw() * n).astype(np.int64), n - 1)
+    d0 = u_steps[0] if whole_block else draw()
+    start = xp.minimum((d0 * n).astype(np.int64), n - 1).reshape(M)
     tours[:, 0] = start
-    visited[ant_idx, start] = True
+    if visited is not None:
+        visited[ant_idx, start] = True
     live[ant_idx, start] = 0.0
     cur = start
-    fallbacks = xp.zeros(B, dtype=np.float64)
+    fallbacks = xp.zeros(B, dtype=np.float64)  # escapes: never pooled
 
-    col_t = xp.arange(n, dtype=np.int64)[:, None]  # (n, 1) full-rule columns
+    col_t = _const(
+        "col_t", lambda: xp.arange(n, dtype=np.int64)[:, None]
+    )  # (n, 1) full-rule columns
     k = n if nn_list is None else nn_cols.shape[0]
     if nn_list is not None:
         # Candidate choice values are static for the whole build: gather the
-        # (candidate, row) weight table once instead of once per step.
-        base = (xp.arange(B * n, dtype=np.int64) * n)[:, None]
-        cand_choice_t = choice_flat[(base + nn_rows).T]  # (nn, B * n)
+        # (candidate, row) weight table once instead of once per step.  The
+        # gather *indices* are engine-constant; the gathered values track
+        # this iteration's choice matrix, so only the index table is cached.
+        cc_idx = _const(
+            "cc_idx",
+            lambda: xp.ascontiguousarray(
+                (
+                    (xp.arange(B * n, dtype=np.int64) * n)[:, None]
+                    + xp.ascontiguousarray(nn_list).reshape(B * n, -1)
+                ).T
+            ),
+        )
+        cand_choice_t = xp.take(
+            choice_flat,
+            cc_idx,
+            out=_buf("cand_choice_t", (k, B * n), np.float64),
+            **take_kw,
+        )  # (nn, B * n)
 
-    # Per-step scratch, allocated once: every step writes the same buffers
-    # in place (``out=``), which removes the allocator/cache churn that
-    # otherwise dominates the per-step cost of these small arrays.
-    idx_buf = xp.empty((k, M), dtype=np.int64)
-    cand_buf = xp.empty((k, M), dtype=np.int64)
-    w_buf = xp.empty((k, M), dtype=np.float64)
-    live_buf = xp.empty((k, M), dtype=np.float64)
-    cmp_buf = xp.empty((k, M), dtype=bool)
-    rows_idx = xp.empty(M, dtype=np.int64)
-    diag_off = xp.empty(M, dtype=np.int64)
-    r_buf = xp.empty(M, dtype=np.float64)
+    # Per-step scratch, allocated once (and once per *engine* when an arena
+    # is given): every step writes the same buffers in place (``out=``),
+    # which removes the allocator/cache churn that otherwise dominates the
+    # per-step cost of these small arrays.
+    idx_buf = _buf("idx", (k, M), np.int64)
+    cand_buf = _buf("cand", (k, M), np.int64)
+    w_buf = _buf("w", (k, M), np.float64)
+    live_buf = _buf("live_t", (k, M), np.float64)
+    cmp_buf = _buf("cmp", (k, M), bool)
+    rows_idx = _buf("rows_idx", (M,), np.int64)
+    diag_off = _buf("diag_off", (M,), np.int64)
+    r_buf = _buf("r", (M,), np.float64)
+    pick_buf = _buf("pick", (M,), np.int64)
+    r2 = r_buf.reshape(B, m)
 
     for step in range(1, n):
-        darts = draw()
+        darts = u_steps[step] if whole_block else draw()
         xp.add(row_off, cur, out=rows_idx)
         # All per-step arrays live in the transposed (candidates, ants)
         # layout: reductions over the candidate axis then run as ~nn
@@ -202,39 +292,45 @@ def construct_exact_batch(
         if nn_list is None:
             cand_t = None
             xp.add(ant_base_t, col_t, out=idx_buf)
-            xp.take(live_flat, idx_buf, out=live_buf)
+            xp.take(live_flat, idx_buf, out=live_buf, **take_kw)
             xp.multiply(rows_idx, n, out=diag_off)
             xp.subtract(diag_off, ant_base_t[0], out=diag_off)
             xp.add(idx_buf, diag_off[None, :], out=idx_buf)
-            xp.take(choice_flat, idx_buf, out=w_buf)
+            xp.take(choice_flat, idx_buf, out=w_buf, **take_kw)
         else:
-            cand_t = xp.take(nn_cols, rows_idx, axis=1, out=cand_buf)
+            cand_t = xp.take(nn_cols, rows_idx, axis=1, out=cand_buf, **take_kw)
             xp.add(ant_base_t, cand_t, out=idx_buf)
-            xp.take(live_flat, idx_buf, out=live_buf)
-            xp.take(cand_choice_t, rows_idx, axis=1, out=w_buf)
+            xp.take(live_flat, idx_buf, out=live_buf, **take_kw)
+            xp.take(cand_choice_t, rows_idx, axis=1, out=w_buf, **take_kw)
         xp.multiply(w_buf, live_buf, out=w_buf)
         cum_t = _accumulate_rows(w_buf, xp=xp)
         sums = cum_t[-1]
-        xp.multiply(darts, sums, out=r_buf)
+        # darts is a (B, m) view of the pregenerated block row; multiplying
+        # in that shape (r2 views r_buf) avoids flattening-copies entirely.
+        xp.multiply(darts, sums.reshape(B, m), out=r2)
         xp.less(cum_t, r_buf[None, :], out=cmp_buf)
-        pick = xp.minimum(cmp_buf.sum(axis=0), k - 1)
+        xp.sum(cmp_buf, axis=0, out=pick_buf)
+        pick = xp.minimum(pick_buf, k - 1, out=pick_buf)
         if nn_list is None:
             nxt = pick
         else:
             nxt = cand_t[pick, ant_idx]
-            alive = sums > 0.0
-            if not alive.all():
+            if xp.min(sums) <= 0.0:
                 # Exhausted candidate lists: overwrite those ants with the
                 # best-choice full-row fallback (ACOTSP's choose_best_next).
-                dead = xp.nonzero(~alive)[0]
-                sub = xp.where(
-                    visited[dead], -np.inf, choice_rows[rows_idx[dead]]
+                dead = xp.nonzero(sums <= 0.0)[0]
+                tabu = (
+                    visited[dead] if visited is not None else live[dead] == 0.0
                 )
+                sub = xp.where(tabu, -np.inf, choice_rows[rows_idx[dead]])
                 nxt[dead] = xp.argmax(sub, axis=1)
                 fallbacks += xp.bincount(dead // m, minlength=B).astype(np.float64)
-        visited[ant_idx, nxt] = True
+        if visited is not None:
+            visited[ant_idx, nxt] = True
         live[ant_idx, nxt] = 0.0
         tours[:, step] = nxt
+        # ``nxt`` may alias ``pick_buf`` (full rule); the next step reads
+        # ``cur`` only before ``pick_buf`` is rewritten, so the alias is safe.
         cur = nxt
 
     tours[:, n] = tours[:, 0]
@@ -304,7 +400,14 @@ class _TaskBasedFull(TourConstruction):
     def build(self, state: ColonyState, rng: DeviceRNG) -> ConstructionResult:
         choice = self._choice_matrix(state)
         tours, fallbacks = construct_exact(
-            choice, None, rng, state.m, state.n, xp=state.backend.xp
+            choice,
+            None,
+            rng,
+            state.m,
+            state.n,
+            xp=state.backend.xp,
+            work=state.work,
+            bulk_rng=state.bulk_rng,
         )
         stats, launch = self.predict_stats(
             state.n, state.m, state.nn, state.device, fallback_steps=fallbacks
@@ -314,16 +417,26 @@ class _TaskBasedFull(TourConstruction):
         )
         return ConstructionResult(tours=tours, report=report, fallback_steps=fallbacks)
 
-    def build_batch(self, bstate, rng: DeviceRNG) -> BatchConstructionResult:
+    def build_batch(
+        self, bstate, rng: DeviceRNG, collect: bool = True
+    ) -> BatchConstructionResult:
         B, n, m = bstate.B, bstate.n, bstate.m
         self._validate_batch_rng(rng, B, n, m)
         choice = self._choice_matrix_batch(bstate)
         tours, fallbacks = construct_exact_batch(
-            choice, None, rng, B, m, n, xp=bstate.backend.xp
+            choice,
+            None,
+            rng,
+            B,
+            m,
+            n,
+            xp=bstate.backend.xp,
+            work=bstate.work,
+            bulk_rng=bstate.bulk_rng,
         )
         return BatchConstructionResult(
             tours=tours,
-            reports=self._batch_reports(bstate, fallbacks),
+            reports=self._batch_reports(bstate, fallbacks) if collect else [],
             fallback_steps=fallbacks,
         )
 

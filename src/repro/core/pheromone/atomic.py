@@ -105,16 +105,21 @@ class AtomicSharedPheromone(PheromoneUpdate):
         return StageReport(stage="pheromone", kernel=self.key, stats=stats, launch=launch)
 
     def update_batch(
-        self, bstate, tours: np.ndarray, lengths: np.ndarray
+        self, bstate, tours: np.ndarray, lengths: np.ndarray, collect: bool = True
     ) -> list[StageReport]:
         """Batched atomic update with per-colony contention measurement.
 
         The hottest-cell multiplicity is measured per direction (forward,
         backward) and per row, matching the solo path's two ``add_float``
-        probes whose maxima accumulate into one hot degree.
+        probes whose maxima accumulate into one hot degree.  The hot degree
+        feeds only the report's cost model, so ``collect=False`` skips the
+        (bincount-heavy) measurement along with report materialization —
+        the pheromone stack itself is updated identically.
         """
         evaporate_batch(bstate)
         flat_fw, flat_bw, _ = deposit_all_batch(bstate, tours, lengths)
+        if not collect:
+            return []
         cells = bstate.n * bstate.n
         bk = bstate.backend
         hot = bk.xp.maximum(

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backend import ArrayBackend, resolve_backend
+from repro.backend import ArrayBackend, WorkBuffers, resolve_backend
 from repro.core.params import ACOParams
 from repro.simt.device import DeviceSpec
 from repro.tsp.instance import TSPInstance
@@ -42,6 +42,12 @@ class ColonyState:
     tau0: float
     #: array substrate the per-colony arrays live on (numpy by default)
     backend: ArrayBackend = field(default_factory=resolve_backend)
+    #: scratch arena hoisting kernel buffers across steps and iterations
+    #: (``None`` = allocate per call, the pre-amortisation behaviour)
+    work: WorkBuffers | None = field(default=None, repr=False)
+    #: pregenerate each iteration's RNG draws in bulk (bit-identical to
+    #: per-step draws; ``False`` is the benchmark baseline mode)
+    bulk_rng: bool = True
     choice_info: np.ndarray | None = None  # (n, n) float64, refreshed per iter
     tours: np.ndarray | None = None  # (m, n + 1) int32, last iteration
     lengths: np.ndarray | None = None  # (m,) int64, last iteration

@@ -258,6 +258,7 @@ def run_replicas(
     pheromone: int | str = 1,
     seed_stride: int = 1,
     backend=None,
+    report_every: int = 1,
 ) -> BatchRunResult:
     """Run ``replicas`` independent seed-replicas as one vectorized batch.
 
@@ -265,7 +266,10 @@ def run_replicas(
     bit-identical to a solo :class:`~repro.core.AntSystem` run with that
     seed — the whole point is getting B solo runs for roughly the
     interpreter cost of one.  ``backend`` selects the array substrate
-    (name, instance, or ``None`` for ``ACO_BACKEND`` / numpy).
+    (name, instance, or ``None`` for ``ACO_BACKEND`` / numpy);
+    ``report_every=K`` amortises host transfers and report materialization
+    over K-iteration device-resident blocks (results are bit-identical for
+    every K).
     """
     engine = BatchEngine.replicas(
         instance,
@@ -277,7 +281,7 @@ def run_replicas(
         pheromone=pheromone,
         backend=backend,
     )
-    return engine.run(iterations)
+    return engine.run(iterations, report_every=report_every)
 
 
 @dataclass
@@ -331,13 +335,16 @@ def run_sweep(
     construction: int | str = 8,
     pheromone: int | str = 1,
     backend=None,
+    report_every: int = 1,
 ) -> SweepResult:
     """Cartesian parameter sweep × seed replicas, one vectorized batch.
 
     ``grid`` maps :data:`SWEEPABLE_FIELDS` names to value lists; every grid
     point is replicated ``replicas`` times with seeds ``seed + r``.  All
     ``len(grid product) * replicas`` colonies run together through the
-    :class:`~repro.core.batch.BatchEngine`.
+    :class:`~repro.core.batch.BatchEngine`; ``report_every=K`` amortises
+    the host boundary over K-iteration device-resident blocks
+    (bit-identical results for every K).
     """
     base = params or ACOParams()
     for key, values in grid.items():
@@ -378,7 +385,7 @@ def run_sweep(
         pheromone=pheromone,
         backend=backend,
     )
-    batch = engine.run(iterations)
+    batch = engine.run(iterations, report_every=report_every)
     results = [
         batch.results[i * replicas : (i + 1) * replicas]
         for i in range(len(points))

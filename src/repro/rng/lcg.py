@@ -83,6 +83,13 @@ class ParkMillerLCG(DeviceRNG):
     def __init__(self, n_streams: int, seed: int, backend=None) -> None:
         super().__init__(n_streams=n_streams, seed=seed, backend=backend)
         self._state = self.backend.from_host(self._derive_states(seed, n_streams))
+        # Block-fill caches (lazily sized: streams can grow when from_seeds
+        # installs a batched state vector).
+        self._powers: dict[int, np.ndarray] = {}
+        self._iblock: np.ndarray | None = None
+        self._ifold: np.ndarray | None = None
+        self._shift: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
 
     @classmethod
     def _derive_states(cls, seed: int, n_streams: int) -> np.ndarray:
@@ -92,6 +99,9 @@ class ParkMillerLCG(DeviceRNG):
 
     def _load_states(self, per_seed_states: list) -> None:
         self._state = self.backend.from_host(np.concatenate(per_seed_states))
+        # The stream count just changed: drop block-fill scratch sized for
+        # the old one (powers are per-rounds, stream-count independent).
+        self._iblock = self._ifold = self._shift = self._mask = None
 
     def _next_raw(self) -> np.ndarray:
         self._state = lcg_step(self._state, xp=self.backend.xp)
@@ -99,6 +109,111 @@ class ParkMillerLCG(DeviceRNG):
 
     def _max_raw(self) -> float:
         return float(LCG_IM)
+
+    #: block elements up to which the jump-ahead outer product beats
+    #: row-by-row stepping (beyond it the 2x int64 scratch falls out of
+    #: cache and every fold pass streams from DRAM; measured crossover)
+    JUMP_AHEAD_MAX_ELEMENTS = 1 << 16
+
+    def uniform_block(self, rounds: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Bulk fill, bit-identical to ``rounds`` sequential :meth:`uniform` calls.
+
+        Cache-sized blocks use **jump-ahead**: a Lehmer generator has no
+        additive term, so the ``r``-th successor of state ``s`` is just
+        ``s * IA^r mod IM`` — the whole ``(rounds, n_streams)`` block is one
+        outer product of the state vector with precomputed multiplier
+        powers, reduced mod the Mersenne prime by three mask-and-shift
+        folds.  ~12 block-wide operations replace ``rounds`` sequential
+        vector steps — the same trick the paper's bulk-generation kernel
+        (construction version 6) uses to fill its texture buffer at
+        streaming rates.  Exactness: products are below ``(IM - 1)^2 <
+        2^62`` (exact in int64), three ``(x & IM) + (x >> 31)`` folds fully
+        reduce any such value, and valid states are never ``0 mod IM`` (IM
+        is prime), so no fold can land on the ``IM``-fixed-point.
+
+        Wider blocks would push the outer product's int64 scratch out of
+        cache, so they step row by row in-place in the persistent state
+        vector — :func:`lcg_step`'s folding, minus its per-step temporary
+        allocations.
+        """
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        xp = self.backend.xp
+        if out is None:
+            out = xp.empty((rounds, self.n_streams), dtype=np.float64)
+        elif out.shape[0] < rounds or out.shape[1:] != (self.n_streams,):
+            raise ValueError(
+                f"out buffer {out.shape} cannot hold ({rounds}, {self.n_streams})"
+            )
+        block = out[:rounds]
+        if rounds == 0:
+            return block
+        if rounds * self.n_streams <= self.JUMP_AHEAD_MAX_ELEMENTS:
+            self._fill_jump_ahead(rounds, block, xp)
+        elif xp is np:
+            self._fill_rows_inplace(rounds, block)
+        else:
+            st = self._state
+            for r in range(rounds):
+                st = lcg_step(st, xp=xp)
+                xp.true_divide(st, float(LCG_IM), out=block[r])
+            self._state = st
+        self.samples_drawn += rounds * self.n_streams
+        return block
+
+    def _fill_jump_ahead(self, rounds: int, block: np.ndarray, xp) -> None:
+        """Outer-product fill of ``block[:rounds]`` with raw states."""
+        powers = self._powers.get(rounds)
+        if powers is None:
+            powers = self.backend.from_host(
+                np.array(
+                    [pow(LCG_IA, r, LCG_IM) for r in range(1, rounds + 1)],
+                    dtype=np.int64,
+                )[:, None]
+            )
+            self._powers[rounds] = powers
+        if (
+            self._iblock is None
+            or self._iblock.shape[0] < rounds
+            or self._iblock.shape[1] != self.n_streams
+        ):
+            grow = (
+                rounds
+                if self._iblock is None or self._iblock.shape[1] != self.n_streams
+                else max(rounds, self._iblock.shape[0]),
+                self.n_streams,
+            )
+            self._iblock = xp.empty(grow, dtype=np.int64)
+            self._ifold = xp.empty(grow, dtype=np.int64)
+        x = self._iblock[:rounds]
+        t = self._ifold[:rounds]
+        xp.multiply(self._state[None, :], powers, out=x)  # < 2^62, exact
+        for _ in range(3):
+            xp.right_shift(x, 31, out=t)
+            xp.bitwise_and(x, LCG_IM, out=x)
+            xp.add(x, t, out=x)
+        self._state = x[-1].copy()
+        # Fused cast-and-divide: int64 -> float64 is exact below 2^31.
+        xp.true_divide(x, float(LCG_IM), out=block)
+
+    def _fill_rows_inplace(self, rounds: int, block: np.ndarray) -> None:
+        """Row-by-row fill for wide streams, allocation-free (numpy only)."""
+        st = self._state
+        if self._shift is None or self._shift.shape != st.shape:
+            self._shift = np.empty(st.shape, dtype=np.int64)
+            self._mask = np.empty(st.shape, dtype=bool)
+        shift, mask = self._shift, self._mask
+        for r in range(rounds):
+            # lcg_step's mask-and-shift folding, in place: the shift is
+            # taken from the full product before the low bits are masked.
+            np.multiply(st, LCG_IA, out=st)
+            np.right_shift(st, 31, out=shift)
+            np.bitwise_and(st, LCG_IM, out=st)
+            np.add(st, shift, out=st)
+            np.greater_equal(st, LCG_IM, out=mask)
+            np.subtract(st, LCG_IM, out=st, where=mask)
+            # Fused cast-and-divide into the row (one pass, bit-identical).
+            np.true_divide(st, float(LCG_IM), out=block[r])
 
     @property
     def state(self) -> np.ndarray:

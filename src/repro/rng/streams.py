@@ -15,7 +15,14 @@ import abc
 
 import numpy as np
 
-__all__ = ["DeviceRNG", "split_seed"]
+__all__ = ["DeviceRNG", "BlockedDraws", "StepDraws", "make_draws", "split_seed"]
+
+#: cap on elements pregenerated per ``uniform_block`` chunk by
+#: :class:`BlockedDraws` (float64 words; 1 << 19 elements = 4 MiB) — bulk
+#: generation amortises per-call overhead, but blocks must stay cache-sized:
+#: measured on the batched engines, 4 MiB chunks beat 64 MiB ones by ~5-10 %
+#: (a huge block is evicted before its tail rows are consumed).
+MAX_BLOCK_ELEMENTS = 1 << 19
 
 _SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
 
@@ -129,19 +136,39 @@ class DeviceRNG(abc.ABC):
         # (each element is exactly representable in float64 before dividing).
         return self.backend.xp.true_divide(raw, self._max_raw())
 
-    def uniform_block(self, rounds: int) -> np.ndarray:
+    def uniform_block(self, rounds: int, out: np.ndarray | None = None) -> np.ndarray:
         """Draw ``rounds`` successive vectors; shape ``(rounds, n_streams)``.
 
         Streams advance in lockstep, so row ``r`` holds the ``r``-th draw of
         every stream — exactly the access pattern of a construction step that
-        needs one number per (step, thread) pair.
+        needs one number per (step, thread) pair.  Bit-identical to ``rounds``
+        sequential :meth:`uniform` calls (each raw word is exactly
+        representable in float64 before the single normalising divide), but
+        amortised: one output allocation and one vectorised divide for the
+        whole block instead of one of each per draw.
+
+        ``out`` optionally supplies a preallocated ``(>= rounds, n_streams)``
+        float64 buffer (e.g. from a :class:`~repro.backend.WorkBuffers`
+        arena); the filled ``out[:rounds]`` view is returned.
         """
         if rounds < 0:
             raise ValueError(f"rounds must be non-negative, got {rounds}")
-        out = self.backend.xp.empty((rounds, self.n_streams), dtype=np.float64)
+        xp = self.backend.xp
+        if out is None:
+            out = xp.empty((rounds, self.n_streams), dtype=np.float64)
+        elif out.shape[0] < rounds or out.shape[1:] != (self.n_streams,):
+            raise ValueError(
+                f"out buffer {out.shape} cannot hold ({rounds}, {self.n_streams})"
+            )
+        block = out[:rounds]
+        max_raw = self._max_raw()
         for r in range(rounds):
-            out[r] = self.uniform()
-        return out
+            # Fused cast-and-divide into the row: one pass over the block
+            # instead of a cast pass plus a divide pass (bit-identical —
+            # every raw word is exactly representable in float64).
+            xp.true_divide(self._next_raw(), max_raw, out=block[r])
+        self.samples_drawn += rounds * self.n_streams
+        return block
 
     def uniform_scalar(self, stream: int = 0) -> float:
         """Draw one vector but return only ``stream``'s sample.
@@ -157,3 +184,107 @@ class DeviceRNG(abc.ABC):
             f"{type(self).__name__}(n_streams={self.n_streams}, seed={self.seed}, "
             f"samples_drawn={self.samples_drawn})"
         )
+
+
+class BlockedDraws:
+    """Per-step draw vectors served from bulk pregenerated blocks.
+
+    A construction kernel that consumes one uniform vector per step wraps its
+    generator in ``BlockedDraws(rng, rounds)`` and calls :meth:`next` once per
+    step.  Draws are pregenerated up to ``block_rounds`` steps at a time with
+    a single :meth:`DeviceRNG.uniform_block` call — the paper's bulk-RNG
+    amortisation — and handed out as zero-copy row views, so the steady-state
+    per-step cost collapses to an index bump.  The consumption order is the
+    same per-step lockstep, so tours built from blocked draws are
+    bit-identical to tours built from per-step :meth:`DeviceRNG.uniform`
+    calls (pinned by the rng test-suite).
+
+    Parameters
+    ----------
+    rng:
+        The generator to pregenerate from.
+    rounds:
+        Exact number of :meth:`next` calls the consumer will make; drawing
+        past it raises (an over-consuming kernel would silently desync the
+        stream otherwise).
+    work:
+        Optional :class:`~repro.backend.WorkBuffers` arena; when given, the
+        block buffer itself is hoisted across iterations under ``key``.
+    max_block_elements:
+        Cap on pregenerated elements per chunk; wide stream counts are served
+        in several chunks so memory stays bounded.
+    """
+
+    def __init__(
+        self,
+        rng: DeviceRNG,
+        rounds: int,
+        *,
+        work=None,
+        key: str = "rng.block",
+        max_block_elements: int = MAX_BLOCK_ELEMENTS,
+    ) -> None:
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        self.rng = rng
+        self.remaining = int(rounds)
+        per_chunk = max(1, int(max_block_elements) // max(1, rng.n_streams))
+        self.block_rounds = min(int(rounds), per_chunk) if rounds else 0
+        self._work = work
+        self._key = key
+        self._block: np.ndarray | None = None
+        self._pos = 0
+        self._filled = 0
+
+    def next(self) -> np.ndarray:
+        """The next ``(n_streams,)`` draw vector (a view into the block)."""
+        if self.remaining <= 0:
+            raise ValueError("BlockedDraws exhausted: all pregenerated rounds consumed")
+        if self._block is None or self._pos >= self._filled:
+            take = min(self.block_rounds, self.remaining)
+            out = None
+            if self._work is not None:
+                out = self._work.get(
+                    self._key, (self.block_rounds, self.rng.n_streams), np.float64
+                )
+            self._block = self.rng.uniform_block(take, out=out)
+            self._filled = take
+            self._pos = 0
+        row = self._block[self._pos]
+        self._pos += 1
+        self.remaining -= 1
+        return row
+
+
+class StepDraws:
+    """Per-step :meth:`DeviceRNG.uniform` calls — the unamortised reference.
+
+    Same interface as :class:`BlockedDraws`; used by the pre-amortisation
+    baseline mode (``BatchEngine(amortize=False)``) so benchmarks can measure
+    exactly what bulk generation buys.
+    """
+
+    def __init__(self, rng: DeviceRNG, rounds: int | None = None) -> None:
+        self.rng = rng
+        self.remaining = None if rounds is None else int(rounds)
+
+    def next(self) -> np.ndarray:
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                raise ValueError("StepDraws exhausted: all declared rounds consumed")
+            self.remaining -= 1
+        return self.rng.uniform()
+
+
+def make_draws(
+    rng: DeviceRNG,
+    rounds: int,
+    *,
+    bulk: bool = True,
+    work=None,
+    key: str = "rng.block",
+):
+    """A draw stream for ``rounds`` per-step vectors: blocked or stepwise."""
+    if bulk:
+        return BlockedDraws(rng, rounds, work=work, key=key)
+    return StepDraws(rng, rounds)

@@ -75,19 +75,42 @@ def tour_lengths(tours: np.ndarray, dist: np.ndarray) -> np.ndarray:
     return dist[t[:, :-1], t[:, 1:]].sum(axis=1)
 
 
-def tour_lengths_batch(tours: np.ndarray, dist: np.ndarray, xp=np) -> np.ndarray:
+def tour_lengths_batch(
+    tours: np.ndarray, dist: np.ndarray, xp=np, work=None
+) -> np.ndarray:
     """Lengths of ``(B, m, n + 1)`` closed tours under ``(B, n, n)`` distances.
 
     ``dist`` may be a broadcast view with a length-1 batch axis (replicas of
     one instance); row ``b`` equals ``tour_lengths(tours[b], dist[b])``.
     ``xp`` selects the array module when tours/distances live on a non-numpy
-    backend (integer sums, so every backend returns identical values).
+    backend (integer sums, so every backend returns identical values — and
+    integer addition is exact, so the two gather spellings below cannot
+    diverge either).
+
+    ``work`` optionally supplies a :class:`~repro.backend.WorkBuffers`
+    arena: the int64 tour copy and the flat edge-index scratch are then
+    hoisted across iterations instead of reallocated per call.  The returned
+    lengths array is always freshly allocated (it escapes into reports).
     """
-    t = xp.asarray(tours, dtype=np.int64)
-    if t.ndim != 3:
-        raise InvalidTourError(f"tours must be (B, m, n + 1), got shape {t.shape}")
-    b_idx = xp.arange(t.shape[0])[:, None, None]
-    return dist[b_idx, t[:, :, :-1], t[:, :, 1:]].sum(axis=2)
+    if work is None:
+        t = xp.asarray(tours, dtype=np.int64)
+        if t.ndim != 3:
+            raise InvalidTourError(f"tours must be (B, m, n + 1), got shape {t.shape}")
+        b_idx = xp.arange(t.shape[0])[:, None, None]
+        return dist[b_idx, t[:, :, :-1], t[:, :, 1:]].sum(axis=2)
+    if tours.ndim != 3:
+        raise InvalidTourError(f"tours must be (B, m, n + 1), got shape {tours.shape}")
+    B, m, n1 = tours.shape
+    n = n1 - 1
+    t = work.get("tourlen.t", (B, m, n1), np.int64)
+    t[...] = tours
+    idx = work.get("tourlen.idx", (B, m, n), np.int64)
+    xp.multiply(t[:, :, :-1], n, out=idx)
+    xp.add(idx, t[:, :, 1:], out=idx)
+    # (B, n * n) flat distance rows; a view for both real layouts (full
+    # stacks and broadcast replicas merge their contiguous trailing axes).
+    d = xp.take_along_axis(dist.reshape(B, n * n), idx.reshape(B, m * n), axis=1)
+    return d.reshape(B, m, n).sum(axis=2)
 
 
 def tour_edges(tour: np.ndarray) -> np.ndarray:

@@ -1,0 +1,58 @@
+"""WorkBuffers arena semantics: stable reuse, shape-checked reallocation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import WorkBuffers, get_backend
+
+
+def test_get_returns_same_buffer_for_same_key():
+    wb = WorkBuffers(get_backend("numpy"))
+    a = wb.get("k", (4, 3), np.float64)
+    b = wb.get("k", (4, 3), np.float64)
+    assert a is b
+    assert a.shape == (4, 3) and a.dtype == np.float64
+
+
+def test_get_reallocates_on_shape_or_dtype_change():
+    wb = WorkBuffers(get_backend("numpy"))
+    a = wb.get("k", (4,), np.float64)
+    b = wb.get("k", (5,), np.float64)
+    assert a is not b and b.shape == (5,)
+    c = wb.get("k", (5,), np.int64)
+    assert c is not b and c.dtype == np.int64
+
+
+def test_distinct_keys_never_alias():
+    wb = WorkBuffers(get_backend("numpy"))
+    a = wb.get("x", (8,), np.float64)
+    b = wb.get("y", (8,), np.float64)
+    assert a is not b
+
+
+def test_cached_builds_once():
+    wb = WorkBuffers(get_backend("numpy"))
+    calls = []
+
+    def build():
+        calls.append(1)
+        return np.arange(3)
+
+    a = wb.cached("c", build)
+    b = wb.cached("c", build)
+    assert a is b and len(calls) == 1
+
+
+def test_nbytes_and_len_track_contents():
+    wb = WorkBuffers(get_backend("numpy"))
+    assert len(wb) == 0 and wb.nbytes == 0
+    wb.get("k", (10,), np.float64)
+    wb.cached("c", lambda: np.zeros(5))
+    assert len(wb) == 2
+    assert wb.nbytes == 10 * 8 + 5 * 8
+
+
+def test_default_backend_resolution():
+    wb = WorkBuffers()
+    assert wb.backend.name == "numpy" or wb.backend is not None

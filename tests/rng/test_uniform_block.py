@@ -1,0 +1,106 @@
+"""Bulk-RNG equivalence: blocks must equal sequential draws bit-for-bit.
+
+The amortized engines pregenerate each iteration's draws with one
+``uniform_block(rounds)`` call; every construction result rests on that
+block consumption being indistinguishable from per-step ``uniform()``
+calls.  This suite pins the invariant for both generator families (the
+Park-Miller LCG with its jump-ahead/in-place fill strategies, and XORWOW)
+and for the chunked :class:`~repro.rng.BlockedDraws` consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    BlockedDraws,
+    ParkMillerLCG,
+    StepDraws,
+    XorwowRNG,
+    make_batched_rng,
+    make_rng,
+)
+
+
+@pytest.mark.parametrize("kind", ["lcg", "xorwow"])
+@pytest.mark.parametrize(
+    "n_streams,rounds",
+    [
+        (4, 10),  # tiny
+        (768, 48),  # jump-ahead regime (LCG)
+        (9000, 8),  # wide: in-place row fill regime (LCG)
+        (513, 1),  # single round
+    ],
+)
+def test_block_equals_sequential_uniforms(kind, n_streams, rounds):
+    blocked = make_rng(kind, n_streams, seed=7)
+    stepped = make_rng(kind, n_streams, seed=7)
+    block = blocked.uniform_block(rounds)
+    sequential = np.stack([stepped.uniform() for _ in range(rounds)])
+    np.testing.assert_array_equal(block, sequential)
+    # States stay in lockstep after the block: the next draws agree too.
+    np.testing.assert_array_equal(blocked.uniform(), stepped.uniform())
+    assert blocked.samples_drawn == stepped.samples_drawn
+
+
+@pytest.mark.parametrize("kind", ["lcg", "xorwow"])
+def test_block_consumption_tracks_samples(kind):
+    rng = make_rng(kind, 32, seed=3)
+    rng.uniform_block(5)
+    assert rng.samples_drawn == 5 * 32
+
+
+def test_lcg_wide_rowfill_matches_jump_ahead():
+    """The LCG's two fill strategies are bit-identical on the same shape."""
+    # 9000 * 8 > JUMP_AHEAD_MAX_ELEMENTS: `wide` takes the in-place row
+    # fill; `forced` has its crossover raised so it jump-aheads instead.
+    assert 9000 * 8 > ParkMillerLCG.JUMP_AHEAD_MAX_ELEMENTS
+    wide = ParkMillerLCG(n_streams=9000, seed=11)
+    forced = ParkMillerLCG(n_streams=9000, seed=11)
+    forced.JUMP_AHEAD_MAX_ELEMENTS = 1 << 30
+    np.testing.assert_array_equal(wide.uniform_block(8), forced.uniform_block(8))
+
+
+def test_block_out_buffer_reuse():
+    rng = ParkMillerLCG(n_streams=16, seed=5)
+    ref = ParkMillerLCG(n_streams=16, seed=5)
+    out = np.empty((10, 16), dtype=np.float64)
+    got = rng.uniform_block(4, out=out)
+    assert got.shape == (4, 16)
+    assert got.base is out or got is out  # a view of the caller's buffer
+    np.testing.assert_array_equal(got, ref.uniform_block(4))
+    with pytest.raises(ValueError):
+        rng.uniform_block(11, out=out)  # too small
+
+
+def test_blocked_draws_chunked_lockstep():
+    """Chunked BlockedDraws consumption equals per-step uniforms exactly."""
+    a = make_batched_rng("lcg", 100, [3, 9])
+    b = make_batched_rng("lcg", 100, [3, 9])
+    draws = BlockedDraws(a, 7, max_block_elements=300)  # forces 1-round chunks
+    assert draws.block_rounds == 1
+    got = np.stack([draws.next() for _ in range(7)])
+    ref = np.stack([b.uniform() for _ in range(7)])
+    np.testing.assert_array_equal(got, ref)
+    with pytest.raises(ValueError):
+        draws.next()  # exhausted: over-consumption must not desync silently
+
+
+def test_step_draws_is_plain_uniform():
+    a = XorwowRNG(n_streams=8, seed=2)
+    b = XorwowRNG(n_streams=8, seed=2)
+    draws = StepDraws(a, rounds=2)
+    np.testing.assert_array_equal(draws.next(), b.uniform())
+    np.testing.assert_array_equal(draws.next(), b.uniform())
+    with pytest.raises(ValueError):
+        draws.next()
+
+
+def test_blocked_draws_zero_rounds():
+    rng = ParkMillerLCG(n_streams=4, seed=1)
+    draws = BlockedDraws(rng, 0)
+    with pytest.raises(ValueError):
+        draws.next()
+    with pytest.raises(ValueError):
+        BlockedDraws(rng, -1)

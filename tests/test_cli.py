@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main as cli_main
@@ -141,6 +143,83 @@ class TestSweepCommand:
         assert rc == 2
         err = capsys.readouterr().err
         assert "cannot sweep" in err and "nn" in err
+
+
+class TestReportEvery:
+    def test_solve_report_every(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "4", "--report-every", "3"]
+        )
+        assert rc == 0
+        assert "best tour length" in capsys.readouterr().out
+
+    def test_solve_report_every_matches_default(self, capsys):
+        cli_main(["solve", "att48", "--iterations", "3", "--seed", "9"])
+        base = capsys.readouterr().out
+        cli_main(
+            ["solve", "att48", "--iterations", "3", "--seed", "9",
+             "--report-every", "3"]
+        )
+        amortized = capsys.readouterr().out
+        line = next(
+            ln for ln in base.splitlines() if ln.startswith("best tour length")
+        )
+        assert line in amortized
+
+    def test_replicas_report_every(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "4", "--replicas", "2",
+             "--report-every", "2"]
+        )
+        assert rc == 0
+        assert "best overall" in capsys.readouterr().out
+
+    def test_sweep_report_every(self, capsys):
+        rc = cli_main(
+            ["sweep", "att48", "--iterations", "3", "--param", "rho=0.3,0.7",
+             "--report-every", "3"]
+        )
+        assert rc == 0
+        assert "2 grid points" in capsys.readouterr().out
+
+    def test_invalid_report_every_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["solve", "att48", "--report-every", "0"])
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["sweep", "att48", "--param", "rho=0.5", "--report-every", "-2"]
+            )
+
+
+class TestBenchCommand:
+    def test_bench_list(self, capsys):
+        assert cli_main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_loop_amortization.py" in out
+        assert "BENCH_loop.json" in out
+
+    def test_bench_no_name_lists(self, capsys):
+        assert cli_main(["bench"]) == 0
+        assert "bench_" in capsys.readouterr().out
+
+    def test_bench_unknown_name(self):
+        with pytest.raises(SystemExit, match="no benchmark matches"):
+            cli_main(["bench", "does-not-exist"])
+
+    def test_bench_ambiguous_name(self):
+        with pytest.raises(SystemExit, match="ambiguous"):
+            cli_main(["bench", "bench"])
+
+    def test_bench_runs_and_validates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_loop.json"
+        rc = cli_main(["bench", "loop", "--", "--quick", "--out", str(out)])
+        assert rc == 0
+        assert out.is_file()
+        captured = capsys.readouterr().out
+        assert "validated" in captured
+        payload = json.loads(out.read_text())
+        assert payload["results"]
+        assert any(not row["amortized"] for row in payload["results"])
 
 
 class TestExperimentsCommand:
