@@ -83,6 +83,19 @@ class WorkBuffers:
             value = self._derived[key] = builder()
             return value
 
+    def reset_derived(self) -> None:
+        """Drop every :meth:`cached` derived constant (scratch buffers stay).
+
+        Required when an arena is handed from one engine to another (the
+        solve-service worker pattern): most derived constants are pure
+        index tables stamped by geometry, but some — the Choice kernel's
+        hoisted ``eta^beta`` — bake in *engine data* and would be silently
+        wrong under a new engine of the same geometry.  The reusable
+        ``get()`` buffers carry no such hazard (their contents are reset by
+        each user), so the allocation win survives the reset.
+        """
+        self._derived.clear()
+
     # -------------------------------------------------------- introspection
 
     @property

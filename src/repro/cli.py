@@ -7,6 +7,16 @@ Subcommands
     tour, per-stage modeled kernel times and solution quality.  With
     ``--replicas K`` the run dispatches through the batched multi-colony
     engine: K seed-replicas advance together in vectorized operations.
+    ``--variant {as,acs,mmas}`` selects the algorithm: ``acs`` (Ant Colony
+    System) and ``mmas`` (MAX-MIN Ant System) run on the solo numpy path
+    and reject batched/backend/amortized flags with a clear error instead
+    of silently ignoring them.
+``serve``
+    Async micro-batching solve service: a JSON-lines-over-TCP front-end
+    that queues solve requests, packs equal-geometry requests into shared
+    batched-engine runs, and streams per-boundary best-so-far updates back
+    to each caller.  Ctrl-C drains gracefully (stop accepting, finish
+    in-flight batches, flush streams).
 ``sweep``
     Parameter sweep (``--param rho=0.25,0.5,0.75`` style, × ``--replicas``)
     over one instance, executed as a single vectorized batch.
@@ -27,15 +37,20 @@ K-iteration blocks device-resident, reporting (and transferring tours to
 the host) only at K-boundaries — bit-identical results, amortised
 per-iteration overhead.
 
+Ctrl-C during ``solve``/``sweep``/``bench`` reports the best-so-far result
+and exits with status 130 instead of dumping a traceback.
+
 Examples
 --------
 ::
 
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
     gpu-aco solve att48 --replicas 16 --iterations 20 --report-every 10
+    gpu-aco solve att48 --variant mmas --iterations 50
     gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
+    gpu-aco serve --port 8642 --max-batch 8 --max-wait-ms 50
     gpu-aco experiments table2
     gpu-aco bench loop -- --quick
     gpu-aco bench --list
@@ -51,7 +66,7 @@ import sys
 
 from repro.backend import BACKENDS, available_backends, resolve_backend
 from repro.core import ACOParams, AntSystem, BatchEngine
-from repro.errors import BackendError
+from repro.errors import ACOConfigError, BackendError, RunInterrupted
 from repro.simt.device import DEVICES
 from repro.tsp import load_instance, parse_tsplib
 from repro.tsp.suite import PAPER_INSTANCE_NAMES
@@ -74,10 +89,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--iterations", type=int, default=20)
     solve.add_argument(
-        "--construction", type=int, default=8, choices=range(1, 9), metavar="1-8"
+        "--variant",
+        choices=("as", "acs", "mmas"),
+        default="as",
+        help="algorithm: as (paper Ant System, batched engine), acs (Ant "
+        "Colony System) or mmas (MAX-MIN Ant System); acs/mmas run the "
+        "solo numpy path",
     )
     solve.add_argument(
-        "--pheromone", type=int, default=1, choices=range(1, 6), metavar="1-5"
+        "--construction",
+        type=int,
+        default=None,
+        choices=range(1, 9),
+        metavar="1-8",
+        help="construction kernel (default 8; not valid with --variant acs, "
+        "which owns its pseudo-random-proportional rule)",
+    )
+    solve.add_argument(
+        "--pheromone",
+        type=int,
+        default=None,
+        choices=range(1, 6),
+        metavar="1-5",
+        help="pheromone kernel (default 1; only valid with --variant as — "
+        "acs/mmas own their update schedules)",
     )
     solve.add_argument("--device", choices=sorted(DEVICES), default="m2050")
     solve.add_argument("--ants", type=int, default=None, help="colony size (default m = n)")
@@ -148,6 +183,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "K-th iteration (bit-identical results; default 1)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="async micro-batching solve service (JSON-lines over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="largest engine batch one run may hold (B); a size bucket "
+        "launches as soon as it fills",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=50.0,
+        help="max milliseconds a queued request may age before its bucket "
+        "is flushed as a partial batch",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="engine worker threads"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="backpressure bound on requests in flight",
+    )
+    serve.add_argument("--device", choices=sorted(DEVICES), default="m2050")
+    serve.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="array backend (default: $ACO_BACKEND or numpy)",
+    )
+
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
     exps.add_argument("args", nargs=argparse.REMAINDER)
 
@@ -202,6 +279,10 @@ def _resolve_backend_arg(name: str | None):
         raise SystemExit(f"error: {exc}") from None
 
 
+def _interrupt_banner() -> None:
+    print("\ninterrupted — best-so-far result:", file=sys.stderr)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
@@ -211,16 +292,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     instance = _load(args.instance)
     device = DEVICES[args.device]
-    backend = _resolve_backend_arg(args.backend)
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
+    if args.variant != "as":
+        return _solve_variant(args, instance, device, params)
+    backend = _resolve_backend_arg(args.backend)
+    construction = 8 if args.construction is None else args.construction
+    pheromone = 1 if args.pheromone is None else args.pheromone
     if args.replicas > 1:
-        return _solve_replicas(args, instance, device, params, backend)
+        return _solve_replicas(
+            args, instance, device, params, backend, construction, pheromone
+        )
     colony = AntSystem(
         instance,
         params=params,
         device=device,
-        construction=args.construction,
-        pheromone=args.pheromone,
+        construction=construction,
+        pheromone=pheromone,
         backend=backend,
     )
     print(
@@ -230,7 +317,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"({colony.construction.label}) + pheromone v{colony.pheromone.version} "
         f"({colony.pheromone.label})"
     )
-    result = colony.run(args.iterations, report_every=args.report_every)
+    try:
+        result = colony.run(args.iterations, report_every=args.report_every)
+    except RunInterrupted as exc:
+        _interrupt_banner()
+        partial = exc.partial.results[0]
+        print(f"best tour length: {partial.best_length} "
+              f"(after {len(partial.iteration_best_lengths)} recorded iterations)")
+        return 130
     cost = colony.cost_params()
 
     print(f"best tour length: {result.best_length}")
@@ -248,14 +342,78 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve_replicas(args, instance, device, params, backend) -> int:
+def _solve_variant(args, instance, device, params) -> int:
+    """The solo ACS/MMAS path behind ``solve --variant {acs,mmas}``.
+
+    Flag combinations the solo variants cannot honour are rejected with a
+    clear message (previously these classes were unreachable from the CLI
+    and silently ignored the batched-engine knobs).
+    """
+    from repro.core import AntColonySystem, MaxMinAntSystem
+
+    variant = args.variant
+    try:
+        if args.replicas > 1:
+            raise ACOConfigError(
+                f"--replicas > 1 runs on the batched engine; variant "
+                f"{variant!r} is solo-only (use --variant as)"
+            )
+        if args.pheromone is not None:
+            raise ACOConfigError(
+                f"variant {variant!r} owns its pheromone schedule; "
+                "--pheromone is only valid with --variant as"
+            )
+        if variant == "acs":
+            if args.construction is not None:
+                raise ACOConfigError(
+                    "variant 'acs' owns its construction rule (pseudo-random-"
+                    "proportional); --construction is only valid with "
+                    "--variant as/mmas"
+                )
+            colony = AntColonySystem(
+                instance, params, device=device, backend=args.backend
+            )
+        else:
+            colony = MaxMinAntSystem(
+                instance,
+                params,
+                construction=8 if args.construction is None else args.construction,
+                device=device,
+                backend=args.backend,
+            )
+        print(
+            f"solving {instance.name} (n={instance.n}) on {device.name} "
+            f"[variant {variant}, solo numpy path]"
+        )
+        rc = 0
+        try:
+            result = colony.run(args.iterations, report_every=args.report_every)
+        except RunInterrupted as exc:
+            _interrupt_banner()
+            result = exc.partial
+            rc = 130
+    except ACOConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"best tour length: {result.best_length}")
+    if result.iteration_best_lengths:
+        print(f"iteration bests:  first={result.iteration_best_lengths[0]} "
+              f"last={result.iteration_best_lengths[-1]}")
+    if variant == "mmas":
+        print(f"trail reinitialisations: {result.trail_reinitialisations}")
+    print(f"wall-clock (functional simulation): {result.wall_seconds:.2f}s")
+    return rc
+
+
+def _solve_replicas(
+    args, instance, device, params, backend, construction, pheromone
+) -> int:
     engine = BatchEngine.replicas(
         instance,
         params,
         replicas=args.replicas,
         device=device,
-        construction=args.construction,
-        pheromone=args.pheromone,
+        construction=construction,
+        pheromone=pheromone,
         backend=backend,
     )
     print(
@@ -264,18 +422,26 @@ def _solve_replicas(args, instance, device, params, backend) -> int:
         f"{args.replicas} batched replicas, construction "
         f"v{engine.construction.version} + pheromone v{engine.pheromone.version}"
     )
-    batch = engine.run(args.iterations, report_every=args.report_every)
+    try:
+        batch = engine.run(args.iterations, report_every=args.report_every)
+    except RunInterrupted as exc:
+        _interrupt_banner()
+        batch = exc.partial
+        rc = 130
+    else:
+        rc = 0
     t = Table(["replica", "seed", "best length"], title="per-replica results")
     for b, res in enumerate(batch.results):
         t.add_row([b, engine.state.params[b].seed, res.best_length])
     print(t.render())
     print(f"best overall: {batch.best_length} (replica {batch.best_row})")
+    iterations_run = batch.iterations_run or args.iterations
     print(
         f"wall-clock (batched functional simulation): {batch.wall_seconds:.2f}s "
-        f"for {args.replicas} x {args.iterations} iterations "
-        f"({batch.colonies_per_second(args.iterations):.1f} colony-iterations/s)"
+        f"for {args.replicas} x {iterations_run} iterations "
+        f"({batch.colonies_per_second(iterations_run):.1f} colony-iterations/s)"
     )
-    return 0
+    return rc
 
 
 def _parse_sweep_params(specs: list[str]) -> dict[str, list[float]]:
@@ -310,6 +476,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if "seed" in grid:
         grid["seed"] = [int(v) for v in grid["seed"]]
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
+    rc = 0
     try:
         sweep = run_sweep(
             instance,
@@ -326,18 +493,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except RunInterrupted as exc:
+        _interrupt_banner()
+        sweep = exc.partial
+        rc = 130
     print(
         f"sweeping {instance.name} (n={instance.n}) on {device.name}: "
         f"{len(sweep.points)} grid points x {args.replicas} replicas = "
         f"{sweep.batch.B} batched colonies"
     )
     print(sweep.table().render())
+    iterations_run = sweep.batch.iterations_run or args.iterations
     print(
         f"wall-clock (batched functional simulation): "
         f"{sweep.batch.wall_seconds:.2f}s for {sweep.batch.B} x "
-        f"{args.iterations} iterations"
+        f"{iterations_run} iterations"
     )
-    return 0
+    return rc
 
 
 def _find_benchmarks_dir(explicit: str | None):
@@ -423,7 +595,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     cmd = [sys.executable, str(script), *extra]
     print(f"running: {' '.join(cmd)}")
-    proc = subprocess.run(cmd, env=env)
+    try:
+        proc = subprocess.run(cmd, env=env)
+    except KeyboardInterrupt:
+        # The child shares our process group, so it received the SIGINT
+        # too; subprocess.run has already reaped it by the time we get here.
+        print("\ninterrupted — benchmark aborted, no artefact validated",
+              file=sys.stderr)
+        return 130
     if proc.returncode != 0:
         print(f"error: {matches[0]} exited with {proc.returncode}", file=sys.stderr)
         return proc.returncode
@@ -451,6 +630,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {out_path.name} failed schema validation: {exc}", file=sys.stderr)
         return 1
     print(f"validated {out_path} against the pinned schema")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async micro-batching solve service until interrupted.
+
+    SIGINT/SIGTERM trigger the graceful-drain path: the TCP listener
+    closes (no new requests), queued requests flush as final batches,
+    in-flight engine runs complete and every stream is terminated before
+    the process exits.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import SolveService, serve_tcp
+
+    backend = _resolve_backend_arg(args.backend)
+    device = DEVICES[args.device]
+    try:
+        # Constructed before the loop starts so every config error (bad
+        # max_batch/max_wait/workers/max_pending combination) surfaces as a
+        # clean usage message, not a traceback out of asyncio.run.
+        service = SolveService(
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1000.0,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            backend=backend,
+            device=device,
+        )
+    except ACOConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    async def _main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # non-unix loops
+                pass
+        async with service:
+            server = await serve_tcp(service, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(
+                f"serving on {host}:{port} [backend {backend.name}, "
+                f"max_batch {args.max_batch}, max_wait "
+                f"{args.max_wait_ms:.0f} ms, {args.workers} worker(s)] — "
+                "Ctrl-C drains gracefully",
+                flush=True,
+            )
+            try:
+                await stop.wait()
+            finally:
+                print("\ndraining: no new requests; finishing in-flight "
+                      "batches and flushing streams ...", flush=True)
+                server.close()
+                await server.wait_closed()
+        print(f"drained. stats: {service.stats.snapshot()}")
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        # Signal handler installation failed (non-unix): the interrupt
+        # aborted the loop; the service still drained via __aexit__.
+        print("\ninterrupted — service stopped", file=sys.stderr)
+        return 130
     return 0
 
 
@@ -503,20 +749,29 @@ def _cmd_devices() -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "solve":
-        return _cmd_solve(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "devices":
-        return _cmd_devices()
-    if args.command == "backends":
-        return _cmd_backends()
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "experiments":
-        from repro.experiments.__main__ import main as exp_main
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "devices":
+            return _cmd_devices()
+        if args.command == "backends":
+            return _cmd_backends()
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "experiments":
+            from repro.experiments.__main__ import main as exp_main
 
-        return exp_main(args.args)
+            return exp_main(args.args)
+    except KeyboardInterrupt:
+        # Backstop for interrupts the command didn't turn into a best-so-far
+        # report (e.g. before the first iteration completed): still exit
+        # with the conventional 128 + SIGINT status instead of a traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

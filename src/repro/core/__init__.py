@@ -10,7 +10,12 @@ orchestrator.
 from __future__ import annotations
 
 from repro.core.acs import ACSParams, ACSRunResult, AntColonySystem
-from repro.core.batch import BatchColonyState, BatchEngine, BatchRunResult
+from repro.core.batch import (
+    BatchColonyState,
+    BatchEngine,
+    BatchRunResult,
+    BoundaryUpdate,
+)
 from repro.core.mmas import MaxMinAntSystem, MMASParams, MMASRunResult
 from repro.core.choice import ChoiceKernel
 from repro.core.colony import AntSystem, RunResult
@@ -37,6 +42,7 @@ __all__ = [
     "BatchColonyState",
     "BatchEngine",
     "BatchRunResult",
+    "BoundaryUpdate",
     "ColonyState",
     "ChoiceKernel",
     "TourConstruction",

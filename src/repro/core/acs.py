@@ -38,7 +38,7 @@ import numpy as np
 from repro.core.params import ACOParams
 from repro.core.report import StageReport
 from repro.core.state import ColonyState
-from repro.errors import ACOConfigError
+from repro.errors import ACOConfigError, RunInterrupted
 from repro.rng import ParkMillerLCG
 from repro.simt.counters import KernelStats
 from repro.simt.device import TESLA_M2050, DeviceSpec
@@ -49,6 +49,31 @@ from repro.tsp.tour import tour_lengths, validate_tour
 from repro.util.timer import WallClock
 
 __all__ = ["ACSParams", "AntColonySystem", "ACSRunResult"]
+
+
+def require_numpy_backend(backend, variant: str) -> None:
+    """Reject non-numpy backends for the solo ACS/MMAS paths — loudly.
+
+    These variants run the pre-batching solo numpy pipeline; accepting a
+    ``backend=`` argument and then ignoring it would silently drift from
+    what the caller asked for (the stranded-variant bug).  ``None`` (the
+    resolved default) and numpy itself are fine; anything else raises a
+    clear :class:`~repro.errors.ACOConfigError`.
+    """
+    if backend is None:
+        return
+    name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+    if name is None:
+        raise ACOConfigError(
+            f"{variant} cannot interpret backend {backend!r}; pass a name or "
+            "an ArrayBackend"
+        )
+    if name != "numpy":
+        raise ACOConfigError(
+            f"{variant} runs on the solo numpy path; backend {name!r} is not "
+            "supported — use the Ant System variant (AntSystem/BatchEngine) "
+            "for backend-resident execution"
+        )
 
 
 @dataclass(frozen=True)
@@ -98,6 +123,11 @@ class AntColonySystem(Kernel):
         The ACS-specific knobs (q0, xi).
     device:
         Simulated device for the cost ledgers.
+    backend:
+        Accepted for CLI/API symmetry with :class:`~repro.core.AntSystem`,
+        but the solo ACS path runs numpy only: any non-numpy value raises
+        :class:`~repro.errors.ACOConfigError` instead of being silently
+        ignored.
 
     Examples
     --------
@@ -116,17 +146,26 @@ class AntColonySystem(Kernel):
         params: ACOParams | None = None,
         acs: ACSParams | None = None,
         device: DeviceSpec = TESLA_M2050,
+        backend=None,
     ) -> None:
+        require_numpy_backend(backend, "AntColonySystem")
         self.params = params or ACOParams()
         self.acs = acs or ACSParams()
         self.device = device
-        self.state = ColonyState.create(instance, self.params, device)
+        # Pin numpy explicitly: with backend=None the state/RNG would
+        # otherwise resolve ACO_BACKEND themselves and an env-selected
+        # accelerated backend would drift into this numpy-only path.
+        self.state = ColonyState.create(
+            instance, self.params, device, backend="numpy"
+        )
         # ACS tau0 = 1 / (n * C_nn); reuse the AS state's m/C_nn scaling.
         self.tau0 = self.state.tau0 / (self.state.m * self.state.n)
         self.state.pheromone[:, :] = self.tau0
         np.fill_diagonal(self.state.pheromone, 0.0)
         self.rng = ParkMillerLCG(
-            n_streams=max(self.state.m * 2, 2), seed=self.params.seed
+            n_streams=max(self.state.m * 2, 2),
+            seed=self.params.seed,
+            backend="numpy",
         )
 
     # ------------------------------------------------------------- geometry
@@ -238,15 +277,43 @@ class AntColonySystem(Kernel):
         self.state.iteration += 1
         return int(lengths.min()), [construction_report, update_report]
 
-    def run(self, iterations: int) -> ACSRunResult:
-        """Run several ACS iterations, tracking the best tour."""
+    def run(self, iterations: int, report_every: int = 1) -> ACSRunResult:
+        """Run several ACS iterations, tracking the best tour.
+
+        ``report_every`` exists for signature symmetry with
+        :meth:`AntSystem.run <repro.core.colony.AntSystem.run>` but the
+        solo ACS loop has no amortized path; any value other than 1 raises
+        instead of being silently ignored.  Ctrl-C raises
+        :class:`~repro.errors.RunInterrupted` carrying the best-so-far
+        :class:`ACSRunResult` (bare ``KeyboardInterrupt`` when nothing
+        completed).
+        """
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        if report_every != 1:
+            raise ACOConfigError(
+                "report_every > 1 needs the device-resident batched loop; "
+                "the solo ACS path reports every iteration (use the Ant "
+                "System variant for amortized execution)"
+            )
         bests: list[int] = []
-        with WallClock() as clock:
-            for _ in range(iterations):
-                best, _ = self.run_iteration()
-                bests.append(best)
+        clock = WallClock()
+        try:
+            with clock:
+                for _ in range(iterations):
+                    best, _ = self.run_iteration()
+                    bests.append(best)
+        except KeyboardInterrupt:
+            st = self.state
+            if st.best_tour is None or st.best_length is None:
+                raise
+            partial = ACSRunResult(
+                best_tour=st.best_tour,
+                best_length=st.best_length,
+                iteration_best_lengths=bests,
+                wall_seconds=clock.elapsed,
+            )
+            raise RunInterrupted(partial, "ACS run interrupted") from None
         st = self.state
         assert st.best_tour is not None and st.best_length is not None
         validate_tour(st.best_tour, st.n)

@@ -31,6 +31,7 @@ Examples
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,14 +43,19 @@ from repro.core.params import ACOParams
 from repro.core.pheromone import PheromoneUpdate, make_pheromone
 from repro.core.report import IterationReport
 from repro.core.state import ColonyState
-from repro.errors import ACOConfigError
+from repro.errors import ACOConfigError, RunInterrupted
 from repro.rng import make_batched_rng
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import nearest_neighbor_tour, tour_length, tour_lengths_batch
 from repro.util.timer import WallClock
 
-__all__ = ["BatchColonyState", "BatchEngine", "BatchRunResult"]
+__all__ = [
+    "BatchColonyState",
+    "BatchEngine",
+    "BatchRunResult",
+    "BoundaryUpdate",
+]
 
 
 def _stack_or_broadcast(rows: list[np.ndarray], B: int, bk: ArrayBackend):
@@ -240,6 +246,20 @@ class BatchColonyState:
         return self.B * per_colony
 
 
+@dataclass(frozen=True)
+class BoundaryUpdate:
+    """Host snapshot of a batch's best-so-far records at a report boundary.
+
+    Handed to :meth:`BatchEngine.run`'s ``on_boundary`` callback after the
+    boundary host transfer — the arrays are fresh copies the callback may
+    keep or mutate freely without touching engine state.
+    """
+
+    iteration: int  #: engine iteration count at this boundary (1-based)
+    best_lengths: np.ndarray  #: (B,) int64 best-so-far tour lengths
+    best_tours: np.ndarray  #: (B, n + 1) int32 best-so-far tours
+
+
 @dataclass
 class BatchRunResult:
     """Outcome of a :meth:`BatchEngine.run` call.
@@ -247,12 +267,31 @@ class BatchRunResult:
     ``results[b]`` is a full per-colony
     :class:`~repro.core.colony.RunResult`, identical in structure (and, by
     the equivalence invariant, in content) to what a solo run of that row
-    would return; ``wall_seconds`` is the one shared batched wall-clock.
+    would return.
+
+    Wall-clock semantics — the two fields measure different things:
+
+    * ``wall_seconds`` (here) is the **true wall-clock of the whole batch
+      run**: one shared measurement around the vectorized loop.  All
+      throughput accounting (:meth:`colonies_per_second`, service stats)
+      must derive from this number.
+    * ``results[b].wall_seconds`` is that row's **amortized share**,
+      ``batch wall / B`` — the per-colony cost figure a solo run of row
+      ``b`` effectively paid inside the batch.  Summing row shares merely
+      reconstructs the batch wall; summing shares *across different
+      batches* (e.g. per-request results collected from a packing service)
+      under-reports real elapsed time and must not be used for throughput.
     """
 
     results: list  # list[RunResult]
     wall_seconds: float
     device: DeviceSpec
+    #: iterations actually executed (< requested when stopped early)
+    iterations_run: int = 0
+    #: ``True`` when ``on_boundary`` / ``target_lengths`` ended the run early
+    stopped_early: bool = False
+    #: ``True`` when the run was cut short by Ctrl-C (partial results)
+    interrupted: bool = False
 
     @property
     def B(self) -> int:
@@ -276,8 +315,16 @@ class BatchRunResult:
     def best_tour(self) -> np.ndarray:
         return self.results[self.best_row].best_tour
 
-    def colonies_per_second(self, iterations: int) -> float:
-        """Throughput in colony-iterations per wall second."""
+    def colonies_per_second(self, iterations: int | None = None) -> float:
+        """Throughput in colony-iterations per wall second.
+
+        Derived from the batch-level ``wall_seconds`` only (never from
+        per-row shares — see the class docstring).  ``iterations`` defaults
+        to the recorded ``iterations_run``; passing it explicitly is only
+        needed for results predating the field.
+        """
+        if iterations is None:
+            iterations = self.iterations_run
         if self.wall_seconds <= 0.0:
             return float("inf")
         return self.B * iterations / self.wall_seconds
@@ -309,6 +356,14 @@ class BatchEngine:
         ``False`` restores the per-step-draw, allocate-per-call behaviour
         and exists as the measured baseline for
         ``benchmarks/bench_loop_amortization.py``.
+    work:
+        An externally owned :class:`~repro.backend.WorkBuffers` arena to
+        reuse instead of allocating a fresh one — the seam that lets a
+        long-lived worker (e.g. one solve-service worker thread) amortise
+        scratch buffers across *engines*, not just iterations.  Must live
+        on the same backend as the engine; buffer keys are geometry-stamped
+        so consecutive engines of different shapes coexist safely, but one
+        arena must never be driven by two engines **concurrently**.
     """
 
     def __init__(
@@ -322,6 +377,7 @@ class BatchEngine:
         pheromone_options: dict | None = None,
         backend: ArrayBackend | str | None = None,
         amortize: bool = True,
+        work: WorkBuffers | None = None,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -350,7 +406,23 @@ class BatchEngine:
             instances, plist, device, backend=self.backend
         )
         self.amortize = bool(amortize)
-        self.work = WorkBuffers(self.backend) if self.amortize else None
+        if work is not None:
+            if not self.amortize:
+                raise ACOConfigError(
+                    "a shared WorkBuffers arena requires amortize=True"
+                )
+            if work.backend.name != self.backend.name:
+                raise ACOConfigError(
+                    f"shared arena lives on backend {work.backend.name!r} but "
+                    f"the engine runs on {self.backend.name!r}"
+                )
+            # Derived constants may bake in the previous owner's data (the
+            # hoisted eta^beta); only the shape-checked scratch pool is safe
+            # to carry across engines.
+            work.reset_derived()
+            self.work = work
+        else:
+            self.work = WorkBuffers(self.backend) if self.amortize else None
         self.state.work = self.work
         self.state.bulk_rng = self.amortize
         self.choice_kernel = ChoiceKernel()
@@ -448,7 +520,13 @@ class BatchEngine:
             for b in range(bs.B)
         ]
 
-    def run(self, iterations: int, report_every: int = 1) -> BatchRunResult:
+    def run(
+        self,
+        iterations: int,
+        report_every: int = 1,
+        on_boundary: Callable[[BoundaryUpdate], bool | None] | None = None,
+        target_lengths: int | np.ndarray | None = None,
+    ) -> BatchRunResult:
         """Run several iterations for every colony, tracking per-row bests.
 
         ``report_every=K`` keeps the loop device-resident between report
@@ -460,26 +538,88 @@ class BatchEngine:
         are bit-identical for every K; only the ``reports`` lists thin out
         (boundary iterations only).  ``K=1`` (the default) is the classic
         report-every-iteration loop.
-        """
-        from repro.core.colony import RunResult
 
+        ``on_boundary`` is called at every report boundary (so every K-th
+        iteration and the last) with a :class:`BoundaryUpdate` snapshot —
+        the streaming/deadline seam: callers observe best-so-far progress
+        without forcing ``K=1``.  Returning ``True`` stops the run after
+        that boundary.  ``target_lengths`` (scalar or ``(B,)``) stops the
+        run at the first boundary where **every** row's best is at or below
+        its target.  Early-stopped results are flagged ``stopped_early``
+        and carry ``iterations_run < iterations``; neither hook perturbs
+        the numerics of the iterations that did run.
+
+        Ctrl-C during the loop raises
+        :class:`~repro.errors.RunInterrupted` carrying a partial
+        ``BatchRunResult`` with every row's best-so-far as of the last
+        completed iteration (bare ``KeyboardInterrupt`` propagates when
+        nothing completed).
+        """
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
         if report_every < 1:
             raise ACOConfigError(
                 f"report_every must be >= 1, got {report_every}"
             )
+        targets = None
+        if target_lengths is not None:
+            targets = np.broadcast_to(
+                np.asarray(target_lengths, dtype=np.int64), (self.state.B,)
+            )
         bs = self.state
+        start_iteration = bs.iteration
         reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
         bests: list[list[int]] = [[] for _ in range(bs.B)]
-        with WallClock() as clock:
-            if report_every == 1:
-                for _ in range(iterations):
-                    for b, rep in enumerate(self.run_iteration()):
-                        reports[b].append(rep)
-                        bests[b].append(rep.best_length)
-            else:
-                self._run_amortized(iterations, report_every, reports, bests)
+        stopped_early = False
+        clock = WallClock()
+        try:
+            with clock:
+                if report_every == 1:
+                    for it in range(iterations):
+                        for b, rep in enumerate(self.run_iteration()):
+                            reports[b].append(rep)
+                            bests[b].append(rep.best_length)
+                        if self._boundary_hook(on_boundary, targets):
+                            stopped_early = it + 1 < iterations
+                            break
+                else:
+                    stopped_early = self._run_amortized(
+                        iterations, report_every, reports, bests,
+                        on_boundary, targets,
+                    )
+        except KeyboardInterrupt:
+            if bs.best_lengths is None:
+                raise  # nothing completed; keep the plain Ctrl-C semantics
+            partial = self._collect_results(
+                reports, bests, clock.elapsed,
+                iterations_run=bs.iteration - start_iteration,
+                stopped_early=True, interrupted=True,
+            )
+            raise RunInterrupted(partial, "batch run interrupted") from None
+        return self._collect_results(
+            reports, bests, clock.elapsed,
+            iterations_run=bs.iteration - start_iteration,
+            stopped_early=stopped_early,
+        )
+
+    def _collect_results(
+        self,
+        reports: list[list[IterationReport]],
+        bests: list[list[int]],
+        elapsed: float,
+        *,
+        iterations_run: int,
+        stopped_early: bool = False,
+        interrupted: bool = False,
+    ) -> BatchRunResult:
+        """Fold the loop's bookkeeping into a :class:`BatchRunResult`.
+
+        Row ``wall_seconds`` is the amortized share ``elapsed / B`` (see
+        :class:`BatchRunResult` for the two fields' semantics).
+        """
+        from repro.core.colony import RunResult
+
+        bs = self.state
         assert bs.best_tours is not None and bs.best_lengths is not None
         results = [
             RunResult(
@@ -487,14 +627,42 @@ class BatchEngine:
                 best_length=int(bs.best_lengths[b]),
                 iteration_best_lengths=bests[b],
                 reports=reports[b],
-                wall_seconds=clock.elapsed / bs.B,
+                wall_seconds=elapsed / bs.B,
                 device=self.device,
             )
             for b in range(bs.B)
         ]
         return BatchRunResult(
-            results=results, wall_seconds=clock.elapsed, device=self.device
+            results=results,
+            wall_seconds=elapsed,
+            device=self.device,
+            iterations_run=iterations_run,
+            stopped_early=stopped_early,
+            interrupted=interrupted,
         )
+
+    def _boundary_hook(self, on_boundary, targets) -> bool:
+        """Fire the boundary callback / target check on fresh host records.
+
+        Runs strictly after the boundary host transfer, so the snapshot
+        handed out is already-copied host data; the hook cannot influence
+        the iteration numerics, only whether the loop continues.
+        """
+        bs = self.state
+        if on_boundary is None and targets is None:
+            return False
+        assert bs.best_lengths is not None and bs.best_tours is not None
+        stop = False
+        if on_boundary is not None:
+            update = BoundaryUpdate(
+                iteration=bs.iteration,
+                best_lengths=bs.best_lengths.copy(),
+                best_tours=bs.best_tours.copy(),
+            )
+            stop = bool(on_boundary(update))
+        if targets is not None and bool(np.all(bs.best_lengths <= targets)):
+            stop = True
+        return stop
 
     def _run_amortized(
         self,
@@ -502,14 +670,19 @@ class BatchEngine:
         report_every: int,
         reports: list[list[IterationReport]],
         bests: list[list[int]],
-    ) -> None:
+        on_boundary=None,
+        targets=None,
+    ) -> bool:
         """The device-resident ``report_every=K`` loop body.
 
         Best-so-far records are folded on the backend every iteration (the
         same first-argmin/strict-improvement rule ``record_tours`` applies
         on the host, so the fold is bit-identical to K=1); host transfer and
         report materialization happen only at K-boundaries and at the final
-        iteration.
+        iteration.  Returns ``True`` when a boundary hook or target stop
+        ended the loop early.  A Ctrl-C mid-block syncs the backend-resident
+        fold to the host before re-raising, so the interrupt path reports
+        bests up to the last *completed* iteration, not the last boundary.
         """
         bs = self.state
         xp = self.backend.xp
@@ -525,33 +698,48 @@ class BatchEngine:
             best_tours = self.backend.from_host(bs.best_tours).copy()
         block_vals: list = []  # per-iteration (B,) iteration-best lengths
 
-        for it in range(iterations):
-            boundary = ((it + 1) % report_every == 0) or (it + 1 == iterations)
-            tours, lengths, stages = self._advance(collect=boundary)
-            ib = xp.argmin(lengths, axis=1)
-            vals = lengths[rows, ib]
-            block_vals.append(vals)
-            improved = xp.nonzero(vals < best_len)[0]
-            if improved.size:
-                best_len[improved] = vals[improved]
-                best_tours[improved] = tours[improved, ib[improved]]
-            bs.iteration += 1
-            if boundary:
-                host_tours = self.backend.to_host(tours)
-                host_lengths = self.backend.to_host(lengths)
-                bs.tours = host_tours
-                bs.lengths = host_lengths
-                bs.best_lengths = self.backend.to_host(best_len).copy()
-                bs.best_tours = self.backend.to_host(best_tours).copy()
+        def _sync_fold() -> None:
+            """Host-sync the fold (best records + pending block bests)."""
+            if not bool(xp.all(best_len < np.iinfo(np.int64).max)):
+                return  # no iteration completed yet; nothing to salvage
+            bs.best_lengths = self.backend.to_host(best_len).copy()
+            bs.best_tours = self.backend.to_host(best_tours).copy()
+            if block_vals:
                 host_vals = self.backend.to_host(xp.stack(block_vals))
                 block_vals.clear()
                 for b in range(bs.B):
                     bests[b].extend(int(v) for v in host_vals[:, b])
-                    reports[b].append(
-                        IterationReport(
-                            iteration=bs.iteration,
-                            tours=host_tours[b],
-                            lengths=host_lengths[b],
-                            stages=stages[b],
+
+        try:
+            for it in range(iterations):
+                boundary = ((it + 1) % report_every == 0) or (it + 1 == iterations)
+                tours, lengths, stages = self._advance(collect=boundary)
+                ib = xp.argmin(lengths, axis=1)
+                vals = lengths[rows, ib]
+                block_vals.append(vals)
+                improved = xp.nonzero(vals < best_len)[0]
+                if improved.size:
+                    best_len[improved] = vals[improved]
+                    best_tours[improved] = tours[improved, ib[improved]]
+                bs.iteration += 1
+                if boundary:
+                    host_tours = self.backend.to_host(tours)
+                    host_lengths = self.backend.to_host(lengths)
+                    bs.tours = host_tours
+                    bs.lengths = host_lengths
+                    _sync_fold()
+                    for b in range(bs.B):
+                        reports[b].append(
+                            IterationReport(
+                                iteration=bs.iteration,
+                                tours=host_tours[b],
+                                lengths=host_lengths[b],
+                                stages=stages[b],
+                            )
                         )
-                    )
+                    if self._boundary_hook(on_boundary, targets):
+                        return it + 1 < iterations
+        except KeyboardInterrupt:
+            _sync_fold()
+            raise
+        return False

@@ -50,7 +50,16 @@ __all__ = ["AntSystem", "RunResult"]
 
 @dataclass
 class RunResult:
-    """Summary of an :meth:`AntSystem.run` call."""
+    """Summary of an :meth:`AntSystem.run` call.
+
+    ``wall_seconds`` is this colony's **amortized share** of the run that
+    produced it: for a solo run it is the true wall-clock, but for a row of
+    a :class:`~repro.core.batch.BatchEngine` run it is ``batch wall / B``
+    (the per-colony cost the row effectively paid inside the batch).
+    Summing shares across different batches under-reports real elapsed
+    time; throughput accounting must use the batch-level
+    :attr:`~repro.core.batch.BatchRunResult.wall_seconds` instead.
+    """
 
     best_tour: np.ndarray
     best_length: int
@@ -168,7 +177,13 @@ class AntSystem:
             st.best_length = int(bs.best_lengths[0])
             st.best_tour = bs.best_tours[0].copy()
 
-    def run(self, iterations: int, report_every: int = 1) -> RunResult:
+    def run(
+        self,
+        iterations: int,
+        report_every: int = 1,
+        on_boundary=None,
+        target_length: int | None = None,
+    ) -> RunResult:
         """Run several iterations, tracking the best tour found.
 
         ``report_every=K`` runs the amortized device-resident loop: host
@@ -178,11 +193,26 @@ class AntSystem:
         tour/length, per-iteration best lengths and the final pheromone are
         bit-identical for every K; only ``reports`` thins to boundary
         iterations.
+
+        ``on_boundary`` / ``target_length`` are the B=1 views of the engine
+        hooks (see :meth:`~repro.core.batch.BatchEngine.run`): the callback
+        observes a :class:`~repro.core.batch.BoundaryUpdate` at every
+        K-boundary and may return ``True`` to stop; ``target_length`` stops
+        at the first boundary whose best is at or below it.
         """
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
-        batch = self.engine.run(iterations, report_every=report_every)
-        self._sync_view()
+        try:
+            batch = self.engine.run(
+                iterations,
+                report_every=report_every,
+                on_boundary=on_boundary,
+                target_lengths=target_length,
+            )
+        finally:
+            # Keep the view coherent even when the run is interrupted.
+            if self.engine.state.best_lengths is not None:
+                self._sync_view()
         return batch.results[0]
 
     # -------------------------------------------------------------- costing

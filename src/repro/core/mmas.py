@@ -27,12 +27,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.acs import require_numpy_backend
 from repro.core.choice import ChoiceKernel
 from repro.core.construction import TourConstruction, make_construction
 from repro.core.params import ACOParams
 from repro.core.report import StageReport
 from repro.core.state import ColonyState
-from repro.errors import ACOConfigError
+from repro.errors import ACOConfigError, RunInterrupted
 from repro.rng import make_rng
 from repro.simt.counters import KernelStats
 from repro.simt.device import TESLA_M2050, DeviceSpec
@@ -101,6 +102,11 @@ class MaxMinAntSystem(Kernel):
         instance); default 8.
     device:
         Simulated device.
+    backend:
+        Accepted for CLI/API symmetry with :class:`~repro.core.AntSystem`,
+        but the solo MMAS path runs numpy only: any non-numpy value raises
+        :class:`~repro.errors.ACOConfigError` instead of being silently
+        ignored.
 
     Examples
     --------
@@ -120,13 +126,20 @@ class MaxMinAntSystem(Kernel):
         mmas: MMASParams | None = None,
         construction: int | str | TourConstruction = 8,
         device: DeviceSpec = TESLA_M2050,
+        backend=None,
     ) -> None:
+        require_numpy_backend(backend, "MaxMinAntSystem")
         self.params = params or ACOParams()
         self.mmas = mmas or MMASParams()
         self.device = device
         self.construction = make_construction(construction)
         self.choice_kernel = ChoiceKernel()
-        self.state = ColonyState.create(instance, self.params, device)
+        # Pin numpy explicitly: with backend=None the state/RNG would
+        # otherwise resolve ACO_BACKEND themselves and an env-selected
+        # accelerated backend would drift into this numpy-only path.
+        self.state = ColonyState.create(
+            instance, self.params, device, backend="numpy"
+        )
 
         # Optimistic initialisation: tau_max from the greedy tour.
         c_nn = tour_length(nearest_neighbor_tour(self.state.dist), self.state.dist)
@@ -135,7 +148,10 @@ class MaxMinAntSystem(Kernel):
         np.fill_diagonal(self.state.pheromone, 0.0)
 
         streams = self.construction.rng_streams(self.state.n, self.state.m)
-        self.rng = make_rng(self.construction.rng_kind, streams, self.params.seed)
+        self.rng = make_rng(
+            self.construction.rng_kind, streams, self.params.seed,
+            backend="numpy",
+        )
         self.trail_reinitialisations = 0
 
     # -------------------------------------------------------------- limits
@@ -249,21 +265,56 @@ class MaxMinAntSystem(Kernel):
         st.iteration += 1
         return int(lengths[it_best]), stages
 
-    def run(self, iterations: int, *, reinit_branching: float | None = None) -> MMASRunResult:
+    def run(
+        self,
+        iterations: int,
+        report_every: int = 1,
+        *,
+        reinit_branching: float | None = None,
+    ) -> MMASRunResult:
         """Run MMAS; optionally reinitialise trails when the branching
-        factor falls below ``reinit_branching`` (e.g. 2.05)."""
+        factor falls below ``reinit_branching`` (e.g. 2.05).
+
+        ``report_every`` exists for signature symmetry with
+        :meth:`AntSystem.run <repro.core.colony.AntSystem.run>` but the
+        solo MMAS loop has no amortized path; any value other than 1
+        raises instead of being silently ignored.  Ctrl-C raises
+        :class:`~repro.errors.RunInterrupted` carrying the best-so-far
+        :class:`MMASRunResult` (bare ``KeyboardInterrupt`` when nothing
+        completed).
+        """
         if iterations < 1:
             raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        if report_every != 1:
+            raise ACOConfigError(
+                "report_every > 1 needs the device-resident batched loop; "
+                "the solo MMAS path reports every iteration (use the Ant "
+                "System variant for amortized execution)"
+            )
         bests: list[int] = []
-        with WallClock() as clock:
-            for _ in range(iterations):
-                best, _ = self.run_iteration()
-                bests.append(best)
-                if (
-                    reinit_branching is not None
-                    and self.branching_factor() < reinit_branching
-                ):
-                    self.reinitialise_trails()
+        clock = WallClock()
+        try:
+            with clock:
+                for _ in range(iterations):
+                    best, _ = self.run_iteration()
+                    bests.append(best)
+                    if (
+                        reinit_branching is not None
+                        and self.branching_factor() < reinit_branching
+                    ):
+                        self.reinitialise_trails()
+        except KeyboardInterrupt:
+            st = self.state
+            if st.best_tour is None or st.best_length is None:
+                raise
+            partial = MMASRunResult(
+                best_tour=st.best_tour,
+                best_length=st.best_length,
+                iteration_best_lengths=bests,
+                wall_seconds=clock.elapsed,
+                trail_reinitialisations=self.trail_reinitialisations,
+            )
+            raise RunInterrupted(partial, "MMAS run interrupted") from None
         st = self.state
         assert st.best_tour is not None and st.best_length is not None
         validate_tour(st.best_tour, st.n)

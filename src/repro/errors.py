@@ -23,6 +23,10 @@ __all__ = [
     "BackendUnavailableError",
     "ExperimentError",
     "CalibrationError",
+    "RunInterrupted",
+    "ServeError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -131,3 +135,48 @@ class ExperimentError(ReproError):
 
 class CalibrationError(ExperimentError):
     """Cost-model calibration failed to converge or was given unusable data."""
+
+
+# ------------------------------------------------------------------- interrupts
+
+
+class RunInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed inside a run loop; best-so-far results were salvaged.
+
+    Deliberately **not** a :class:`ReproError`: it subclasses
+    :class:`KeyboardInterrupt` so that code which does not know about it
+    keeps the standard Ctrl-C semantics (the interrupt still propagates,
+    ``except Exception`` does not swallow it), while the CLI — and any
+    caller that opts in — can catch it specifically and report the partial
+    result instead of dumping a traceback.
+
+    Parameters
+    ----------
+    partial:
+        The salvaged best-so-far result — a
+        :class:`~repro.core.batch.BatchRunResult`,
+        :class:`~repro.core.acs.ACSRunResult`,
+        :class:`~repro.core.mmas.MMASRunResult` or
+        :class:`~repro.experiments.harness.SweepResult`, depending on which
+        loop was interrupted.  ``None`` only when nothing completed (loops
+        re-raise the bare ``KeyboardInterrupt`` in that case instead).
+    """
+
+    def __init__(self, partial=None, message: str = "run interrupted") -> None:
+        self.partial = partial
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------- serving
+
+
+class ServeError(ReproError):
+    """Base class for async solve-service failures."""
+
+
+class ServiceClosedError(ServeError):
+    """A request was submitted to a service that is draining or stopped."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The service's pending-request capacity is exhausted (backpressure)."""

@@ -29,7 +29,7 @@ from repro.core.choice import ChoiceKernel
 from repro.core.construction import expected_fallback_steps, make_construction
 from repro.core.params import ACOParams
 from repro.core.pheromone import make_pheromone
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, RunInterrupted
 from repro.experiments.calibration import cpu_cost_params, gpu_cost_params
 from repro.seq.cost import estimate_cpu_time
 from repro.seq.engine import (
@@ -52,6 +52,8 @@ __all__ = [
     "sequential_model_time",
     "run_replicas",
     "run_sweep",
+    "run_service",
+    "ServiceLoadResult",
     "SweepResult",
     "SWEEPABLE_FIELDS",
 ]
@@ -385,13 +387,106 @@ def run_sweep(
         pheromone=pheromone,
         backend=backend,
     )
-    batch = engine.run(iterations, report_every=report_every)
-    results = [
-        batch.results[i * replicas : (i + 1) * replicas]
-        for i in range(len(points))
-    ]
-    return SweepResult(
-        points=points, results=results, batch=batch, iterations=iterations
+
+    def _bundle(batch: BatchRunResult) -> SweepResult:
+        results = [
+            batch.results[i * replicas : (i + 1) * replicas]
+            for i in range(len(points))
+        ]
+        return SweepResult(
+            points=points, results=results, batch=batch, iterations=iterations
+        )
+
+    try:
+        batch = engine.run(iterations, report_every=report_every)
+    except RunInterrupted as exc:
+        # Re-raise with the partial re-bundled per grid point, so callers
+        # (the CLI) can render the same table a finished sweep would get.
+        raise RunInterrupted(
+            _bundle(exc.partial), "sweep interrupted"
+        ) from None
+    return _bundle(batch)
+
+
+# ----------------------------------------------------- service load generation
+
+
+@dataclass
+class ServiceLoadResult:
+    """Outcome of a :func:`run_service` burst.
+
+    ``results[i]`` / ``updates[i]`` belong to ``requests[i]`` in submission
+    order; ``stats`` is the service's counter block (all throughput numbers
+    derived from batch-level wall clocks); ``wall_seconds`` is the whole
+    burst end-to-end, queueing and packing overhead included.
+    """
+
+    results: list  # list[RunResult]
+    updates: list[list]  # per request: list[SolveUpdate]
+    stats: object  # ServiceStats
+    wall_seconds: float
+
+    @property
+    def best_lengths(self) -> np.ndarray:
+        return np.array([r.best_length for r in self.results], dtype=np.int64)
+
+
+def run_service(
+    requests: Sequence,
+    *,
+    max_batch: int = 8,
+    max_wait: float = 0.05,
+    workers: int = 1,
+    max_pending: int | None = None,
+    backend=None,
+    device: DeviceSpec = TESLA_M2050,
+) -> ServiceLoadResult:
+    """Fire a burst of :class:`~repro.serve.SolveRequest` jobs at a fresh
+    micro-batching service and gather every stream and final.
+
+    The synchronous load-generator counterpart of :func:`run_replicas` /
+    :func:`run_sweep`: all requests are submitted concurrently, the service
+    packs equal-geometry requests into shared engine batches, and the call
+    returns once every request resolved and the service drained.  Useful
+    for packing experiments ("what does max_wait buy at this request
+    mix?") and as the reference driver for the serve test-suite.
+    """
+    import asyncio
+
+    from repro.serve import SolveService
+
+    requests = list(requests)
+    if not requests:
+        raise ExperimentError("run_service needs at least one request")
+
+    async def _drive():
+        service = SolveService(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            workers=workers,
+            max_pending=max_pending or max(len(requests), max_batch),
+            backend=backend,
+            device=device,
+        )
+        async with service:
+            handles = [await service.submit(r) for r in requests]
+
+            async def consume(handle):
+                ups = [u async for u in handle]
+                return ups, await handle.result()
+
+            pairs = await asyncio.gather(*(consume(h) for h in handles))
+        return pairs, service.stats
+
+    from repro.util.timer import WallClock
+
+    with WallClock() as clock:
+        pairs, stats = asyncio.run(_drive())
+    return ServiceLoadResult(
+        results=[res for _, res in pairs],
+        updates=[ups for ups, _ in pairs],
+        stats=stats,
+        wall_seconds=clock.elapsed,
     )
 
 

@@ -1,0 +1,36 @@
+"""Async micro-batching solve service over the batched engine.
+
+The ROADMAP's "async serving" layer: queue concurrent
+:class:`~repro.serve.service.SolveRequest` jobs, pack equal-geometry
+requests into shared :class:`~repro.core.batch.BatchEngine` batches, stream
+per-boundary best-so-far updates to each caller, and resolve finals that are
+bit-identical to solo runs.  See :mod:`repro.serve.service` for the
+architecture, :mod:`repro.serve.client` for in-process use and
+:mod:`repro.serve.protocol` for the JSON-lines TCP front-end behind
+``gpu-aco serve``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import AsyncSolveClient
+from repro.serve.protocol import request_over_tcp, serve_tcp
+from repro.serve.service import (
+    BatchKey,
+    ServiceStats,
+    SolveHandle,
+    SolveRequest,
+    SolveService,
+    SolveUpdate,
+)
+
+__all__ = [
+    "AsyncSolveClient",
+    "BatchKey",
+    "ServiceStats",
+    "SolveHandle",
+    "SolveRequest",
+    "SolveService",
+    "SolveUpdate",
+    "request_over_tcp",
+    "serve_tcp",
+]

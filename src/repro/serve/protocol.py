@@ -1,0 +1,351 @@
+"""JSON-lines wire protocol and TCP front-end for the solve service.
+
+One request or response per ``\\n``-terminated JSON object — trivially
+scriptable (``nc`` + a JSON library is a full client) and streaming-friendly
+(boundary updates are lines interleaved ahead of the final result line).
+
+Request (client -> server)::
+
+    {"id": "r1", "instance": {"suite": "att48"}, "iterations": 50,
+     "report_every": 10, "params": {"seed": 7}, "deadline": 2.0,
+     "target_length": 11200, "construction": 8, "pheromone": 1}
+
+``instance`` is either ``{"suite": NAME}`` (a paper-suite instance) or an
+inline coordinate instance ``{"name": ..., "coords": [[x, y], ...],
+"edge_weight_type": "EUC_2D"}``.  Every field except ``instance`` is
+optional; ``id`` defaults to a server-assigned ordinal.
+
+Responses (server -> client), all tagged with the request ``id``::
+
+    {"type": "accepted", "id": "r1"}
+    {"type": "update", "id": "r1", "iteration": 10, "best_length": 11812}
+    {"type": "result", "id": "r1", "best_length": 11423, "best_tour": [...],
+     "iteration_best_lengths": [...], "iterations_run": 50,
+     "wall_seconds": 0.41, "early": null}
+    {"type": "error", "id": "r1", "error": "ACOConfigError", "message": "..."}
+
+A connection may pipeline any number of requests; responses for different
+requests interleave (match on ``id``).  Closing the connection does not
+cancel accepted work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.core.colony import RunResult
+from repro.core.params import ACOParams
+from repro.errors import ReproError, ServeError
+from repro.serve.service import SolveHandle, SolveRequest, SolveService, SolveUpdate
+from repro.tsp.instance import TSPInstance
+
+__all__ = [
+    "decode_request",
+    "encode_request",
+    "instance_from_json",
+    "instance_to_json",
+    "request_over_tcp",
+    "serve_tcp",
+]
+
+_PARAM_FIELDS = ("alpha", "beta", "rho", "n_ants", "nn", "seed", "eta_shift")
+
+
+# ------------------------------------------------------------- encode / decode
+
+
+def instance_to_json(instance: TSPInstance) -> dict:
+    """Inline-JSON form of a coordinate instance."""
+    if instance.coords is None:
+        raise ServeError(
+            "explicit-matrix instances cannot be inlined; serve them from "
+            "the suite by name"
+        )
+    return {
+        "name": instance.name,
+        "coords": [[float(x), float(y)] for x, y in instance.coords],
+        "edge_weight_type": instance.edge_weight_type,
+    }
+
+
+def instance_from_json(obj: dict) -> TSPInstance:
+    if not isinstance(obj, dict):
+        raise ServeError(f"instance must be an object, got {type(obj).__name__}")
+    if "suite" in obj:
+        from repro.tsp.suite import load_instance
+
+        return load_instance(str(obj["suite"]))
+    if "coords" not in obj:
+        raise ServeError("instance needs either 'suite' or 'coords'")
+    return TSPInstance(
+        name=str(obj.get("name", "inline")),
+        coords=np.asarray(obj["coords"], dtype=np.float64),
+        edge_weight_type=str(obj.get("edge_weight_type", "EUC_2D")),
+    )
+
+
+def encode_request(request: SolveRequest, req_id: str) -> bytes:
+    """One request as a JSON line (the in-process -> wire direction)."""
+    payload: dict = {
+        "id": req_id,
+        "instance": instance_to_json(request.instance),
+        "iterations": request.iterations,
+        "report_every": request.report_every,
+        "construction": request.construction,
+        "pheromone": request.pheromone,
+        "params": {f: getattr(request.params, f) for f in _PARAM_FIELDS},
+    }
+    if request.deadline is not None:
+        payload["deadline"] = request.deadline
+    if request.target_length is not None:
+        payload["target_length"] = request.target_length
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes | str, *, default_id: str) -> tuple[str, SolveRequest]:
+    """Parse one request line into ``(id, SolveRequest)``.
+
+    Raises :class:`~repro.errors.ServeError` (or another
+    :class:`~repro.errors.ReproError` from parameter validation) on any
+    malformed input; the connection handler converts that into an
+    ``error`` response instead of dropping the connection.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"bad JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError("request must be a JSON object")
+    req_id = str(obj.get("id", default_id))
+    try:
+        if "instance" not in obj:
+            raise ServeError("request is missing 'instance'")
+        instance = instance_from_json(obj["instance"])
+        raw_params = obj.get("params", {})
+        if not isinstance(raw_params, dict):
+            raise ServeError("'params' must be an object")
+        unknown = set(raw_params) - set(_PARAM_FIELDS)
+        if unknown:
+            raise ServeError(f"unknown params fields: {sorted(unknown)}")
+        params = ACOParams(**raw_params)
+        request = SolveRequest(
+            instance=instance,
+            params=params,
+            iterations=int(obj.get("iterations", 20)),
+            report_every=int(obj.get("report_every", 1)),
+            deadline=(
+                None if obj.get("deadline") is None else float(obj["deadline"])
+            ),
+            target_length=(
+                None
+                if obj.get("target_length") is None
+                else int(obj["target_length"])
+            ),
+            construction=int(obj.get("construction", 8)),
+            pheromone=int(obj.get("pheromone", 1)),
+        )
+    except (TypeError, ValueError) as exc:
+        # Well-formed JSON carrying wrong-typed values (ragged coords, a
+        # string alpha, a list for iterations): still a client error, so it
+        # must become an error *response*, never a dropped connection.
+        wrapped = ServeError(f"bad request field: {exc}")
+        wrapped.req_id = req_id  # type: ignore[attr-defined]
+        raise wrapped from None
+    except ReproError as exc:
+        # Stamp the id we did manage to parse, so the connection handler
+        # can address its error response.
+        exc.req_id = req_id  # type: ignore[attr-defined]
+        raise
+    return req_id, request
+
+
+def _encode_update(req_id: str, update: SolveUpdate) -> bytes:
+    payload = {
+        "type": "update",
+        "id": req_id,
+        "iteration": update.iteration,
+        "best_length": update.best_length,
+    }
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def _encode_result(req_id: str, result: RunResult, early: str | None) -> bytes:
+    payload = {
+        "type": "result",
+        "id": req_id,
+        "best_length": int(result.best_length),
+        "best_tour": [int(c) for c in result.best_tour],
+        "iteration_best_lengths": [int(v) for v in result.iteration_best_lengths],
+        "iterations_run": len(result.iteration_best_lengths),
+        "wall_seconds": float(result.wall_seconds),
+        "early": early,
+    }
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def _encode_error(req_id: str | None, exc: BaseException) -> bytes:
+    payload = {
+        "type": "error",
+        "id": req_id,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def _encode_accepted(req_id: str) -> bytes:
+    return (json.dumps({"type": "accepted", "id": req_id}) + "\n").encode("utf-8")
+
+
+# --------------------------------------------------------------------- server
+
+
+async def _stream_response(
+    handle: SolveHandle,
+    req_id: str,
+    writer: asyncio.StreamWriter,
+    lock: asyncio.Lock,
+) -> None:
+    """Relay one handle's updates + final result onto the shared writer."""
+
+    async def _send(data: bytes) -> None:
+        async with lock:
+            if writer.is_closing():
+                return
+            writer.write(data)
+            await writer.drain()
+
+    try:
+        async for update in handle:
+            await _send(_encode_update(req_id, update))
+        try:
+            result = await handle.result()
+        except ReproError as exc:
+            await _send(_encode_error(req_id, exc))
+        else:
+            # Early resolution is visible as an empty iteration trace; the
+            # wire surfaces it as a tag so clients need no such inference.
+            early = None
+            if not result.iteration_best_lengths:
+                early = "deadline_or_target"
+            await _send(_encode_result(req_id, result, early))
+    except (ConnectionResetError, BrokenPipeError):  # client went away
+        pass
+
+
+async def _handle_connection(
+    service: SolveService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    lock = asyncio.Lock()
+    streams: set[asyncio.Task] = set()
+    counter = 0
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:  # EOF
+                break
+            if not line.strip():
+                continue
+            counter += 1
+            req_id: str | None = None
+            try:
+                req_id, request = decode_request(line, default_id=f"req-{counter}")
+                handle = await service.submit(request)
+            except ReproError as exc:
+                async with lock:
+                    writer.write(
+                        _encode_error(getattr(exc, "req_id", req_id), exc)
+                    )
+                    await writer.drain()
+                continue
+            async with lock:
+                writer.write(_encode_accepted(req_id))
+                await writer.drain()
+            task = asyncio.create_task(
+                _stream_response(handle, req_id, writer, lock)
+            )
+            streams.add(task)
+            task.add_done_callback(streams.discard)
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        if streams:
+            await asyncio.gather(*list(streams), return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def serve_tcp(
+    service: SolveService, host: str = "127.0.0.1", port: int = 8642
+) -> asyncio.AbstractServer:
+    """Start the JSON-lines TCP front-end on an already-started service.
+
+    Returns the :class:`asyncio.AbstractServer`; the caller owns both
+    lifetimes (close the server, then drain the service).  ``port=0``
+    binds an ephemeral port (see ``server.sockets[0].getsockname()``).
+    """
+
+    async def handler(reader, writer):
+        try:
+            await _handle_connection(service, reader, writer)
+        except asyncio.CancelledError:
+            # Loop shutdown cancels open connections; end the task quietly —
+            # 3.11's stream machinery logs handler tasks that finish
+            # cancelled as "Exception in callback" noise.
+            writer.close()
+
+    return await asyncio.start_server(handler, host, port)
+
+
+# --------------------------------------------------------------------- client
+
+
+async def request_over_tcp(
+    host: str, port: int, request: SolveRequest, *, req_id: str = "r0"
+) -> tuple[list[dict], dict]:
+    """Fire one request at a running server; return ``(updates, final)``.
+
+    ``updates`` are the decoded ``update`` payloads in arrival order;
+    ``final`` is the ``result`` payload.  Raises
+    :class:`~repro.errors.ServeError` when the server answers with an
+    ``error`` response or closes early.  Mainly a smoke-test/client
+    building block — production clients should keep one connection and
+    pipeline.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    updates: list[dict] = []
+    try:
+        writer.write(encode_request(request, req_id))
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise ServeError("server closed the connection mid-request")
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "accepted":
+                continue
+            if kind == "update":
+                updates.append(obj)
+            elif kind == "result":
+                return updates, obj
+            elif kind == "error":
+                raise ServeError(
+                    f"server error {obj.get('error')}: {obj.get('message')}"
+                )
+            else:
+                raise ServeError(f"unknown response type {kind!r}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass

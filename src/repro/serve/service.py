@@ -1,0 +1,642 @@
+"""Async micro-batching solve service: request packing over the batch engine.
+
+The paper's throughput comes from keeping many ants and colonies resident
+on the device at once; production traffic arrives as *small individual
+solve requests*.  This module closes that gap the way GPU ACO serving
+systems do (Skinderowicz 2016; the ICACIT 2014 GPGPU-ACO overview): a
+queueing front-end **manufactures batches** out of concurrent requests.
+
+Requests are bucketed by everything a :class:`~repro.core.batch.BatchEngine`
+requires rows to share — instance size ``n``, colony size ``m``, candidate
+width ``nn``, iteration budget, ``report_every`` and the kernel pair — and
+packed, up to ``max_batch`` per batch with a ``max_wait`` age bound, into
+single vectorized engine runs on worker threads.  Per-row params (seed,
+alpha, beta, rho, eta_shift) and per-row *instances* may differ freely: the
+engine's solo-equivalence invariant guarantees each packed row is
+bit-identical to a solo run of that request, so packing is a pure
+throughput transform with no numerical caveat.
+
+Streaming rides the engine's ``on_boundary`` hook: at every ``report_every``
+boundary each caller receives a :class:`SolveUpdate` with its row's
+best-so-far, and per-request deadlines / target lengths resolve early —
+the whole batch stops as soon as every rider is satisfied.
+
+Concurrency model: one asyncio event loop owns all queues, handles and
+bookkeeping; engine runs execute in a :class:`~concurrent.futures.
+ThreadPoolExecutor` (numpy/CuPy kernels release the GIL), each worker
+thread owning a private :class:`~repro.backend.WorkBuffers` arena reused
+across batches.  Worker threads talk back only via
+``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.backend import WorkBuffers, resolve_backend
+from repro.core.batch import BatchEngine, BatchRunResult, BoundaryUpdate
+from repro.core.colony import RunResult
+from repro.core.params import ACOParams
+from repro.errors import (
+    ACOConfigError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.simt.device import TESLA_M2050, DeviceSpec
+from repro.tsp.instance import TSPInstance
+
+__all__ = [
+    "BatchKey",
+    "ServiceStats",
+    "SolveHandle",
+    "SolveRequest",
+    "SolveService",
+    "SolveUpdate",
+]
+
+
+class BatchKey(NamedTuple):
+    """Everything packed rows must share: the size-bucket queue key.
+
+    Two requests land in the same bucket iff an engine batch can legally
+    hold both as rows — equal array geometry (``n``, ``m``, ``nn``), equal
+    iteration schedule and one kernel pair.  Per-row params and instance
+    *data* are free to differ.
+    """
+
+    n: int
+    m: int
+    nn: int
+    iterations: int
+    report_every: int
+    construction: int
+    pheromone: int
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One caller's solve job, as queued by :class:`SolveService`.
+
+    Attributes
+    ----------
+    instance / params:
+        What a solo :class:`~repro.core.AntSystem` would take; results are
+        bit-identical to that solo run (unless resolved early).
+    iterations:
+        Iteration budget.
+    report_every:
+        Streaming granularity: the caller receives one :class:`SolveUpdate`
+        per K-iteration boundary.  Larger K amortises host transfers
+        exactly as in :meth:`~repro.core.batch.BatchEngine.run`.
+    deadline:
+        Optional wall-clock budget in **seconds from submission**.  At the
+        first boundary past the deadline the request resolves with its
+        best-so-far (the batch keeps running for co-packed riders that
+        still have budget).
+    target_length:
+        Optional solution-quality early-out: resolve at the first boundary
+        whose best is at or below this length.
+    construction / pheromone:
+        Kernel versions (part of the bucket key).
+    """
+
+    instance: TSPInstance
+    params: ACOParams = field(default_factory=ACOParams)
+    iterations: int = 20
+    report_every: int = 1
+    deadline: float | None = None
+    target_length: int | None = None
+    construction: int = 8
+    pheromone: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ACOConfigError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.report_every < 1:
+            raise ACOConfigError(
+                f"report_every must be >= 1, got {self.report_every}"
+            )
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ACOConfigError(f"deadline must be > 0, got {self.deadline}")
+        if self.target_length is not None and self.target_length < 1:
+            raise ACOConfigError(
+                f"target_length must be >= 1, got {self.target_length}"
+            )
+
+    @property
+    def bucket_key(self) -> BatchKey:
+        n = self.instance.n
+        return BatchKey(
+            n=n,
+            m=self.params.resolve_ants(n),
+            nn=self.params.resolve_nn(n),
+            iterations=self.iterations,
+            report_every=self.report_every,
+            construction=self.construction,
+            pheromone=self.pheromone,
+        )
+
+
+@dataclass(frozen=True)
+class SolveUpdate:
+    """One streamed best-so-far observation for a single request."""
+
+    iteration: int  #: engine iteration at the boundary
+    best_length: int  #: this request's best tour length so far
+
+
+_DONE = object()  # stream terminator sentinel
+
+
+class SolveHandle:
+    """Caller-side view of one submitted request.
+
+    Async-iterate the handle to stream :class:`SolveUpdate` boundary
+    observations (ends when the request resolves), and ``await
+    handle.result()`` for the final :class:`~repro.core.colony.RunResult`.
+    Both can be used together; the stream always delivers every boundary
+    update *before* the result resolves.
+    """
+
+    def __init__(self, request: SolveRequest, loop: asyncio.AbstractEventLoop) -> None:
+        self.request = request
+        self._updates: asyncio.Queue = asyncio.Queue()
+        self._result: asyncio.Future = loop.create_future()
+
+    # ------------------------------------------------ service side (loop thread)
+
+    def _push_update(self, update: SolveUpdate) -> None:
+        if not self._result.done():
+            self._updates.put_nowait(update)
+
+    def _resolve(self, result: RunResult) -> None:
+        if not self._result.done():
+            self._result.set_result(result)
+            self._updates.put_nowait(_DONE)
+
+    def _reject(self, exc: BaseException) -> None:
+        if not self._result.done():
+            self._result.set_exception(exc)
+            self._updates.put_nowait(_DONE)
+
+    # ------------------------------------------------------------- caller side
+
+    @property
+    def done(self) -> bool:
+        return self._result.done()
+
+    async def result(self) -> RunResult:
+        """The final result (bit-identical to a solo run unless the request
+        resolved early on a deadline/target, in which case it is the
+        best-so-far at the resolving boundary)."""
+        return await asyncio.shield(self._result)
+
+    async def __aiter__(self):
+        while True:
+            item = await self._updates.get()
+            if item is _DONE:
+                # Re-arm so a second iteration (or a late consumer) ends
+                # immediately instead of hanging on an empty queue.
+                self._updates.put_nowait(_DONE)
+                return
+            yield item
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service counters.
+
+    All throughput numbers derive from **batch-level** wall clocks
+    (:attr:`~repro.core.batch.BatchRunResult.wall_seconds`), never from
+    summed per-row shares — see :class:`~repro.core.batch.BatchRunResult`
+    for why summing shares across batches under-reports.
+    """
+
+    submitted: int = 0
+    completed: int = 0  #: resolved with a full run
+    resolved_by_target: int = 0
+    resolved_by_deadline: int = 0
+    failed: int = 0
+    batches: int = 0
+    rows_packed: int = 0  #: total rows across all batches (sum of B)
+    batches_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
+    engine_wall_seconds: float = 0.0  #: sum of batch-level walls
+    colony_iterations: int = 0  #: sum over batches of B * iterations_run
+
+    def record_batch(self, key: BatchKey, batch: BatchRunResult) -> None:
+        self.batches += 1
+        self.rows_packed += batch.B
+        self.batches_per_bucket[key] = self.batches_per_bucket.get(key, 0) + 1
+        self.engine_wall_seconds += batch.wall_seconds
+        self.colony_iterations += batch.B * batch.iterations_run
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.rows_packed / self.batches
+
+    @property
+    def colonies_per_second(self) -> float:
+        """Colony-iterations per second of **engine** wall time."""
+        if self.engine_wall_seconds <= 0.0:
+            return 0.0
+        return self.colony_iterations / self.engine_wall_seconds
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly summary (for logs and the serve CLI)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "resolved_by_target": self.resolved_by_target,
+            "resolved_by_deadline": self.resolved_by_deadline,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "engine_wall_seconds": round(self.engine_wall_seconds, 6),
+            "colony_iterations": self.colony_iterations,
+            "colonies_per_second": round(self.colonies_per_second, 3),
+        }
+
+
+class _Pending:
+    """Book-keeping wrapper pairing a request with its handle.
+
+    ``resolved``/``early`` are written by the worker thread while its batch
+    runs and read on the loop thread only after the run completes (the
+    executor-future completion is the synchronisation point).
+    """
+
+    __slots__ = ("request", "handle", "submitted_at", "deadline_at", "resolved", "early")
+
+    def __init__(self, request: SolveRequest, handle: SolveHandle, now: float) -> None:
+        self.request = request
+        self.handle = handle
+        self.submitted_at = now
+        self.deadline_at = None if request.deadline is None else now + request.deadline
+        self.resolved = False
+        self.early: str | None = None  # "target" | "deadline"
+
+
+class SolveService:
+    """Asyncio solve service packing concurrent requests into shared batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch one engine run may hold (``B``).  A bucket launches
+        immediately when it fills to ``max_batch``.
+    max_wait:
+        Seconds a queued request may age before its bucket is flushed as a
+        partial batch — the latency/packing trade-off knob.
+    workers:
+        Engine worker threads; each owns a private
+        :class:`~repro.backend.WorkBuffers` arena reused across batches.
+    max_pending:
+        Backpressure bound on requests in flight (queued + running).
+        :meth:`submit` suspends the caller while the service is at the
+        bound; :meth:`submit_nowait` raises
+        :class:`~repro.errors.ServiceOverloadedError` instead.
+    backend / device / amortize:
+        Engine construction knobs, shared by every batch.
+
+    Use as an async context manager (``async with SolveService(...) as s:``)
+    or call :meth:`start` / :meth:`drain` explicitly.  :meth:`drain` is the
+    graceful shutdown path: stop accepting, flush queued requests as final
+    (possibly partial) batches, wait for in-flight engine runs, then close
+    every stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 8,
+        max_wait: float = 0.05,
+        workers: int = 1,
+        max_pending: int = 256,
+        backend=None,
+        device: DeviceSpec = TESLA_M2050,
+        amortize: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ACOConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0.0:
+            raise ACOConfigError(f"max_wait must be >= 0, got {max_wait}")
+        if workers < 1:
+            raise ACOConfigError(f"workers must be >= 1, got {workers}")
+        if max_pending < max_batch:
+            raise ACOConfigError(
+                f"max_pending ({max_pending}) must be >= max_batch ({max_batch})"
+            )
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.workers = workers
+        self.max_pending = max_pending
+        self.device = device
+        self.amortize = amortize
+        self._backend = resolve_backend(backend)
+        self.stats = ServiceStats()
+        self._buckets: dict[BatchKey, deque[_Pending]] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self._accepting = False
+        self._closed = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._tls = threading.local()
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> "SolveService":
+        """Bind to the running loop and start accepting requests."""
+        if self._closed:
+            raise ServiceClosedError("service already drained; create a new one")
+        if self._accepting:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.max_pending)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="aco-serve"
+        )
+        self._accepting = True
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="aco-serve-dispatcher"
+        )
+        return self
+
+    async def __aenter__(self) -> "SolveService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish everything accepted.
+
+        Queued requests are flushed immediately as final (possibly
+        undersized) batches, in-flight engine runs complete, every stream
+        is terminated, then the worker pool shuts down.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._accepting = False
+        if self._loop is not None:
+            self._flush_all()
+            while self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+            if self._dispatcher is not None:
+                self._dispatcher.cancel()
+                try:
+                    await self._dispatcher
+                except asyncio.CancelledError:
+                    pass
+                self._dispatcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    @property
+    def pending(self) -> int:
+        """Requests queued in buckets (not yet launched)."""
+        return sum(len(q) for q in self._buckets.values())
+
+    # --------------------------------------------------------------- submission
+
+    def _make_pending(self, request: SolveRequest) -> SolveHandle:
+        assert self._loop is not None
+        handle = SolveHandle(request, self._loop)
+        pending = _Pending(request, handle, time.monotonic())
+        key = request.bucket_key
+        bucket = self._buckets.setdefault(key, deque())
+        bucket.append(pending)
+        self.stats.submitted += 1
+        if len(bucket) >= self.max_batch:
+            # Launch-on-full keeps packing deterministic and latency minimal:
+            # the request that fills a bucket dispatches it synchronously.
+            self._launch(key, [bucket.popleft() for _ in range(self.max_batch)])
+            if not bucket:
+                del self._buckets[key]
+        else:
+            assert self._wake is not None
+            self._wake.set()  # dispatcher recomputes its flush timeout
+        return handle
+
+    async def submit(self, request: SolveRequest) -> SolveHandle:
+        """Queue a request, suspending under backpressure.
+
+        Suspends while ``max_pending`` requests are in flight (the
+        backpressure path), raises
+        :class:`~repro.errors.ServiceClosedError` once draining has begun.
+        """
+        if not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        assert self._slots is not None
+        await self._slots.acquire()
+        if not self._accepting:
+            # Drain began while we waited for capacity.
+            self._slots.release()
+            raise ServiceClosedError("service drained while awaiting capacity")
+        return self._make_pending(request)
+
+    def submit_nowait(self, request: SolveRequest) -> SolveHandle:
+        """Like :meth:`submit` but raises
+        :class:`~repro.errors.ServiceOverloadedError` instead of waiting
+        when the service is at its ``max_pending`` bound."""
+        if not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        assert self._slots is not None
+        # Semaphore.acquire completes synchronously when a slot is free;
+        # drive the coroutine one step instead of suspending the caller.
+        coro = self._slots.acquire()
+        acquired = False
+        try:
+            coro.send(None)
+        except StopIteration:
+            acquired = True
+        finally:
+            if not acquired:
+                coro.close()
+        if not acquired:
+            raise ServiceOverloadedError(
+                f"service at capacity ({self.max_pending} requests in flight)"
+            )
+        return self._make_pending(request)
+
+    # --------------------------------------------------------------- dispatcher
+
+    async def _dispatch_loop(self) -> None:
+        """Flush buckets whose oldest request has aged past ``max_wait``."""
+        assert self._wake is not None
+        while True:
+            self._wake.clear()
+            next_due = self._flush_due()
+            timeout = None
+            if next_due is not None:
+                timeout = max(next_due - time.monotonic(), 0.0)
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+
+    def _flush_due(self) -> float | None:
+        """Launch every overdue bucket; return the next flush deadline."""
+        now = time.monotonic()
+        next_due: float | None = None
+        # Emptied buckets are deleted (not kept as dead deques): under
+        # diverse traffic the dict would otherwise grow with every BatchKey
+        # ever seen and each pass here would scan all of them.
+        for key, bucket in list(self._buckets.items()):
+            while bucket and bucket[0].submitted_at + self.max_wait <= now:
+                pack = [
+                    bucket.popleft()
+                    for _ in range(min(len(bucket), self.max_batch))
+                ]
+                self._launch(key, pack)
+            if bucket:
+                due = bucket[0].submitted_at + self.max_wait
+                next_due = due if next_due is None else min(next_due, due)
+            else:
+                del self._buckets[key]
+        return next_due
+
+    def _flush_all(self) -> None:
+        """Launch every queued request immediately (the drain path)."""
+        for key, bucket in list(self._buckets.items()):
+            while bucket:
+                pack = [
+                    bucket.popleft()
+                    for _ in range(min(len(bucket), self.max_batch))
+                ]
+                self._launch(key, pack)
+            del self._buckets[key]
+
+    def _launch(self, key: BatchKey, pack: list[_Pending]) -> None:
+        task = asyncio.create_task(
+            self._run_and_resolve(key, pack), name=f"aco-serve-batch-{key.n}"
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    # ------------------------------------------------------------------ workers
+
+    async def _run_and_resolve(self, key: BatchKey, pack: list[_Pending]) -> None:
+        assert self._loop is not None and self._executor is not None
+        try:
+            batch = await self._loop.run_in_executor(
+                self._executor, self._run_batch_sync, key, pack
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # incl. stray interrupts: never hang riders
+            wrapped = ServeError(f"batch execution failed: {exc!r}")
+            wrapped.__cause__ = exc
+            for p in pack:
+                if not p.resolved:
+                    p.resolved = True
+                    self.stats.failed += 1
+                    p.handle._reject(wrapped)
+        else:
+            self.stats.record_batch(key, batch)
+            for p, row in zip(pack, batch.results):
+                if p.resolved:
+                    if p.early == "target":
+                        self.stats.resolved_by_target += 1
+                    else:
+                        self.stats.resolved_by_deadline += 1
+                else:
+                    p.resolved = True
+                    self.stats.completed += 1
+                    p.handle._resolve(row)
+        finally:
+            assert self._slots is not None and self._wake is not None
+            for _ in pack:
+                self._slots.release()
+            self._wake.set()
+
+    def _worker_arena(self) -> WorkBuffers:
+        """The calling worker thread's private scratch arena (one per
+        worker, reused across batches — the cross-engine amortisation
+        seam)."""
+        work = getattr(self._tls, "work", None)
+        if work is None:
+            work = WorkBuffers(self._backend)
+            self._tls.work = work
+        return work
+
+    def _run_batch_sync(self, key: BatchKey, pack: list[_Pending]) -> BatchRunResult:
+        """Engine run on a worker thread: build, stream boundaries, return.
+
+        Per-boundary duties (all through ``call_soon_threadsafe``): push a
+        :class:`SolveUpdate` to every live rider, resolve riders whose
+        target length is met or whose deadline expired, and stop the batch
+        early once every rider has resolved.
+        """
+        engine = BatchEngine(
+            [p.request.instance for p in pack],
+            [p.request.params for p in pack],
+            device=self.device,
+            construction=key.construction,
+            pheromone=key.pheromone,
+            backend=self._backend,
+            amortize=self.amortize,
+            work=self._worker_arena() if self.amortize else None,
+        )
+        loop = self._loop
+        assert loop is not None
+        run_start = time.monotonic()
+
+        def on_boundary(update: BoundaryUpdate) -> bool:
+            now = time.monotonic()
+            all_resolved = True
+            for b, p in enumerate(pack):
+                if p.resolved:
+                    continue
+                best = int(update.best_lengths[b])
+                loop.call_soon_threadsafe(
+                    p.handle._push_update,
+                    SolveUpdate(iteration=update.iteration, best_length=best),
+                )
+                hit_target = (
+                    p.request.target_length is not None
+                    and best <= p.request.target_length
+                )
+                expired = p.deadline_at is not None and now >= p.deadline_at
+                if hit_target or expired:
+                    # Early resolution: best-so-far snapshot.  No iteration
+                    # traces (they live batch-side until the run ends);
+                    # wall_seconds is the true batch wall at this boundary.
+                    row = RunResult(
+                        best_tour=update.best_tours[b].copy(),
+                        best_length=best,
+                        iteration_best_lengths=[],
+                        reports=[],
+                        wall_seconds=now - run_start,
+                        device=self.device,
+                    )
+                    p.resolved = True
+                    p.early = "target" if hit_target else "deadline"
+                    loop.call_soon_threadsafe(p.handle._resolve, row)
+                else:
+                    all_resolved = False
+            return all_resolved
+
+        return engine.run(
+            key.iterations, report_every=key.report_every, on_boundary=on_boundary
+        )

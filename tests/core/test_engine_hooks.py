@@ -1,0 +1,276 @@
+"""Tests for the engine's boundary hooks, early stop, interrupt salvage,
+shared work arenas and the wall-clock field semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import WorkBuffers, resolve_backend
+from repro.core import ACOParams, AntSystem, BatchEngine
+from repro.core.batch import BoundaryUpdate
+from repro.errors import ACOConfigError, RunInterrupted
+from repro.tsp import uniform_instance
+
+ITERATIONS = 6
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return uniform_instance(18, seed=404)
+
+
+def _engine(instance, B=3, **kwargs):
+    return BatchEngine(
+        instance, [ACOParams(seed=5 + b, nn=7) for b in range(B)], **kwargs
+    )
+
+
+class TestBoundaryCallback:
+    @pytest.mark.parametrize("report_every", [1, 2, 3])
+    def test_called_at_every_boundary(self, instance, report_every):
+        seen: list[BoundaryUpdate] = []
+        engine = _engine(instance)
+        batch = engine.run(
+            ITERATIONS, report_every=report_every, on_boundary=seen.append
+        )
+        boundaries = [
+            it
+            for it in range(1, ITERATIONS + 1)
+            if it % report_every == 0 or it == ITERATIONS
+        ]
+        assert [u.iteration for u in seen] == boundaries
+        for update in seen:
+            assert update.best_lengths.shape == (3,)
+            assert update.best_tours.shape == (3, instance.n + 1)
+        # The final boundary snapshot equals the final result.
+        np.testing.assert_array_equal(
+            seen[-1].best_lengths, batch.best_lengths
+        )
+        assert not batch.stopped_early
+        assert batch.iterations_run == ITERATIONS
+
+    def test_callback_does_not_perturb_results(self, instance):
+        plain = _engine(instance).run(ITERATIONS, report_every=2)
+        hooked = _engine(instance).run(
+            ITERATIONS, report_every=2, on_boundary=lambda u: None
+        )
+        assert plain.best_lengths.tolist() == hooked.best_lengths.tolist()
+        for a, b in zip(plain.results, hooked.results):
+            assert a.iteration_best_lengths == b.iteration_best_lengths
+
+    def test_snapshot_is_a_copy(self, instance):
+        captured = []
+
+        def grab(update):
+            update.best_lengths[:] = -1  # vandalise the snapshot
+            captured.append(update)
+
+        engine = _engine(instance)
+        batch = engine.run(ITERATIONS, report_every=3, on_boundary=grab)
+        assert all(v > 0 for v in batch.best_lengths)  # engine unharmed
+
+    @pytest.mark.parametrize("report_every", [1, 2])
+    def test_returning_true_stops_early(self, instance, report_every):
+        def stop_at_first(update):
+            return True
+
+        engine = _engine(instance)
+        batch = engine.run(
+            ITERATIONS, report_every=report_every, on_boundary=stop_at_first
+        )
+        assert batch.stopped_early
+        assert batch.iterations_run == report_every
+        assert all(
+            len(r.iteration_best_lengths) == report_every
+            for r in batch.results
+        )
+
+
+class TestTargetLengths:
+    def test_trivial_target_stops_at_first_boundary(self, instance):
+        engine = _engine(instance)
+        batch = engine.run(ITERATIONS, report_every=2, target_lengths=10**9)
+        assert batch.stopped_early
+        assert batch.iterations_run == 2
+
+    def test_unreachable_target_runs_to_budget(self, instance):
+        engine = _engine(instance)
+        batch = engine.run(ITERATIONS, report_every=2, target_lengths=1)
+        assert not batch.stopped_early
+        assert batch.iterations_run == ITERATIONS
+
+    def test_per_row_targets_require_all_rows(self, instance):
+        # One reachable target + one unreachable: the batch must keep going.
+        engine = _engine(instance, B=2)
+        batch = engine.run(
+            ITERATIONS, report_every=2, target_lengths=np.array([10**9, 1])
+        )
+        assert not batch.stopped_early
+
+    def test_early_stopped_rows_match_truncated_solo(self, instance):
+        """Early stop is a pure truncation: rows equal a solo run of the
+        same length."""
+        engine = _engine(instance)
+        batch = engine.run(ITERATIONS, report_every=2, target_lengths=10**9)
+        for b in range(3):
+            solo = AntSystem(instance, ACOParams(seed=5 + b, nn=7)).run(2)
+            assert batch.results[b].best_length == solo.best_length
+            assert (
+                batch.results[b].iteration_best_lengths
+                == solo.iteration_best_lengths
+            )
+
+
+class TestInterruptSalvage:
+    @pytest.mark.parametrize("report_every", [1, 2])
+    def test_keyboard_interrupt_carries_partial(self, instance, report_every):
+        calls = []
+
+        def interrupt_at_second_boundary(update):
+            calls.append(update.iteration)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+
+        engine = _engine(instance)
+        with pytest.raises(RunInterrupted) as err:
+            engine.run(
+                ITERATIONS,
+                report_every=report_every,
+                on_boundary=interrupt_at_second_boundary,
+            )
+        partial = err.value.partial
+        assert partial.interrupted and partial.stopped_early
+        assert partial.iterations_run == 2 * report_every
+        # The salvage equals an uninterrupted run of the completed length.
+        reference = _engine(instance).run(2 * report_every)
+        assert partial.best_lengths.tolist() == reference.best_lengths.tolist()
+        for a, b in zip(partial.results, reference.results):
+            assert a.iteration_best_lengths == b.iteration_best_lengths
+            np.testing.assert_array_equal(a.best_tour, b.best_tour)
+
+    def test_run_interrupted_is_a_keyboard_interrupt(self):
+        # The CLI contract: naive `except KeyboardInterrupt` still works,
+        # and `except Exception` does NOT swallow it.
+        assert issubclass(RunInterrupted, KeyboardInterrupt)
+        assert not issubclass(RunInterrupted, Exception)
+
+    def test_solo_variants_salvage_partials(self, instance, monkeypatch):
+        from repro.core import AntColonySystem, MaxMinAntSystem
+
+        for cls in (AntColonySystem, MaxMinAntSystem):
+            colony = cls(instance, ACOParams(seed=2, nn=7))
+            original = colony.run_iteration
+            calls = []
+
+            def tripwire(*a, _original=original, _calls=calls, **kw):
+                if len(_calls) == 2:
+                    raise KeyboardInterrupt
+                _calls.append(1)
+                return _original(*a, **kw)
+
+            monkeypatch.setattr(colony, "run_iteration", tripwire)
+            with pytest.raises(RunInterrupted) as err:
+                colony.run(50)
+            partial = err.value.partial
+            assert partial.best_length > 0
+            assert len(partial.iteration_best_lengths) == 2
+
+
+class TestVariantGuards:
+    def test_variants_reject_report_every(self, instance):
+        from repro.core import AntColonySystem, MaxMinAntSystem
+
+        for cls in (AntColonySystem, MaxMinAntSystem):
+            colony = cls(instance)
+            with pytest.raises(ACOConfigError, match="report_every"):
+                colony.run(2, report_every=4)
+
+    def test_variants_reject_non_numpy_backend(self, instance):
+        from repro.core import AntColonySystem, MaxMinAntSystem
+
+        for cls in (AntColonySystem, MaxMinAntSystem):
+            with pytest.raises(ACOConfigError, match="numpy"):
+                cls(instance, backend="cupy")
+            # numpy (name or resolved instance) and None are fine.
+            cls(instance, backend="numpy")
+            cls(instance, backend=resolve_backend("numpy"))
+            cls(instance, backend=None)
+
+    def test_variants_pin_numpy_against_env_selection(self, instance, monkeypatch):
+        """ACO_BACKEND must not leak into the numpy-only solo paths: the
+        state and RNG are pinned to numpy explicitly, not resolved from
+        the environment."""
+        from repro.core import AntColonySystem, MaxMinAntSystem
+
+        monkeypatch.setenv("ACO_BACKEND", "cupy")
+        for cls in (AntColonySystem, MaxMinAntSystem):
+            colony = cls(instance)
+            assert colony.state.backend.name == "numpy"
+            assert colony.rng.backend.name == "numpy"
+
+
+class TestWallClockSemantics:
+    """The satellite regression: row wall_seconds is the amortized share,
+    batch wall_seconds the true wall, and throughput uses only the latter."""
+
+    def test_row_share_is_batch_wall_over_B(self, instance):
+        engine = _engine(instance, B=3)
+        batch = engine.run(3)
+        assert batch.wall_seconds > 0.0
+        for row in batch.results:
+            assert row.wall_seconds == pytest.approx(batch.wall_seconds / 3)
+        # Summing shares reconstructs one batch wall — nothing more.
+        assert sum(r.wall_seconds for r in batch.results) == pytest.approx(
+            batch.wall_seconds
+        )
+
+    def test_colonies_per_second_uses_batch_wall(self, instance):
+        engine = _engine(instance, B=3)
+        batch = engine.run(4)
+        assert batch.iterations_run == 4
+        assert batch.colonies_per_second() == pytest.approx(
+            3 * 4 / batch.wall_seconds
+        )
+        # Explicit iteration count (the pre-field call style) still works.
+        assert batch.colonies_per_second(4) == batch.colonies_per_second()
+
+
+class TestSharedWorkArena:
+    def test_arena_reuse_is_bit_identical(self, instance):
+        other = uniform_instance(18, seed=505)
+        arena = WorkBuffers()
+        first = BatchEngine(
+            instance, ACOParams(seed=3, nn=7), work=arena
+        ).run(3)
+        # Same arena, different engine/instance/params — the worker-thread
+        # pattern.  Results must match a fresh-arena engine exactly.
+        reused = BatchEngine(
+            other, ACOParams(seed=8, nn=7, beta=3.0), work=arena
+        ).run(3)
+        fresh = BatchEngine(other, ACOParams(seed=8, nn=7, beta=3.0)).run(3)
+        assert reused.best_lengths.tolist() == fresh.best_lengths.tolist()
+        np.testing.assert_array_equal(
+            reused.results[0].best_tour, fresh.results[0].best_tour
+        )
+        assert first.best_lengths[0] > 0  # first engine ran too
+
+    def test_arena_reuse_across_geometries(self, instance):
+        small = uniform_instance(12, seed=9)
+        arena = WorkBuffers()
+        BatchEngine(instance, ACOParams(seed=1, nn=7), work=arena).run(2)
+        reused = BatchEngine(small, ACOParams(seed=1, nn=5), work=arena).run(2)
+        fresh = BatchEngine(small, ACOParams(seed=1, nn=5)).run(2)
+        assert reused.best_lengths.tolist() == fresh.best_lengths.tolist()
+
+    def test_arena_requires_amortize(self, instance):
+        with pytest.raises(ACOConfigError, match="amortize"):
+            BatchEngine(instance, work=WorkBuffers(), amortize=False)
+
+    def test_reset_derived_keeps_scratch(self):
+        arena = WorkBuffers()
+        buf = arena.get("x", (4,), np.float64)
+        arena.cached("c", lambda: 42)
+        arena.reset_derived()
+        assert arena.get("x", (4,), np.float64) is buf
+        assert arena.cached("c", lambda: 43) == 43  # rebuilt, not stale

@@ -63,6 +63,48 @@ class TestModelHelpers:
         assert t > 1.0
 
 
+class TestRunService:
+    def test_load_generator_packs_and_matches_solo(self):
+        import numpy as np
+
+        from repro.core import AntSystem
+        from repro.experiments.harness import run_service
+        from repro.serve import SolveRequest
+        from repro.tsp import uniform_instance
+
+        from repro.core import ACOParams
+
+        instances = [uniform_instance(14, seed=900 + i) for i in range(4)]
+        requests = [
+            SolveRequest(
+                instance=inst,
+                params=ACOParams(seed=5 + i, nn=7),
+                iterations=4,
+                report_every=2,
+            )
+            for i, inst in enumerate(instances)
+        ]
+        load = run_service(requests, max_batch=2, max_wait=5.0, workers=2)
+        assert load.stats.batches == 2
+        assert load.stats.completed == 4
+        assert load.wall_seconds > 0.0
+        assert load.best_lengths.shape == (4,)
+        for request, result, updates in zip(
+            requests, load.results, load.updates
+        ):
+            assert len(updates) == 2
+            solo = AntSystem(request.instance, request.params).run(4)
+            assert result.best_length == solo.best_length
+            np.testing.assert_array_equal(result.best_tour, solo.best_tour)
+
+    def test_empty_burst_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.harness import run_service
+
+        with pytest.raises(ExperimentError):
+            run_service([])
+
+
 class TestRunExperiment:
     def test_unknown_id(self):
         with pytest.raises(ExperimentError, match="unknown experiment"):

@@ -1,0 +1,111 @@
+"""Heterogeneous-batch solo equivalence: the packer's load-bearing invariant.
+
+The micro-batching service packs *distinct* equal-``n`` instances with
+*per-row* parameters into one engine batch.  The original equivalence suite
+(:mod:`tests.property.test_batch_equivalence`) pins replicas of a single
+instance; this one pins the full packed shape — different coordinate data
+and different (alpha, beta, rho, seed) per row, across ``report_every``
+values — bit-identical to solo runs in every observable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams, AntSystem, BatchEngine
+from repro.tsp import uniform_instance
+
+N = 18
+ITERATIONS = 6
+
+
+@pytest.fixture(scope="module")
+def rows():
+    """Three distinct instances x three distinct parameter rows."""
+    base = ACOParams(nn=7)
+    return [
+        (
+            uniform_instance(N, seed=7001),
+            dataclasses.replace(base, seed=11, alpha=1.0, beta=2.0, rho=0.5),
+        ),
+        (
+            uniform_instance(N, seed=7002),
+            dataclasses.replace(base, seed=19, alpha=2.0, beta=3.0, rho=0.2),
+        ),
+        (
+            uniform_instance(N, seed=7003),
+            dataclasses.replace(base, seed=27, alpha=0.5, beta=5.0, rho=0.9),
+        ),
+    ]
+
+
+@pytest.mark.parametrize("report_every", [1, 2, 3, 6])
+def test_hetero_rows_bit_identical_to_solo(rows, report_every):
+    engine = BatchEngine(
+        [inst for inst, _ in rows], [p for _, p in rows]
+    )
+    batch = engine.run(ITERATIONS, report_every=report_every)
+    for b, (inst, p) in enumerate(rows):
+        solo = AntSystem(inst, p)
+        result = solo.run(ITERATIONS, report_every=report_every)
+        assert batch.results[b].best_length == result.best_length
+        np.testing.assert_array_equal(
+            batch.results[b].best_tour, result.best_tour
+        )
+        assert (
+            batch.results[b].iteration_best_lengths
+            == result.iteration_best_lengths
+        )
+        np.testing.assert_array_equal(
+            engine.state.pheromone[b], solo.state.pheromone
+        )
+        np.testing.assert_array_equal(
+            engine.state.tours[b], solo.state.tours
+        )
+
+
+@pytest.mark.parametrize("report_every", [1, 3])
+@pytest.mark.parametrize("construction,pheromone", [(4, 2), (7, 5), (8, 1)])
+def test_hetero_rows_across_kernel_pairs(rows, construction, pheromone, report_every):
+    engine = BatchEngine(
+        [inst for inst, _ in rows],
+        [p for _, p in rows],
+        construction=construction,
+        pheromone=pheromone,
+    )
+    batch = engine.run(ITERATIONS, report_every=report_every)
+    for b, (inst, p) in enumerate(rows):
+        solo = AntSystem(
+            inst, p, construction=construction, pheromone=pheromone
+        ).run(ITERATIONS, report_every=report_every)
+        assert batch.results[b].best_length == solo.best_length
+        assert (
+            batch.results[b].iteration_best_lengths
+            == solo.iteration_best_lengths
+        )
+
+
+def test_hetero_rows_do_not_couple(rows):
+    """A row's trajectory must not depend on which instances share the
+    batch — solo-vs-packed AND packed-vs-other-packing."""
+    inst_b, p_b = rows[1]
+    lone = BatchEngine([inst_b], [p_b]).run(ITERATIONS)
+    packed = BatchEngine(
+        [inst for inst, _ in rows], [p for _, p in rows]
+    ).run(ITERATIONS)
+    reordered = BatchEngine(
+        [rows[1][0], rows[2][0]], [rows[1][1], rows[2][1]]
+    ).run(ITERATIONS)
+    assert (
+        lone.results[0].best_length
+        == packed.results[1].best_length
+        == reordered.results[0].best_length
+    )
+    assert (
+        lone.results[0].iteration_best_lengths
+        == packed.results[1].iteration_best_lengths
+        == reordered.results[0].iteration_best_lengths
+    )

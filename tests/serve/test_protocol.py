@@ -1,0 +1,226 @@
+"""Tests for the JSON-lines wire protocol and the TCP front-end."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams, AntSystem
+from repro.errors import ServeError
+from repro.serve import SolveRequest, SolveService, request_over_tcp, serve_tcp
+from repro.serve.protocol import (
+    decode_request,
+    encode_request,
+    instance_from_json,
+    instance_to_json,
+)
+from repro.tsp import uniform_instance
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestEncodeDecode:
+    def test_instance_roundtrip(self):
+        inst = uniform_instance(10, seed=3, name="rt")
+        clone = instance_from_json(instance_to_json(inst))
+        assert clone.name == "rt"
+        assert clone.edge_weight_type == inst.edge_weight_type
+        np.testing.assert_allclose(clone.coords, inst.coords)
+        np.testing.assert_array_equal(
+            clone.distance_matrix(), inst.distance_matrix()
+        )
+
+    def test_suite_instance_by_name(self):
+        inst = instance_from_json({"suite": "att48"})
+        assert inst.n == 48
+
+    def test_request_roundtrip(self):
+        inst = uniform_instance(10, seed=4)
+        request = SolveRequest(
+            instance=inst,
+            params=ACOParams(seed=9, nn=5, alpha=2.0),
+            iterations=7,
+            report_every=2,
+            deadline=1.5,
+            target_length=123,
+            construction=6,
+            pheromone=3,
+        )
+        req_id, clone = decode_request(
+            encode_request(request, "abc"), default_id="zz"
+        )
+        assert req_id == "abc"
+        assert clone.iterations == 7
+        assert clone.report_every == 2
+        assert clone.deadline == 1.5
+        assert clone.target_length == 123
+        assert clone.construction == 6
+        assert clone.pheromone == 3
+        assert clone.params == request.params
+        assert clone.bucket_key == request.bucket_key
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ServeError):
+            decode_request(b"not json\n", default_id="d")
+        with pytest.raises(ServeError):
+            decode_request(b"[1, 2]\n", default_id="d")
+        with pytest.raises(ServeError):
+            decode_request(b"{}\n", default_id="d")  # no instance
+        with pytest.raises(ServeError):
+            decode_request(
+                b'{"instance": {"suite": "att48"}, "params": {"bogus": 1}}\n',
+                default_id="d",
+            )
+
+    def test_decode_wraps_typed_garbage_as_serve_error(self):
+        # Well-formed JSON with wrong-typed values must become a ServeError
+        # (-> error response), not a raw TypeError/ValueError that would
+        # drop the connection.
+        for payload in (
+            b'{"instance": {"suite": "att48"}, "params": {"alpha": "two"}}\n',
+            b'{"instance": {"coords": [[1, 2], [3]]}}\n',
+            b'{"instance": {"suite": "att48"}, "iterations": [5]}\n',
+        ):
+            with pytest.raises(ServeError) as err:
+                decode_request(payload, default_id="d")
+            assert getattr(err.value, "req_id", None) == "d"
+
+    def test_decode_applies_default_id(self):
+        req_id, _ = decode_request(
+            b'{"instance": {"suite": "att48"}}\n', default_id="req-7"
+        )
+        assert req_id == "req-7"
+
+
+class TestTcpServer:
+    def test_roundtrip_matches_solo(self):
+        inst = uniform_instance(16, seed=21)
+        params = ACOParams(seed=5, nn=7)
+        request = SolveRequest(
+            instance=inst, params=params, iterations=4, report_every=2
+        )
+
+        async def drive():
+            async with SolveService(max_batch=2, max_wait=0.02) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    updates, final = await request_over_tcp(
+                        "127.0.0.1", port, request
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return updates, final
+
+        updates, final = run_async(drive())
+        assert [u["iteration"] for u in updates] == [2, 4]
+        solo = AntSystem(inst, params).run(4)
+        assert final["best_length"] == solo.best_length
+        assert final["best_tour"] == [int(c) for c in solo.best_tour]
+        assert final["iterations_run"] == 4
+        assert final["early"] is None
+
+    def test_pipelined_requests_interleave_by_id(self):
+        inst_a = uniform_instance(16, seed=22)
+        inst_b = uniform_instance(16, seed=23)
+
+        async def drive():
+            async with SolveService(max_batch=2, max_wait=1.0) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    for rid, inst in (("a", inst_a), ("b", inst_b)):
+                        req = SolveRequest(
+                            instance=inst,
+                            params=ACOParams(seed=3, nn=7),
+                            iterations=4,
+                            report_every=2,
+                        )
+                        writer.write(encode_request(req, rid))
+                    await writer.drain()
+                    finals = {}
+                    while len(finals) < 2:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=30
+                        )
+                        obj = json.loads(line)
+                        if obj["type"] == "result":
+                            finals[obj["id"]] = obj
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return finals, service.stats
+
+        finals, stats = run_async(drive())
+        assert set(finals) == {"a", "b"}
+        # Both rode one packed batch (same geometry, pipelined in time).
+        assert stats.batches == 1 and stats.rows_packed == 2
+        solo_a = AntSystem(inst_a, ACOParams(seed=3, nn=7)).run(4)
+        assert finals["a"]["best_length"] == solo_a.best_length
+
+    def test_malformed_request_gets_error_response(self):
+        async def drive():
+            async with SolveService(max_batch=1, max_wait=0.01) as service:
+                server = await serve_tcp(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    writer.write(b'{"id": "bad", "no_instance": true}\n')
+                    await writer.drain()
+                    line = await asyncio.wait_for(reader.readline(), timeout=10)
+                    obj = json.loads(line)
+                    # The connection survives for later requests.
+                    writer.write(
+                        b'{"id": "ok", "instance": {"suite": "att48"},'
+                        b' "iterations": 1}\n'
+                    )
+                    await writer.drain()
+                    accepted = json.loads(
+                        await asyncio.wait_for(reader.readline(), timeout=10)
+                    )
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return obj, accepted
+
+        obj, accepted = run_async(drive())
+        assert obj["type"] == "error"
+        assert obj["id"] == "bad"
+        assert "instance" in obj["message"]
+        assert accepted == {"type": "accepted", "id": "ok"}
+
+    def test_error_after_drain_refuses_request(self):
+        async def drive():
+            service = SolveService(max_batch=1, max_wait=0.01)
+            await service.start()
+            server = await serve_tcp(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            await service.drain()
+            try:
+                request = SolveRequest(
+                    instance=uniform_instance(10, seed=1), iterations=1
+                )
+                with pytest.raises(ServeError) as err:
+                    await request_over_tcp("127.0.0.1", port, request)
+                return str(err.value)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        message = run_async(drive())
+        assert "ServiceClosedError" in message

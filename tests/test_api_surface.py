@@ -71,7 +71,19 @@ class TestErrorHierarchy:
     def test_all_errors_derive_from_repro_error(self):
         for name in errors.__all__:
             cls = getattr(errors, name)
+            if name == "RunInterrupted":
+                # Deliberate outlier: it must stay catchable as a plain
+                # KeyboardInterrupt so Ctrl-C semantics survive for callers
+                # that never heard of it (see its docstring).
+                assert issubclass(cls, KeyboardInterrupt)
+                assert not issubclass(cls, errors.ReproError)
+                continue
             assert issubclass(cls, errors.ReproError)
+
+    def test_serve_errors_group(self):
+        assert issubclass(errors.ServiceClosedError, errors.ServeError)
+        assert issubclass(errors.ServiceOverloadedError, errors.ServeError)
+        assert issubclass(errors.ServeError, errors.ReproError)
 
     def test_subsystem_groups(self):
         assert issubclass(errors.TSPLIBFormatError, errors.TSPError)

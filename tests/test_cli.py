@@ -222,6 +222,81 @@ class TestBenchCommand:
         assert any(not row["amortized"] for row in payload["results"])
 
 
+class TestSolveVariants:
+    def test_solve_acs(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--variant", "acs"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "variant acs" in out
+        assert "best tour length" in out
+
+    def test_solve_mmas(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--variant", "mmas"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "variant mmas" in out
+        assert "trail reinitialisations" in out
+
+    def test_mmas_accepts_construction_choice(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "1", "--variant", "mmas",
+             "--construction", "4"]
+        )
+        assert rc == 0
+
+    def test_acs_rejects_construction(self):
+        with pytest.raises(SystemExit, match="construction"):
+            cli_main(
+                ["solve", "att48", "--variant", "acs", "--construction", "5"]
+            )
+
+    def test_variants_reject_pheromone(self):
+        for variant in ("acs", "mmas"):
+            with pytest.raises(SystemExit, match="pheromone"):
+                cli_main(
+                    ["solve", "att48", "--variant", variant, "--pheromone", "2"]
+                )
+
+    def test_variants_reject_replicas(self):
+        with pytest.raises(SystemExit, match="replicas"):
+            cli_main(
+                ["solve", "att48", "--variant", "acs", "--replicas", "3"]
+            )
+
+    def test_variants_reject_report_every(self):
+        with pytest.raises(SystemExit, match="report_every"):
+            cli_main(
+                ["solve", "att48", "--variant", "mmas", "--report-every", "5"]
+            )
+
+    def test_variants_reject_accelerated_backend(self):
+        with pytest.raises(SystemExit, match="numpy"):
+            cli_main(
+                ["solve", "att48", "--variant", "acs", "--backend", "cupy"]
+            )
+
+    def test_serve_config_errors_exit_cleanly(self):
+        # Service config errors must be usage messages, not tracebacks
+        # out of asyncio.run.
+        with pytest.raises(SystemExit, match="workers"):
+            cli_main(["serve", "--workers", "0"])
+        with pytest.raises(SystemExit, match="max_pending"):
+            cli_main(["serve", "--max-pending", "2", "--max-batch", "8"])
+        with pytest.raises(SystemExit, match="max_batch"):
+            cli_main(["serve", "--max-batch", "0"])
+
+    def test_variant_as_unchanged_defaults(self, capsys):
+        # --variant as with no kernel flags keeps the paper defaults.
+        rc = cli_main(["solve", "att48", "--iterations", "1", "--variant", "as"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "construction v8" in out and "pheromone v1" in out
+
+
 class TestExperimentsCommand:
     def test_single_artefact(self, capsys):
         assert exp_main(["table3"]) == 0
