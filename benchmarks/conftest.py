@@ -141,11 +141,70 @@ def validate_bench_loop(payload: dict) -> None:
     )
 
 
+# ------------------------------------------------------- BENCH_variant.json
+#
+# Schema of the artefact bench_variant_throughput.py writes at the repo
+# root: colony-iterations/sec of the three engine variants (AS/ACS/MMAS)
+# across batch sizes, all on the same amortized batched loop.
+
+#: top-level keys -> required type
+BENCH_VARIANT_SCHEMA: dict[str, type] = {
+    "instance": str,  # TSPLIB/suite instance name
+    "iterations": int,  # iterations per measured run
+    "backend": str,  # backend every row ran on
+    "report_every": int,  # K shared by all rows
+    "batch_sizes": list,  # B values covered
+    "variants": list,  # variant keys covered
+    "results": list,  # list of per-(variant, B) rows
+}
+
+#: per-row keys -> required type
+BENCH_VARIANT_ROW_SCHEMA: dict[str, type] = {
+    "variant": str,  # "as" | "acs" | "mmas"
+    "B": int,  # batched colony count
+    "seconds": float,  # wall-clock of the run (best-of-N, interleaved)
+    "iters_per_sec": float,  # iterations / seconds
+    "colony_iters_per_sec": float,  # B * iterations / seconds
+    "relative_to_as": float,  # AS seconds / this variant's (1.0 on as)
+}
+
+
+def validate_bench_variant(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_variant.json schema above."""
+    for key, typ in BENCH_VARIANT_SCHEMA.items():
+        assert key in payload, f"BENCH_variant missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_variant[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_variant has no result rows"
+    seen: dict[int, set] = {}
+    for row in payload["results"]:
+        for key, typ in BENCH_VARIANT_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_variant row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_variant row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["variant"] in payload["variants"], (
+            f"row variant {row['variant']!r} absent from variants"
+        )
+        assert row["B"] in payload["batch_sizes"], (
+            f"row B={row['B']} absent from batch_sizes"
+        )
+        seen.setdefault(row["B"], set()).add(row["variant"])
+    for B, variants in seen.items():
+        assert variants == set(payload["variants"]), (
+            f"B={B} missing variants: {set(payload['variants']) - variants}"
+        )
+
+
 #: script filename -> (artefact filename, validator); the `gpu-aco bench`
 #: runner loads this registry to validate whatever a script wrote.
 BENCH_ARTIFACTS: dict = {
     "bench_backend_throughput.py": ("BENCH_backend.json", validate_bench_backend),
     "bench_loop_amortization.py": ("BENCH_loop.json", validate_bench_loop),
+    "bench_variant_throughput.py": ("BENCH_variant.json", validate_bench_variant),
 }
 
 

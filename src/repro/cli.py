@@ -3,14 +3,16 @@
 Subcommands
 -----------
 ``solve``
-    Run the simulated GPU Ant System on a TSP instance and report the best
+    Run the simulated GPU colony on a TSP instance and report the best
     tour, per-stage modeled kernel times and solution quality.  With
     ``--replicas K`` the run dispatches through the batched multi-colony
     engine: K seed-replicas advance together in vectorized operations.
-    ``--variant {as,acs,mmas}`` selects the algorithm: ``acs`` (Ant Colony
-    System) and ``mmas`` (MAX-MIN Ant System) run on the solo numpy path
-    and reject batched/backend/amortized flags with a clear error instead
-    of silently ignoring them.
+    ``--variant {as,acs,mmas}`` selects the algorithm; every variant runs
+    on the batched engine, so ``--replicas``, ``--backend`` and
+    ``--report-every`` compose freely with all three.  Only genuinely
+    unsupported combinations are rejected (``--construction`` with ``acs``,
+    which owns its pseudo-random-proportional rule, and ``--pheromone``
+    with ``acs``/``mmas``, which own their update schedules).
 ``serve``
     Async micro-batching solve service: a JSON-lines-over-TCP front-end
     that queues solve requests, packs equal-geometry requests into shared
@@ -46,7 +48,8 @@ Examples
 
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
     gpu-aco solve att48 --replicas 16 --iterations 20 --report-every 10
-    gpu-aco solve att48 --variant mmas --iterations 50
+    gpu-aco solve att48 --variant mmas --replicas 4 --report-every 2
+    gpu-aco sweep att48 --variant acs --param rho=0.1,0.5 --replicas 2
     gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
@@ -92,9 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--variant",
         choices=("as", "acs", "mmas"),
         default="as",
-        help="algorithm: as (paper Ant System, batched engine), acs (Ant "
-        "Colony System) or mmas (MAX-MIN Ant System); acs/mmas run the "
-        "solo numpy path",
+        help="algorithm: as (paper Ant System), acs (Ant Colony System) or "
+        "mmas (MAX-MIN Ant System); all three run on the batched engine "
+        "and compose with --replicas/--backend/--report-every",
     )
     solve.add_argument(
         "--construction",
@@ -148,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--iterations", type=int, default=20)
     sweep.add_argument(
+        "--variant",
+        choices=("as", "acs", "mmas"),
+        default="as",
+        help="algorithm the whole sweep runs (all on the batched engine)",
+    )
+    sweep.add_argument(
         "--param",
         action="append",
         default=[],
@@ -159,10 +168,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=1, help="seed-replicas per grid point"
     )
     sweep.add_argument(
-        "--construction", type=int, default=8, choices=range(1, 9), metavar="1-8"
+        "--construction",
+        type=int,
+        default=None,
+        choices=range(1, 9),
+        metavar="1-8",
+        help="construction kernel (default 8; not valid with --variant acs)",
     )
     sweep.add_argument(
-        "--pheromone", type=int, default=1, choices=range(1, 6), metavar="1-5"
+        "--pheromone",
+        type=int,
+        default=None,
+        choices=range(1, 6),
+        metavar="1-5",
+        help="pheromone kernel (default 1; only valid with --variant as)",
     )
     sweep.add_argument("--device", choices=sorted(DEVICES), default="m2050")
     sweep.add_argument("--ants", type=int, default=None)
@@ -283,6 +302,26 @@ def _interrupt_banner() -> None:
     print("\ninterrupted — best-so-far result:", file=sys.stderr)
 
 
+def _check_variant_flags(variant: str, construction, pheromone) -> None:
+    """Reject the genuinely unsupported variant/kernel-flag combinations.
+
+    Every variant composes with ``--replicas``/``--backend``/
+    ``--report-every`` (the batched engine runs all three); only kernel
+    selections a variant *owns* are rejected.
+    """
+    if variant == "acs" and construction is not None:
+        raise SystemExit(
+            "error: variant 'acs' owns its construction rule (pseudo-random-"
+            "proportional); --construction is only valid with --variant "
+            "as/mmas"
+        )
+    if variant != "as" and pheromone is not None:
+        raise SystemExit(
+            f"error: variant {variant!r} owns its pheromone schedule; "
+            "--pheromone is only valid with --variant as"
+        )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
@@ -290,11 +329,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: --report-every must be >= 1, got {args.report_every}"
         )
+    _check_variant_flags(args.variant, args.construction, args.pheromone)
     instance = _load(args.instance)
     device = DEVICES[args.device]
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
-    if args.variant != "as":
-        return _solve_variant(args, instance, device, params)
     backend = _resolve_backend_arg(args.backend)
     construction = 8 if args.construction is None else args.construction
     pheromone = 1 if args.pheromone is None else args.pheromone
@@ -302,6 +340,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return _solve_replicas(
             args, instance, device, params, backend, construction, pheromone
         )
+    if args.variant != "as":
+        return _solve_variant(args, instance, device, params, backend, construction)
     colony = AntSystem(
         instance,
         params=params,
@@ -342,50 +382,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve_variant(args, instance, device, params) -> int:
-    """The solo ACS/MMAS path behind ``solve --variant {acs,mmas}``.
-
-    Flag combinations the solo variants cannot honour are rejected with a
-    clear message (previously these classes were unreachable from the CLI
-    and silently ignored the batched-engine knobs).
-    """
+def _solve_variant(args, instance, device, params, backend, construction) -> int:
+    """Single-colony ACS/MMAS behind ``solve --variant {acs,mmas}`` — the
+    engine-backed views, with full ``--backend``/``--report-every``
+    support."""
     from repro.core import AntColonySystem, MaxMinAntSystem
 
     variant = args.variant
+    rc = 0
     try:
-        if args.replicas > 1:
-            raise ACOConfigError(
-                f"--replicas > 1 runs on the batched engine; variant "
-                f"{variant!r} is solo-only (use --variant as)"
-            )
-        if args.pheromone is not None:
-            raise ACOConfigError(
-                f"variant {variant!r} owns its pheromone schedule; "
-                "--pheromone is only valid with --variant as"
-            )
         if variant == "acs":
-            if args.construction is not None:
-                raise ACOConfigError(
-                    "variant 'acs' owns its construction rule (pseudo-random-"
-                    "proportional); --construction is only valid with "
-                    "--variant as/mmas"
-                )
             colony = AntColonySystem(
-                instance, params, device=device, backend=args.backend
+                instance, params, device=device, backend=backend
             )
         else:
             colony = MaxMinAntSystem(
                 instance,
                 params,
-                construction=8 if args.construction is None else args.construction,
+                construction=construction,
                 device=device,
-                backend=args.backend,
+                backend=backend,
             )
         print(
             f"solving {instance.name} (n={instance.n}) on {device.name} "
-            f"[variant {variant}, solo numpy path]"
+            f"[variant {variant}, backend {backend.name}, batched engine]"
         )
-        rc = 0
         try:
             result = colony.run(args.iterations, report_every=args.report_every)
         except RunInterrupted as exc:
@@ -415,12 +436,18 @@ def _solve_replicas(
         construction=construction,
         pheromone=pheromone,
         backend=backend,
+        variant=args.variant,
+    )
+    kernels = (
+        f"variant {args.variant}"
+        if args.variant != "as"
+        else f"construction v{engine.construction.version} + "
+        f"pheromone v{engine.pheromone.version}"
     )
     print(
         f"solving {instance.name} (n={instance.n}) on {device.name} "
         f"[backend {backend.name}] with "
-        f"{args.replicas} batched replicas, construction "
-        f"v{engine.construction.version} + pheromone v{engine.pheromone.version}"
+        f"{args.replicas} batched replicas, {kernels}"
     )
     try:
         batch = engine.run(args.iterations, report_every=args.report_every)
@@ -468,6 +495,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: --report-every must be >= 1, got {args.report_every}"
         )
+    _check_variant_flags(args.variant, args.construction, args.pheromone)
     instance = _load(args.instance)
     device = DEVICES[args.device]
     backend = _resolve_backend_arg(args.backend)
@@ -485,10 +513,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             params=params,
             device=device,
-            construction=args.construction,
-            pheromone=args.pheromone,
+            construction=8 if args.construction is None else args.construction,
+            pheromone=1 if args.pheromone is None else args.pheromone,
             backend=backend,
             report_every=args.report_every,
+            variant=args.variant,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -498,7 +527,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = exc.partial
         rc = 130
     print(
-        f"sweeping {instance.name} (n={instance.n}) on {device.name}: "
+        f"sweeping {instance.name} (n={instance.n}) on {device.name} "
+        f"[variant {args.variant}]: "
         f"{len(sweep.points)} grid points x {args.replicas} replicas = "
         f"{sweep.batch.B} batched colonies"
     )

@@ -26,8 +26,10 @@ from repro.core.construction import (
 )
 from repro.core.params import ACOParams
 from repro.core.pheromone import PHEROMONE_VERSIONS, PheromoneUpdate, make_pheromone
+from repro.core.reference import ReferenceAntColonySystem, ReferenceMaxMinAntSystem
 from repro.core.report import IterationReport, StageReport
 from repro.core.state import ColonyState
+from repro.core.variant import VARIANTS, VariantStrategy, make_variant
 
 __all__ = [
     "ACOParams",
@@ -51,6 +53,11 @@ __all__ = [
     "IterationReport",
     "CONSTRUCTION_VERSIONS",
     "PHEROMONE_VERSIONS",
+    "VARIANTS",
+    "VariantStrategy",
+    "ReferenceAntColonySystem",
+    "ReferenceMaxMinAntSystem",
     "make_construction",
     "make_pheromone",
+    "make_variant",
 ]

@@ -2,31 +2,20 @@
 
 The conclusions promise: "We will also implement other ACO algorithms, such
 as the Ant Colony System, which can also be efficiently implemented on the
-GPU."  This module delivers that extension on the same substrates.  ACS
-(Dorigo & Gambardella, 1997) modifies the Ant System in three ways:
+GPU."  Since the variant redesign, ACS runs on the batched
+:class:`~repro.core.batch.BatchEngine` through the pluggable
+:class:`~repro.core.variant.VariantStrategy` seams: the
+pseudo-random-proportional choice policy (greedy with probability ``q0``
+plus per-step local evaporation toward ``tau0``) and the global-best-only
+update policy.  That puts ACS on every fast path the Ant System has —
+replica batching, parameter sweeps, array backends, the amortized
+``report_every=K`` loop and the micro-batching solve service.
 
-1. **Pseudo-random-proportional rule**: with probability ``q0`` an ant moves
-   greedily to the best-``choice_info`` candidate; otherwise it applies the
-   usual proportional rule.  On the GPU this maps perfectly onto the paper's
-   data-parallel selection — the greedy branch is the same block-wide argmax
-   *without* the random weighting.
-2. **Local pheromone update**: immediately after crossing an edge, an ant
-   decays it toward ``tau0``: ``tau <- (1 - xi) tau + xi tau0`` — making
-   edges less attractive for the ants behind it (diversification).  On the
-   GPU this is one more atomic-ish write per step per ant.
-3. **Global update on the best tour only**: after the iteration, only the
-   best-so-far ant deposits, with simultaneous decay restricted to its own
-   edges: ``tau <- (1 - rho) tau + rho / C_bs`` on best-tour edges.
-
-The implementation is vectorised across ants (all ants advance one step per
-inner iteration).  Local updates within one step are applied once per
-*unique* directed edge, matching a GPU execution where colliding same-step
-writers are idempotent decays toward the same target; this deviation from
-strict per-ant sequencing is noted in DESIGN.md and is irrelevant once ants
-spread out (they rarely share an edge in the same step).
-
-The modeled kernel cost reuses the data-parallel construction ledger with
-the extra local-update traffic and the (tiny) best-only global update.
+:class:`AntColonySystem` here is the ``B = 1`` view of the engine (exactly
+as :class:`~repro.core.colony.AntSystem` is for AS); the pre-redesign solo
+loop is retained verbatim as
+:class:`~repro.core.reference.ReferenceAntColonySystem`, the parity oracle
+``tests/property/test_variant_parity.py`` pins the engine against.
 """
 
 from __future__ import annotations
@@ -35,68 +24,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchEngine
+from repro.core.colony import run_engine_view
 from repro.core.params import ACOParams
-from repro.core.report import StageReport
-from repro.core.state import ColonyState
-from repro.errors import ACOConfigError, RunInterrupted
-from repro.rng import ParkMillerLCG
-from repro.simt.counters import KernelStats
+from repro.core.variant import ACSParams
 from repro.simt.device import TESLA_M2050, DeviceSpec
-from repro.simt.kernel import Kernel, LaunchConfig
-from repro.simt.memory import AccessPattern, GlobalMemory
 from repro.tsp.instance import TSPInstance
-from repro.tsp.tour import tour_lengths, validate_tour
-from repro.util.timer import WallClock
+from repro.tsp.tour import validate_tour
 
 __all__ = ["ACSParams", "AntColonySystem", "ACSRunResult"]
-
-
-def require_numpy_backend(backend, variant: str) -> None:
-    """Reject non-numpy backends for the solo ACS/MMAS paths — loudly.
-
-    These variants run the pre-batching solo numpy pipeline; accepting a
-    ``backend=`` argument and then ignoring it would silently drift from
-    what the caller asked for (the stranded-variant bug).  ``None`` (the
-    resolved default) and numpy itself are fine; anything else raises a
-    clear :class:`~repro.errors.ACOConfigError`.
-    """
-    if backend is None:
-        return
-    name = backend if isinstance(backend, str) else getattr(backend, "name", None)
-    if name is None:
-        raise ACOConfigError(
-            f"{variant} cannot interpret backend {backend!r}; pass a name or "
-            "an ArrayBackend"
-        )
-    if name != "numpy":
-        raise ACOConfigError(
-            f"{variant} runs on the solo numpy path; backend {name!r} is not "
-            "supported — use the Ant System variant (AntSystem/BatchEngine) "
-            "for backend-resident execution"
-        )
-
-
-@dataclass(frozen=True)
-class ACSParams:
-    """ACS-specific parameters on top of :class:`~repro.core.params.ACOParams`.
-
-    Attributes
-    ----------
-    q0:
-        Exploitation probability of the pseudo-random-proportional rule
-        (Dorigo & Gambardella recommend 0.9).
-    xi:
-        Local-update decay in (0, 1] (classically 0.1).
-    """
-
-    q0: float = 0.9
-    xi: float = 0.1
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.q0 <= 1.0:
-            raise ACOConfigError(f"q0 must lie in [0, 1], got {self.q0}")
-        if not 0.0 < self.xi <= 1.0:
-            raise ACOConfigError(f"xi must lie in (0, 1], got {self.xi}")
 
 
 @dataclass
@@ -109,8 +45,8 @@ class ACSRunResult:
     wall_seconds: float
 
 
-class AntColonySystem(Kernel):
-    """GPU-simulated ACS for the symmetric TSP.
+class AntColonySystem:
+    """GPU-simulated ACS for the symmetric TSP — the engine's B=1 ACS view.
 
     Parameters
     ----------
@@ -124,10 +60,10 @@ class AntColonySystem(Kernel):
     device:
         Simulated device for the cost ledgers.
     backend:
-        Accepted for CLI/API symmetry with :class:`~repro.core.AntSystem`,
-        but the solo ACS path runs numpy only: any non-numpy value raises
-        :class:`~repro.errors.ACOConfigError` instead of being silently
-        ignored.
+        Array backend the iteration kernels execute on — a name
+        (``"numpy"``, ``"cupy"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` to
+        resolve ``ACO_BACKEND`` / the numpy default.
 
     Examples
     --------
@@ -148,178 +84,59 @@ class AntColonySystem(Kernel):
         device: DeviceSpec = TESLA_M2050,
         backend=None,
     ) -> None:
-        require_numpy_backend(backend, "AntColonySystem")
         self.params = params or ACOParams()
         self.acs = acs or ACSParams()
         self.device = device
-        # Pin numpy explicitly: with backend=None the state/RNG would
-        # otherwise resolve ACO_BACKEND themselves and an env-selected
-        # accelerated backend would drift into this numpy-only path.
-        self.state = ColonyState.create(
-            instance, self.params, device, backend="numpy"
+        self.engine = BatchEngine(
+            instance,
+            self.params,
+            device=device,
+            backend=backend,
+            variant="acs",
+            variant_options={"acs": self.acs},
         )
-        # ACS tau0 = 1 / (n * C_nn); reuse the AS state's m/C_nn scaling.
-        self.tau0 = self.state.tau0 / (self.state.m * self.state.n)
-        self.state.pheromone[:, :] = self.tau0
-        np.fill_diagonal(self.state.pheromone, 0.0)
-        self.rng = ParkMillerLCG(
-            n_streams=max(self.state.m * 2, 2),
-            seed=self.params.seed,
-            backend="numpy",
+        self.backend = self.engine.backend
+        self.state = self.engine.state.colony_view(0)
+        #: the ACS trail floor ``1 / (n * C_nn)`` (local updates decay
+        #: toward it; the pheromone stack starts there)
+        self.tau0 = float(
+            self.backend.to_host(self.engine.variant.choice.tau0)[0]
         )
 
-    # ------------------------------------------------------------- geometry
+    # ------------------------------------------------------------ iteration
 
-    def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
-        m = problem.get("m", self.state.m)
-        theta = min(256, device.max_threads_per_block)
-        return LaunchConfig(grid=m, block=theta, smem_per_block=8 * theta)
-
-    # ----------------------------------------------------------- iteration
-
-    def _choice_info(self) -> np.ndarray:
-        p = self.params
-        choice = np.power(self.state.pheromone, p.alpha) * np.power(
-            self.state.eta, p.beta
-        )
-        np.fill_diagonal(choice, 0.0)
-        return choice
-
-    def construct(self) -> tuple[np.ndarray, StageReport]:
-        """One ACS construction pass with per-step local updates."""
-        st = self.state
-        n, m = st.n, st.m
-        choice = self._choice_info()
-        tau = st.pheromone
-        xi, q0 = self.acs.xi, self.acs.q0
-
-        stats = KernelStats()
-        launch = self.launch_config(self.device, n=n, m=m)
-        self.record_launch(stats, launch)
-        gmem = GlobalMemory(self.device, stats)
-
-        ant_idx = np.arange(m)
-        tours = np.empty((m, n + 1), dtype=np.int32)
-        visited = np.zeros((m, n), dtype=bool)
-
-        u = self.rng.uniform()
-        start = np.minimum((u[:m] * n).astype(np.int64), n - 1)
-        stats.rng_lcg += m
-        tours[:, 0] = start
-        visited[ant_idx, start] = True
-        cur = start
-
-        for step in range(1, n):
-            w = np.where(visited, 0.0, choice[cur])  # (m, n)
-            gmem.load(float(m) * n, 4, AccessPattern.COALESCED)
-            stats.flops += 2.0 * m * n
-            stats.int_ops += 2.0 * m * n
-
-            u = self.rng.uniform()
-            explore_dart, roulette_dart = u[:m], u[m : 2 * m]
-            stats.rng_lcg += 2.0 * m
-
-            greedy = np.argmax(w, axis=1)
-            sums = w.sum(axis=1)
-            cum = np.cumsum(w, axis=1)
-            r = roulette_dart * sums
-            roulette = np.minimum((cum < r[:, None]).sum(axis=1), n - 1)
-            nxt = np.where(explore_dart < q0, greedy, roulette)
-            stats.flops += float(m) * n  # argmax scan
-            stats.smem_accesses += float(m) * n
-
-            # Local pheromone update on the crossed edges (both directions);
-            # unique directed edges per step (see module docstring).
-            edges = np.unique(np.stack([cur, nxt], axis=1), axis=0)
-            a, b = edges[:, 0], edges[:, 1]
-            tau[a, b] = (1.0 - xi) * tau[a, b] + xi * self.tau0
-            tau[b, a] = tau[a, b]
-            stats.atomics_fp += 2.0 * m  # modeled: every ant writes its edge
-            gmem.load(2.0 * m, 4, AccessPattern.RANDOM)
-
-            visited[ant_idx, nxt] = True
-            tours[:, step] = nxt
-            cur = nxt
-
-        tours[:, n] = tours[:, 0]
-        report = StageReport(
-            stage="construction", kernel=self.name, stats=stats, launch=launch
-        )
-        return tours, report
-
-    def global_update(self) -> StageReport:
-        """Best-so-far-only deposit: ``tau <- (1-rho) tau + rho/C_bs``."""
-        st = self.state
-        assert st.best_tour is not None and st.best_length is not None
-        stats = KernelStats()
-        launch = LaunchConfig(grid=max(1, st.n // 256 + 1), block=256)
-        self.record_launch(stats, launch)
-
-        rho = self.params.rho
-        best = st.best_tour.astype(np.int64)
-        a, b = best[:-1], best[1:]
-        deposit = rho / float(st.best_length)
-        st.pheromone[a, b] = (1.0 - rho) * st.pheromone[a, b] + deposit
-        st.pheromone[b, a] = st.pheromone[a, b]
-
-        gmem = GlobalMemory(self.device, stats)
-        gmem.load(2.0 * st.n, 4, AccessPattern.RANDOM)
-        gmem.store(2.0 * st.n, 4, AccessPattern.RANDOM)
-        stats.flops += 4.0 * st.n
-        return StageReport(stage="pheromone", kernel="acs_global", stats=stats, launch=launch)
-
-    def run_iteration(self) -> tuple[int, list[StageReport]]:
+    def run_iteration(self) -> tuple[int, list]:
         """One ACS iteration; returns (iteration best length, stage reports)."""
-        tours, construction_report = self.construct()
-        lengths = tour_lengths(tours, self.state.dist)
-        self.state.record_tours(tours, lengths)
-        update_report = self.global_update()
-        self.state.iteration += 1
-        return int(lengths.min()), [construction_report, update_report]
+        report = self.engine.run_iteration()[0]
+        self._sync_view()
+        return int(report.lengths.min()), report.stages
+
+    def _sync_view(self) -> None:
+        """Mirror the batch row's outputs into the ``self.state`` view."""
+        self.engine.state.sync_colony_view(self.state)
 
     def run(self, iterations: int, report_every: int = 1) -> ACSRunResult:
         """Run several ACS iterations, tracking the best tour.
 
-        ``report_every`` exists for signature symmetry with
-        :meth:`AntSystem.run <repro.core.colony.AntSystem.run>` but the
-        solo ACS loop has no amortized path; any value other than 1 raises
-        instead of being silently ignored.  Ctrl-C raises
+        ``report_every=K`` runs the engine's amortized device-resident
+        loop — host transfers only at K-boundaries, bit-identical results
+        for every K.  Ctrl-C raises
         :class:`~repro.errors.RunInterrupted` carrying the best-so-far
         :class:`ACSRunResult` (bare ``KeyboardInterrupt`` when nothing
         completed).
         """
-        if iterations < 1:
-            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
-        if report_every != 1:
-            raise ACOConfigError(
-                "report_every > 1 needs the device-resident batched loop; "
-                "the solo ACS path reports every iteration (use the Ant "
-                "System variant for amortized execution)"
+
+        def wrap(row, wall_seconds: float) -> ACSRunResult:
+            return ACSRunResult(
+                best_tour=row.best_tour,
+                best_length=row.best_length,
+                iteration_best_lengths=row.iteration_best_lengths,
+                wall_seconds=wall_seconds,
             )
-        bests: list[int] = []
-        clock = WallClock()
-        try:
-            with clock:
-                for _ in range(iterations):
-                    best, _ = self.run_iteration()
-                    bests.append(best)
-        except KeyboardInterrupt:
-            st = self.state
-            if st.best_tour is None or st.best_length is None:
-                raise
-            partial = ACSRunResult(
-                best_tour=st.best_tour,
-                best_length=st.best_length,
-                iteration_best_lengths=bests,
-                wall_seconds=clock.elapsed,
-            )
-            raise RunInterrupted(partial, "ACS run interrupted") from None
-        st = self.state
-        assert st.best_tour is not None and st.best_length is not None
-        validate_tour(st.best_tour, st.n)
-        return ACSRunResult(
-            best_tour=st.best_tour,
-            best_length=st.best_length,
-            iteration_best_lengths=bests,
-            wall_seconds=clock.elapsed,
+
+        result = run_engine_view(
+            self.engine, iterations, report_every, wrap,
+            "ACS run interrupted", self._sync_view,
         )
+        validate_tour(result.best_tour, self.state.n)
+        return result

@@ -43,6 +43,7 @@ from repro.core.params import ACOParams
 from repro.core.pheromone import PheromoneUpdate, make_pheromone
 from repro.core.report import IterationReport
 from repro.core.state import ColonyState
+from repro.core.variant import IterationContext, VariantStrategy, make_variant
 from repro.errors import ACOConfigError, RunInterrupted
 from repro.rng import make_batched_rng
 from repro.simt.device import TESLA_M2050, DeviceSpec
@@ -78,8 +79,9 @@ class BatchColonyState:
 
     Array residency: the per-colony matrices and exponent vectors live on
     ``backend`` (numpy by default); the reporting fields (``tours``,
-    ``lengths``, best records) are **host** numpy arrays, refreshed once per
-    iteration boundary by :meth:`record_tours`.
+    ``lengths``, best records) are **host** numpy arrays, refreshed at
+    report boundaries by the owning engine (its backend-resident
+    best-so-far fold is the single bookkeeping implementation).
     """
 
     instances: tuple[TSPInstance, ...]
@@ -97,6 +99,10 @@ class BatchColonyState:
     alpha: np.ndarray  # (B,) float64 per-colony exponents
     beta: np.ndarray  # (B,)
     rho: np.ndarray  # (B,)
+    #: per-row greedy nearest-neighbour tour lengths (host int64); the
+    #: exact integers variant strategies derive their constants from
+    #: (MMAS ``tau_max = 1 / (rho * C_nn)``)
+    c_nn: np.ndarray | None = None
     backend: ArrayBackend = field(default_factory=resolve_backend)
     #: scratch arena hoisting kernel buffers across steps and iterations
     #: (``None`` = allocate per call, the pre-amortisation behaviour)
@@ -153,6 +159,7 @@ class BatchColonyState:
         nn_cache: dict[int, np.ndarray] = {}
         cnn_cache: dict[int, int] = {}
         dist_rows, eta_rows, nn_rows, tau0 = [], [], [], np.empty(B)
+        c_nn = np.empty(B, dtype=np.int64)
         for inst, p in zip(instances, params):
             key = id(inst)
             if key not in dist_cache:
@@ -168,6 +175,7 @@ class BatchColonyState:
             eta_rows.append(eta_cache[ekey])
             nn_rows.append(nn_cache[key])
             tau0[len(dist_rows) - 1] = m / float(cnn_cache[key])
+            c_nn[len(dist_rows) - 1] = cnn_cache[key]
 
         pheromone = np.empty((B, n, n), dtype=np.float64)
         pheromone[:] = tau0[:, None, None]
@@ -186,6 +194,7 @@ class BatchColonyState:
             pheromone=bk.from_host(pheromone),
             nn_list=_stack_or_broadcast(nn_rows, B, bk),
             tau0=bk.from_host(tau0),
+            c_nn=c_nn,
             alpha=bk.from_host(np.array([p.alpha for p in params], dtype=np.float64)),
             beta=bk.from_host(np.array([p.beta for p in params], dtype=np.float64)),
             rho=bk.from_host(np.array([p.rho for p in params], dtype=np.float64)),
@@ -194,24 +203,25 @@ class BatchColonyState:
 
     # ----------------------------------------------------------- bookkeeping
 
-    def record_tours(self, tours: np.ndarray, lengths: np.ndarray) -> None:
-        """Store the iteration's (host) tours and update every row's best
-        record.  This is the per-iteration host transfer boundary: callers
-        pass ``backend.to_host`` copies and the bookkeeping below is plain
-        numpy regardless of where the kernels ran."""
-        self.tours = tours
-        self.lengths = lengths
-        rows = np.arange(self.B)
-        best = np.argmin(lengths, axis=1)
-        vals = lengths[rows, best].astype(np.int64)
-        if self.best_lengths is None:
-            self.best_lengths = vals.copy()
-            self.best_tours = tours[rows, best].copy()
-        else:
+    def sync_colony_view(self, view: ColonyState, b: int = 0) -> None:
+        """Mirror row ``b``'s per-iteration outputs into a ``colony_view``.
+
+        The pheromone matrix is a live view of the batch row; everything
+        the engine *rebinds* each iteration (choice_info, tours, best
+        records) must be re-pointed.  The single sync implementation every
+        B=1 view (:class:`~repro.core.colony.AntSystem` and the
+        ACS/MMAS views) shares.
+        """
+        view.choice_info = (
+            None if self.choice_info is None else self.choice_info[b]
+        )
+        view.tours = None if self.tours is None else self.tours[b]
+        view.lengths = None if self.lengths is None else self.lengths[b]
+        view.iteration = self.iteration
+        if self.best_lengths is not None:
             assert self.best_tours is not None
-            improved = vals < self.best_lengths
-            self.best_lengths[improved] = vals[improved]
-            self.best_tours[improved] = tours[rows[improved], best[improved]]
+            view.best_length = int(self.best_lengths[b])
+            view.best_tour = self.best_tours[b].copy()
 
     def colony_view(self, b: int) -> ColonyState:
         """A :class:`ColonyState` whose arrays view row ``b`` of the batch.
@@ -345,6 +355,19 @@ class BatchEngine:
     device / construction / pheromone / *_options:
         As for :class:`~repro.core.colony.AntSystem`; one strategy pair is
         shared by the whole batch (strategies are stateless between calls).
+    variant:
+        The ACO variant the batch runs — ``"as"`` (default), ``"acs"``,
+        ``"mmas"``, or a ready-made
+        :class:`~repro.core.variant.VariantStrategy`.  The variant supplies
+        the choice policy (how ants pick cities; ACS owns its
+        pseudo-random-proportional rule, so ``construction`` is ignored
+        there) and the update policy (AS deposit-all via ``pheromone``;
+        ACS global-best-only and MMAS trail limits own their schedules and
+        ignore ``pheromone``).  One variant is shared by the whole batch.
+    variant_options:
+        Extra arguments for the variant factory (e.g.
+        ``{"acs": ACSParams(q0=0.95)}`` or ``{"mmas": MMASParams(...),
+        "reinit_branching": 2.05}``).
     backend:
         Array backend the batch executes on — a name (``"numpy"``,
         ``"cupy"``), an :class:`~repro.backend.ArrayBackend` instance, or
@@ -378,6 +401,8 @@ class BatchEngine:
         backend: ArrayBackend | str | None = None,
         amortize: bool = True,
         work: WorkBuffers | None = None,
+        variant: str | VariantStrategy = "as",
+        variant_options: dict | None = None,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -398,6 +423,22 @@ class BatchEngine:
             )
         self.device = device
         self.backend = resolve_backend(backend)
+        self.variant = make_variant(variant, **(variant_options or {}))
+        # Kernel selections a variant owns are rejected here, at the engine
+        # — the single validation every entry point (library, CLI, serve)
+        # goes through — never silently ignored.  The defaults (8 / 1)
+        # pass, so variant-agnostic callers stay untouched.
+        if self.variant.key == "acs" and construction != 8:
+            raise ACOConfigError(
+                "variant 'acs' owns its construction rule (pseudo-random-"
+                "proportional); a construction selection is only valid "
+                "with variant as/mmas"
+            )
+        if self.variant.key != "as" and pheromone != 1:
+            raise ACOConfigError(
+                f"variant {self.variant.key!r} owns its pheromone schedule; "
+                "a pheromone selection is only valid with variant 'as'"
+            )
         self.construction = make_construction(
             construction, **(construction_options or {})
         )
@@ -425,14 +466,25 @@ class BatchEngine:
             self.work = WorkBuffers(self.backend) if self.amortize else None
         self.state.work = self.work
         self.state.bulk_rng = self.amortize
+        # Variant state (pheromone re-init, trail limits, ACS tau0) installs
+        # on the fresh batch state; the RNG layout is the variant's choice
+        # policy's to define (AS/MMAS delegate to the construction family).
+        self.variant.bind(self.state)
         self.choice_kernel = ChoiceKernel()
-        streams = self.construction.rng_streams(self.state.n, self.state.m)
+        streams = self.variant.choice.rng_streams(
+            self.construction, self.state.n, self.state.m
+        )
         self.rng = make_batched_rng(
-            self.construction.rng_kind,
+            self.variant.choice.rng_kind(self.construction),
             streams,
             [p.seed for p in plist],
             backend=self.backend,
         )
+        # Backend-resident best-so-far fold: seeded lazily (or at run()
+        # start) from the host records, consumed by update policies that
+        # deposit on the best-so-far tour.
+        self._fold_len: np.ndarray | None = None
+        self._fold_tours: np.ndarray | None = None
 
     @classmethod
     def replicas(
@@ -467,10 +519,72 @@ class BatchEngine:
 
     # ------------------------------------------------------------ iteration
 
+    def _seed_fold(self) -> None:
+        """(Re-)seed the backend-resident best-so-far fold from the host
+        records — sentinel-initialised when nothing has run yet, so the
+        first iteration seeds the records exactly as a first
+        ``record_tours`` call would."""
+        bs = self.state
+        xp = self.backend.xp
+        if bs.best_lengths is None:
+            self._fold_len = xp.full(
+                (bs.B,), np.iinfo(np.int64).max, dtype=np.int64
+            )
+            self._fold_tours = xp.zeros((bs.B, bs.n + 1), dtype=np.int32)
+        else:
+            assert bs.best_tours is not None
+            self._fold_len = self.backend.from_host(bs.best_lengths).copy()
+            self._fold_tours = self.backend.from_host(bs.best_tours).copy()
+
+    def _sync_fold_host(self) -> None:
+        """Copy the fold into the host-side best records."""
+        bs = self.state
+        assert self._fold_len is not None and self._fold_tours is not None
+        bs.best_lengths = self.backend.to_host(self._fold_len).copy()
+        bs.best_tours = self.backend.to_host(self._fold_tours).copy()
+
+    def _fold_best(self, tours, lengths) -> IterationContext:
+        """Fold this iteration's results into the best-so-far records.
+
+        Runs on the backend with the strict-improvement / first-argmin rule
+        ``record_tours`` applies on the host, so the fold is bit-identical
+        to per-iteration host bookkeeping.  The returned
+        :class:`~repro.core.variant.IterationContext` is what best-so-far
+        update policies (ACS global-best, MMAS schedules) consume — the
+        records already include the current iteration, exactly as the solo
+        loops see them after ``record_tours``.
+        """
+        bs = self.state
+        xp = self.backend.xp
+        assert self._fold_len is not None and self._fold_tours is not None
+        rows = xp.arange(bs.B)
+        ib = xp.argmin(lengths, axis=1)
+        vals = lengths[rows, ib]
+        improved = vals < self._fold_len
+        imp = xp.nonzero(improved)[0]
+        if imp.size:
+            self._fold_len[imp] = vals[imp]
+            self._fold_tours[imp] = tours[imp, ib[imp]]
+        return IterationContext(
+            iteration=bs.iteration,
+            it_best=ib,
+            it_best_lengths=vals,
+            best_lengths=self._fold_len,
+            best_tours=self._fold_tours,
+            improved=improved,
+        )
+
     def _advance(self, collect: bool = True):
         """One iteration's kernels on the backend — no host crossing.
 
-        Returns ``(tours, lengths, stages)`` with tours/lengths still
+        The variant's choice policy builds the tours (AS/MMAS through the
+        Table II construction families, ACS through its own
+        pseudo-random-proportional rule), the engine evaluates lengths and
+        folds the best-so-far records, then the variant's update policy
+        applies the trail update — the fold-then-update order every solo
+        loop uses, so best-so-far deposits see the current iteration.
+
+        Returns ``(tours, lengths, ctx, stages)`` with tours/lengths still
         backend-resident; ``stages`` is the per-row stage-report list when
         ``collect`` (a report boundary) and ``None`` between boundaries,
         where report materialization — and measurement that exists only to
@@ -478,37 +592,39 @@ class BatchEngine:
         """
         bs = self.state
 
-        if self.construction.needs_choice_info:
-            choice_reports = self.choice_kernel.run_batch(bs, collect=collect)
-        else:
-            choice_reports = []
-
-        result = self.construction.build_batch(bs, self.rng, collect=collect)
-        lengths = tour_lengths_batch(
-            result.tours, bs.dist, xp=self.backend.xp, work=self.work
+        tours, choice_reports, build_reports = self.variant.choice.build_batch(
+            bs, self.construction, self.choice_kernel, self.rng, collect=collect
         )
-        pher_reports = self.pheromone.update_batch(
-            bs, result.tours, lengths, collect=collect
+        lengths = tour_lengths_batch(
+            tours, bs.dist, xp=self.backend.xp, work=self.work
+        )
+        ctx = self._fold_best(tours, lengths)
+        pher_reports = self.variant.update.update_batch(
+            bs, self.pheromone, tours, lengths, ctx, collect=collect
         )
 
         if not collect:
-            return result.tours, lengths, None
+            return tours, lengths, ctx, None
         stages: list[list] = [[] for _ in range(bs.B)]
-        for reps in (choice_reports, result.reports, pher_reports):
+        for reps in (choice_reports, build_reports, pher_reports):
             for b, rep in enumerate(reps):
                 stages[b].append(rep)
-        return result.tours, lengths, stages
+        return tours, lengths, ctx, stages
 
     def run_iteration(self) -> list[IterationReport]:
-        """One full AS iteration for every colony; one report per row.
+        """One full variant iteration for every colony; one report per row.
 
         Every stage runs on ``self.backend``; tours and lengths cross to the
         host exactly once, at the end of the iteration, for bookkeeping and
         the per-colony reports (a no-copy pass-through on numpy).
         """
         bs = self.state
-        tours, lengths, stages = self._advance(collect=True)
-        bs.record_tours(self.backend.to_host(tours), self.backend.to_host(lengths))
+        if self._fold_len is None:
+            self._seed_fold()
+        tours, lengths, _, stages = self._advance(collect=True)
+        bs.tours = self.backend.to_host(tours)
+        bs.lengths = self.backend.to_host(lengths)
+        self._sync_fold_host()
         bs.iteration += 1
         return [
             IterationReport(
@@ -568,6 +684,7 @@ class BatchEngine:
             )
         bs = self.state
         start_iteration = bs.iteration
+        self._seed_fold()
         reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
         bests: list[list[int]] = [[] for _ in range(bs.B)]
         stopped_early = False
@@ -675,35 +792,26 @@ class BatchEngine:
     ) -> bool:
         """The device-resident ``report_every=K`` loop body.
 
-        Best-so-far records are folded on the backend every iteration (the
-        same first-argmin/strict-improvement rule ``record_tours`` applies
-        on the host, so the fold is bit-identical to K=1); host transfer and
-        report materialization happen only at K-boundaries and at the final
-        iteration.  Returns ``True`` when a boundary hook or target stop
-        ended the loop early.  A Ctrl-C mid-block syncs the backend-resident
-        fold to the host before re-raising, so the interrupt path reports
-        bests up to the last *completed* iteration, not the last boundary.
+        Best-so-far records are folded on the backend every iteration by
+        :meth:`_fold_best` (the same first-argmin/strict-improvement rule
+        ``record_tours`` applies on the host, so the fold is bit-identical
+        to K=1); host transfer and report materialization happen only at
+        K-boundaries and at the final iteration.  Returns ``True`` when a
+        boundary hook or target stop ended the loop early.  A Ctrl-C
+        mid-block syncs the backend-resident fold to the host before
+        re-raising, so the interrupt path reports bests up to the last
+        *completed* iteration, not the last boundary.
         """
         bs = self.state
         xp = self.backend.xp
-        rows = xp.arange(bs.B)
-        if bs.best_lengths is None:
-            # Sentinel init: every real length improves on it, so iteration
-            # 1 seeds the records exactly as record_tours' first call would.
-            best_len = xp.full((bs.B,), np.iinfo(np.int64).max, dtype=np.int64)
-            best_tours = xp.zeros((bs.B, bs.n + 1), dtype=np.int32)
-        else:
-            assert bs.best_tours is not None
-            best_len = self.backend.from_host(bs.best_lengths).copy()
-            best_tours = self.backend.from_host(bs.best_tours).copy()
         block_vals: list = []  # per-iteration (B,) iteration-best lengths
 
         def _sync_fold() -> None:
             """Host-sync the fold (best records + pending block bests)."""
-            if not bool(xp.all(best_len < np.iinfo(np.int64).max)):
+            assert self._fold_len is not None
+            if not bool(xp.all(self._fold_len < np.iinfo(np.int64).max)):
                 return  # no iteration completed yet; nothing to salvage
-            bs.best_lengths = self.backend.to_host(best_len).copy()
-            bs.best_tours = self.backend.to_host(best_tours).copy()
+            self._sync_fold_host()
             if block_vals:
                 host_vals = self.backend.to_host(xp.stack(block_vals))
                 block_vals.clear()
@@ -713,14 +821,8 @@ class BatchEngine:
         try:
             for it in range(iterations):
                 boundary = ((it + 1) % report_every == 0) or (it + 1 == iterations)
-                tours, lengths, stages = self._advance(collect=boundary)
-                ib = xp.argmin(lengths, axis=1)
-                vals = lengths[rows, ib]
-                block_vals.append(vals)
-                improved = xp.nonzero(vals < best_len)[0]
-                if improved.size:
-                    best_len[improved] = vals[improved]
-                    best_tours[improved] = tours[improved, ib[improved]]
+                tours, lengths, ctx, stages = self._advance(collect=boundary)
+                block_vals.append(ctx.it_best_lengths)
                 bs.iteration += 1
                 if boundary:
                     host_tours = self.backend.to_host(tours)

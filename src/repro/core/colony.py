@@ -45,7 +45,35 @@ from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.simt.timing import CostParams
 from repro.tsp.instance import TSPInstance
 
-__all__ = ["AntSystem", "RunResult"]
+__all__ = ["AntSystem", "RunResult", "run_engine_view"]
+
+
+def run_engine_view(
+    engine,
+    iterations: int,
+    report_every: int,
+    wrap,
+    interrupt_message: str,
+    sync,
+):
+    """The shared run body of every B=1 engine view (AS/ACS/MMAS).
+
+    Runs the engine, keeps the view's state mirror coherent (``sync()``
+    runs on both the success and the interrupt path), and re-wraps a
+    :class:`~repro.errors.RunInterrupted` so the partial carried outward
+    is the view's own result type: ``wrap(row, wall_seconds)`` builds the
+    result from the engine row either way.
+    """
+    from repro.errors import RunInterrupted
+
+    try:
+        batch = engine.run(iterations, report_every=report_every)
+    except RunInterrupted as exc:
+        sync()
+        partial = wrap(exc.partial.results[0], exc.partial.wall_seconds)
+        raise RunInterrupted(partial, interrupt_message) from None
+    sync()
+    return wrap(batch.results[0], batch.wall_seconds)
 
 
 @dataclass
@@ -160,22 +188,8 @@ class AntSystem:
         return report
 
     def _sync_view(self) -> None:
-        """Mirror the batch row's per-iteration outputs into ``self.state``.
-
-        The pheromone matrix is a live view of the batch row; everything the
-        engine *rebinds* each iteration (choice_info, tours, best records)
-        must be re-pointed here.
-        """
-        bs = self.engine.state
-        st = self.state
-        st.choice_info = None if bs.choice_info is None else bs.choice_info[0]
-        st.tours = None if bs.tours is None else bs.tours[0]
-        st.lengths = None if bs.lengths is None else bs.lengths[0]
-        st.iteration = bs.iteration
-        if bs.best_lengths is not None:
-            assert bs.best_tours is not None
-            st.best_length = int(bs.best_lengths[0])
-            st.best_tour = bs.best_tours[0].copy()
+        """Mirror the batch row's per-iteration outputs into ``self.state``."""
+        self.engine.state.sync_colony_view(self.state)
 
     def run(
         self,

@@ -1,24 +1,21 @@
 """MAX-MIN Ant System (MMAS) — the variant behind the paper's related work.
 
 Jiening et al. (cited in Section III) GPU-ported the *Max-Min Ant System*;
-this module supplies that algorithm on our substrates, reusing the paper's
-GPU tour-construction kernels unchanged (MMAS differs from AS only in trail
-management, exactly the pheromone stage this repository models in detail).
+since the variant redesign this module supplies that algorithm on the
+batched :class:`~repro.core.batch.BatchEngine`: MMAS reuses the paper's
+tour-construction kernels unchanged (it differs from AS only in trail
+management) through the roulette choice policy, and swaps the deposit-all
+pheromone stage for the trail-limits update policy
+(:class:`~repro.core.variant.TrailLimitsUpdate`) — best-only deposit on a
+best-so-far schedule, ``[tau_min, tau_max]`` clamping that follows the
+best-so-far length, optimistic initialisation at ``tau_max`` and optional
+branching-factor stagnation reinitialisation.  All of it batched over B
+colonies, backend-resident and amortization-safe.
 
-MMAS (Stützle & Hoos, 2000) modifies the Ant System in three ways:
-
-1. **Best-only deposit** — per iteration only one ant deposits: the
-   iteration-best tour, or periodically the best-so-far tour (the
-   ``use_best_so_far_every`` schedule).
-2. **Trail limits** — after every update, pheromone is clamped into
-   ``[tau_min, tau_max]`` with ``tau_max = 1 / (rho * C_best)`` and
-   ``tau_min = tau_max / (2 n)``, preventing stagnation on one tour.
-3. **Optimistic initialisation** — trails start at ``tau_max`` (computed
-   from the greedy nearest-neighbour tour), encouraging early exploration.
-
-On the GPU, the deposit kernel shrinks from m blocks to a single block (one
-tour), making the *evaporation* sweep the dominant pheromone cost — the
-ledger reflects that.
+:class:`MaxMinAntSystem` here is the ``B = 1`` view of the engine; the
+pre-redesign solo loop is retained verbatim as
+:class:`~repro.core.reference.ReferenceMaxMinAntSystem`, the parity oracle
+``tests/property/test_variant_parity.py`` pins the engine against.
 """
 
 from __future__ import annotations
@@ -27,51 +24,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.acs import require_numpy_backend
-from repro.core.choice import ChoiceKernel
-from repro.core.construction import TourConstruction, make_construction
+from repro.core.batch import BatchEngine
+from repro.core.colony import run_engine_view
+from repro.core.construction import TourConstruction
 from repro.core.params import ACOParams
-from repro.core.report import StageReport
-from repro.core.state import ColonyState
-from repro.errors import ACOConfigError, RunInterrupted
-from repro.rng import make_rng
-from repro.simt.counters import KernelStats
+from repro.core.variant import MMASParams, TrailLimitsUpdate
 from repro.simt.device import TESLA_M2050, DeviceSpec
-from repro.simt.kernel import Kernel, LaunchConfig, grid_for
-from repro.simt.memory import AccessPattern, GlobalMemory
 from repro.tsp.instance import TSPInstance
-from repro.tsp.tour import nearest_neighbor_tour, tour_length, tour_lengths, validate_tour
-from repro.util.timer import WallClock
+from repro.tsp.tour import validate_tour
 
 __all__ = ["MMASParams", "MaxMinAntSystem", "MMASRunResult"]
-
-
-@dataclass(frozen=True)
-class MMASParams:
-    """MMAS-specific knobs.
-
-    Attributes
-    ----------
-    use_best_so_far_every:
-        Every k-th iteration deposits the best-so-far tour instead of the
-        iteration best (0 disables best-so-far deposits entirely).
-    tau_min_divisor:
-        ``tau_min = tau_max / (tau_min_divisor * n)`` — the classical
-        choice is 2.
-    """
-
-    use_best_so_far_every: int = 5
-    tau_min_divisor: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.use_best_so_far_every < 0:
-            raise ACOConfigError(
-                f"use_best_so_far_every must be >= 0, got {self.use_best_so_far_every}"
-            )
-        if self.tau_min_divisor <= 0:
-            raise ACOConfigError(
-                f"tau_min_divisor must be > 0, got {self.tau_min_divisor}"
-            )
 
 
 @dataclass
@@ -85,8 +47,8 @@ class MMASRunResult:
     trail_reinitialisations: int = 0
 
 
-class MaxMinAntSystem(Kernel):
-    """GPU-simulated MAX-MIN Ant System.
+class MaxMinAntSystem:
+    """GPU-simulated MAX-MIN Ant System — the engine's B=1 MMAS view.
 
     Parameters
     ----------
@@ -103,10 +65,10 @@ class MaxMinAntSystem(Kernel):
     device:
         Simulated device.
     backend:
-        Accepted for CLI/API symmetry with :class:`~repro.core.AntSystem`,
-        but the solo MMAS path runs numpy only: any non-numpy value raises
-        :class:`~repro.errors.ACOConfigError` instead of being silently
-        ignored.
+        Array backend the iteration kernels execute on — a name
+        (``"numpy"``, ``"cupy"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` to
+        resolve ``ACO_BACKEND`` / the numpy default.
 
     Examples
     --------
@@ -128,49 +90,48 @@ class MaxMinAntSystem(Kernel):
         device: DeviceSpec = TESLA_M2050,
         backend=None,
     ) -> None:
-        require_numpy_backend(backend, "MaxMinAntSystem")
         self.params = params or ACOParams()
         self.mmas = mmas or MMASParams()
         self.device = device
-        self.construction = make_construction(construction)
-        self.choice_kernel = ChoiceKernel()
-        # Pin numpy explicitly: with backend=None the state/RNG would
-        # otherwise resolve ACO_BACKEND themselves and an env-selected
-        # accelerated backend would drift into this numpy-only path.
-        self.state = ColonyState.create(
-            instance, self.params, device, backend="numpy"
+        self.engine = BatchEngine(
+            instance,
+            self.params,
+            device=device,
+            construction=construction,
+            backend=backend,
+            variant="mmas",
+            variant_options={"mmas": self.mmas},
         )
-
-        # Optimistic initialisation: tau_max from the greedy tour.
-        c_nn = tour_length(nearest_neighbor_tour(self.state.dist), self.state.dist)
-        self._set_limits(float(c_nn))
-        self.state.pheromone[:, :] = self.tau_max
-        np.fill_diagonal(self.state.pheromone, 0.0)
-
-        streams = self.construction.rng_streams(self.state.n, self.state.m)
-        self.rng = make_rng(
-            self.construction.rng_kind, streams, self.params.seed,
-            backend="numpy",
-        )
-        self.trail_reinitialisations = 0
+        self.backend = self.engine.backend
+        self.construction = self.engine.construction
+        self.state = self.engine.state.colony_view(0)
 
     # -------------------------------------------------------------- limits
 
-    def _set_limits(self, best_length: float) -> None:
-        """Recompute ``tau_max``/``tau_min`` from the current best length."""
-        self.tau_max = 1.0 / (self.params.rho * best_length)
-        self.tau_min = self.tau_max / (self.mmas.tau_min_divisor * self.state.n)
+    @property
+    def _policy(self) -> TrailLimitsUpdate:
+        policy = self.engine.variant.update
+        assert isinstance(policy, TrailLimitsUpdate)
+        return policy
 
-    def clamp_trails(self) -> None:
-        """Clamp pheromone into ``[tau_min, tau_max]`` (diagonal stays 0)."""
-        np.clip(self.state.pheromone, self.tau_min, self.tau_max, out=self.state.pheromone)
-        np.fill_diagonal(self.state.pheromone, 0.0)
+    @property
+    def tau_max(self) -> float:
+        """Current trail ceiling ``1 / (rho * C_best)``."""
+        return float(self.backend.to_host(self._policy.tau_max)[0])
+
+    @property
+    def tau_min(self) -> float:
+        """Current trail floor ``tau_max / (divisor * n)``."""
+        return float(self.backend.to_host(self._policy.tau_min)[0])
+
+    @property
+    def trail_reinitialisations(self) -> int:
+        assert self._policy.reinit_count is not None
+        return int(self.backend.to_host(self._policy.reinit_count)[0])
 
     def reinitialise_trails(self) -> None:
         """Reset all trails to ``tau_max`` (stagnation escape)."""
-        self.state.pheromone[:, :] = self.tau_max
-        np.fill_diagonal(self.state.pheromone, 0.0)
-        self.trail_reinitialisations += 1
+        self._policy.reinitialise(self.engine.state)
 
     def branching_factor(self, lam: float = 0.05) -> float:
         """Mean λ-branching factor — the classical MMAS stagnation gauge.
@@ -179,91 +140,20 @@ class MaxMinAntSystem(Kernel):
         ``tau_min_row + lam * (tau_max_row - tau_min_row)``; values near 2
         mean the colony has converged onto a single tour.
         """
-        tau = self.state.pheromone
-        n = self.state.n
-        off = ~np.eye(n, dtype=bool)
-        rows = np.where(off, tau, np.nan)
-        row_min = np.nanmin(rows, axis=1, keepdims=True)
-        row_max = np.nanmax(rows, axis=1, keepdims=True)
-        threshold = row_min + lam * (row_max - row_min)
-        counts = np.nansum(rows >= threshold, axis=1)
-        return float(counts.mean())
-
-    # ------------------------------------------------------------- geometry
-
-    def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
-        n = problem.get("n", self.state.n)
-        return LaunchConfig(grid=grid_for(n * n, 256), block=256)
-
-    # --------------------------------------------------------------- update
-
-    def update_pheromone(self, deposit_tour: np.ndarray, deposit_length: int) -> StageReport:
-        """Evaporate everywhere, deposit on one tour, clamp to the limits."""
-        st = self.state
-        stats = KernelStats()
-        launch = self.launch_config(self.device, n=st.n)
-        gmem = GlobalMemory(self.device, stats)
-
-        # Evaporation sweep (the dominant kernel: n^2 cells).
-        self.record_launch(stats, launch)
-        st.pheromone *= 1.0 - self.params.rho
-        cells = float(st.n) * st.n
-        gmem.load(cells, 4, AccessPattern.COALESCED)
-        gmem.store(cells, 4, AccessPattern.COALESCED)
-        stats.flops += cells
-
-        # Single-tour deposit (one block).
-        deposit_launch = LaunchConfig(grid=1, block=min(256, self.device.max_threads_per_block))
-        self.record_launch(stats, deposit_launch)
-        t = deposit_tour.astype(np.int64)
-        a, b = t[:-1], t[1:]
-        delta = 1.0 / float(deposit_length)
-        st.pheromone[a, b] += delta
-        st.pheromone[b, a] += delta
-        stats.atomics_fp += 2.0 * st.n
-        gmem.load(float(st.n + 1), 4, AccessPattern.COALESCED)
-
-        # Clamp kernel (fused in practice; counted as one more sweep).
-        self.clamp_trails()
-        self.record_launch(stats, launch)
-        gmem.load(cells, 4, AccessPattern.COALESCED)
-        gmem.store(cells, 4, AccessPattern.COALESCED)
-        stats.flops += 2.0 * cells  # two compares per cell
-
-        return StageReport(stage="pheromone", kernel="mmas_update", stats=stats, launch=launch)
+        factors = self._policy.branching_factors(self.engine.state, lam)
+        return float(self.backend.to_host(factors)[0])
 
     # ------------------------------------------------------------ iteration
 
-    def run_iteration(self) -> tuple[int, list[StageReport]]:
+    def run_iteration(self) -> tuple[int, list]:
         """One MMAS iteration; returns (iteration best, stage reports)."""
-        st = self.state
-        stages: list[StageReport] = []
-        if self.construction.needs_choice_info:
-            stages.append(self.choice_kernel.run(st))
+        report = self.engine.run_iteration()[0]
+        self._sync_view()
+        return int(report.lengths.min()), report.stages
 
-        result = self.construction.build(st, self.rng)
-        stages.append(result.report)
-        lengths = tour_lengths(result.tours, st.dist)
-
-        it_best = int(np.argmin(lengths))
-        improved = st.best_length is None or int(lengths[it_best]) < st.best_length
-        st.record_tours(result.tours, lengths)
-        if improved:
-            assert st.best_length is not None
-            self._set_limits(float(st.best_length))
-
-        # Deposit schedule: iteration best, periodically best-so-far.
-        k = self.mmas.use_best_so_far_every
-        use_bsf = k > 0 and st.iteration % k == k - 1
-        if use_bsf:
-            assert st.best_tour is not None and st.best_length is not None
-            stages.append(self.update_pheromone(st.best_tour, st.best_length))
-        else:
-            stages.append(
-                self.update_pheromone(result.tours[it_best], int(lengths[it_best]))
-            )
-        st.iteration += 1
-        return int(lengths[it_best]), stages
+    def _sync_view(self) -> None:
+        """Mirror the batch row's outputs into the ``self.state`` view."""
+        self.engine.state.sync_colony_view(self.state)
 
     def run(
         self,
@@ -275,53 +165,32 @@ class MaxMinAntSystem(Kernel):
         """Run MMAS; optionally reinitialise trails when the branching
         factor falls below ``reinit_branching`` (e.g. 2.05).
 
-        ``report_every`` exists for signature symmetry with
-        :meth:`AntSystem.run <repro.core.colony.AntSystem.run>` but the
-        solo MMAS loop has no amortized path; any value other than 1
-        raises instead of being silently ignored.  Ctrl-C raises
+        ``report_every=K`` runs the engine's amortized device-resident
+        loop — bit-identical results for every K.  Ctrl-C raises
         :class:`~repro.errors.RunInterrupted` carrying the best-so-far
         :class:`MMASRunResult` (bare ``KeyboardInterrupt`` when nothing
         completed).
         """
-        if iterations < 1:
-            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
-        if report_every != 1:
-            raise ACOConfigError(
-                "report_every > 1 needs the device-resident batched loop; "
-                "the solo MMAS path reports every iteration (use the Ant "
-                "System variant for amortized execution)"
-            )
-        bests: list[int] = []
-        clock = WallClock()
-        try:
-            with clock:
-                for _ in range(iterations):
-                    best, _ = self.run_iteration()
-                    bests.append(best)
-                    if (
-                        reinit_branching is not None
-                        and self.branching_factor() < reinit_branching
-                    ):
-                        self.reinitialise_trails()
-        except KeyboardInterrupt:
-            st = self.state
-            if st.best_tour is None or st.best_length is None:
-                raise
-            partial = MMASRunResult(
-                best_tour=st.best_tour,
-                best_length=st.best_length,
-                iteration_best_lengths=bests,
-                wall_seconds=clock.elapsed,
+        def wrap(row, wall_seconds: float) -> MMASRunResult:
+            return MMASRunResult(
+                best_tour=row.best_tour,
+                best_length=row.best_length,
+                iteration_best_lengths=row.iteration_best_lengths,
+                wall_seconds=wall_seconds,
                 trail_reinitialisations=self.trail_reinitialisations,
             )
-            raise RunInterrupted(partial, "MMAS run interrupted") from None
-        st = self.state
-        assert st.best_tour is not None and st.best_length is not None
-        validate_tour(st.best_tour, st.n)
-        return MMASRunResult(
-            best_tour=st.best_tour,
-            best_length=st.best_length,
-            iteration_best_lengths=bests,
-            wall_seconds=clock.elapsed,
-            trail_reinitialisations=self.trail_reinitialisations,
-        )
+
+        # Threshold scoped to this call (the reference loop only
+        # reinitialises inside run()): restore it afterwards so later
+        # manual run_iteration() stepping never silently resets trails.
+        previous_reinit = self._policy.reinit_branching
+        self._policy.reinit_branching = reinit_branching
+        try:
+            result = run_engine_view(
+                self.engine, iterations, report_every, wrap,
+                "MMAS run interrupted", self._sync_view,
+            )
+        finally:
+            self._policy.reinit_branching = previous_reinit
+        validate_tour(result.best_tour, self.state.n)
+        return result

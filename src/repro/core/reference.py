@@ -1,0 +1,432 @@
+"""Retained solo ACS/MMAS loops: the parity oracles for the variant engine.
+
+Until the variant redesign, :class:`~repro.core.acs.AntColonySystem` and
+:class:`~repro.core.mmas.MaxMinAntSystem` *were* these standalone
+numpy-only loops.  They now live here, verbatim, as the reference
+implementations the property suite
+(``tests/property/test_variant_parity.py``) pins the batched
+:class:`~repro.core.batch.BatchEngine` variants against: engine row ``b``
+under ``variant="acs"`` / ``"mmas"`` must produce bit-identical tours,
+lengths and pheromone matrices to a reference run seeded like that row.
+
+These classes are deliberately frozen (numpy-only, no batching, no
+``report_every``, no backend selection) — do not grow features here; they
+exist to be compared against and can be deleted once the engine path has
+earned independent trust.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.choice import ChoiceKernel
+from repro.core.construction import TourConstruction, make_construction
+from repro.core.params import ACOParams
+from repro.core.report import StageReport
+from repro.core.state import ColonyState
+from repro.core.variant import ACSParams, MMASParams
+from repro.errors import ACOConfigError, RunInterrupted
+from repro.rng import ParkMillerLCG, make_rng
+from repro.simt.counters import KernelStats
+from repro.simt.device import TESLA_M2050, DeviceSpec
+from repro.simt.kernel import Kernel, LaunchConfig, grid_for
+from repro.simt.memory import AccessPattern, GlobalMemory
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import (
+    nearest_neighbor_tour,
+    tour_length,
+    tour_lengths,
+    validate_tour,
+)
+from repro.util.timer import WallClock
+
+__all__ = ["ReferenceAntColonySystem", "ReferenceMaxMinAntSystem"]
+
+
+class ReferenceAntColonySystem(Kernel):
+    """The pre-redesign solo ACS loop (numpy-only), kept as a parity oracle.
+
+    ACS (Dorigo & Gambardella, 1997) modifies the Ant System in three ways:
+
+    1. **Pseudo-random-proportional rule**: with probability ``q0`` an ant
+       moves greedily to the best-``choice_info`` candidate; otherwise it
+       applies the usual proportional rule.
+    2. **Local pheromone update**: immediately after crossing an edge, an
+       ant decays it toward ``tau0``: ``tau <- (1 - xi) tau + xi tau0``.
+       Local updates within one step are applied once per *unique* directed
+       edge, matching a GPU execution where colliding same-step writers are
+       idempotent decays toward the same target.
+    3. **Global update on the best tour only**: ``tau <- (1 - rho) tau +
+       rho / C_bs`` on best-so-far-tour edges.
+    """
+
+    name = "acs"
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        params: ACOParams | None = None,
+        acs: ACSParams | None = None,
+        device: DeviceSpec = TESLA_M2050,
+    ) -> None:
+        self.params = params or ACOParams()
+        self.acs = acs or ACSParams()
+        self.device = device
+        # The reference loop is numpy by definition; pin it so an
+        # env-selected accelerated backend cannot drift in.
+        self.state = ColonyState.create(
+            instance, self.params, device, backend="numpy"
+        )
+        # ACS tau0 = 1 / (n * C_nn); reuse the AS state's m/C_nn scaling.
+        self.tau0 = self.state.tau0 / (self.state.m * self.state.n)
+        self.state.pheromone[:, :] = self.tau0
+        np.fill_diagonal(self.state.pheromone, 0.0)
+        self.rng = ParkMillerLCG(
+            n_streams=max(self.state.m * 2, 2),
+            seed=self.params.seed,
+            backend="numpy",
+        )
+
+    # ------------------------------------------------------------- geometry
+
+    def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
+        m = problem.get("m", self.state.m)
+        theta = min(256, device.max_threads_per_block)
+        return LaunchConfig(grid=m, block=theta, smem_per_block=8 * theta)
+
+    # ----------------------------------------------------------- iteration
+
+    def _choice_info(self) -> np.ndarray:
+        p = self.params
+        choice = np.power(self.state.pheromone, p.alpha) * np.power(
+            self.state.eta, p.beta
+        )
+        np.fill_diagonal(choice, 0.0)
+        return choice
+
+    def construct(self) -> tuple[np.ndarray, StageReport]:
+        """One ACS construction pass with per-step local updates."""
+        st = self.state
+        n, m = st.n, st.m
+        choice = self._choice_info()
+        tau = st.pheromone
+        xi, q0 = self.acs.xi, self.acs.q0
+
+        stats = KernelStats()
+        launch = self.launch_config(self.device, n=n, m=m)
+        self.record_launch(stats, launch)
+        gmem = GlobalMemory(self.device, stats)
+
+        ant_idx = np.arange(m)
+        tours = np.empty((m, n + 1), dtype=np.int32)
+        visited = np.zeros((m, n), dtype=bool)
+
+        u = self.rng.uniform()
+        start = np.minimum((u[:m] * n).astype(np.int64), n - 1)
+        stats.rng_lcg += m
+        tours[:, 0] = start
+        visited[ant_idx, start] = True
+        cur = start
+
+        for step in range(1, n):
+            w = np.where(visited, 0.0, choice[cur])  # (m, n)
+            gmem.load(float(m) * n, 4, AccessPattern.COALESCED)
+            stats.flops += 2.0 * m * n
+            stats.int_ops += 2.0 * m * n
+
+            u = self.rng.uniform()
+            explore_dart, roulette_dart = u[:m], u[m : 2 * m]
+            stats.rng_lcg += 2.0 * m
+
+            greedy = np.argmax(w, axis=1)
+            sums = w.sum(axis=1)
+            cum = np.cumsum(w, axis=1)
+            r = roulette_dart * sums
+            roulette = np.minimum((cum < r[:, None]).sum(axis=1), n - 1)
+            nxt = np.where(explore_dart < q0, greedy, roulette)
+            stats.flops += float(m) * n  # argmax scan
+            stats.smem_accesses += float(m) * n
+
+            # Local pheromone update on the crossed edges (both directions);
+            # unique directed edges per step (see class docstring).
+            edges = np.unique(np.stack([cur, nxt], axis=1), axis=0)
+            a, b = edges[:, 0], edges[:, 1]
+            tau[a, b] = (1.0 - xi) * tau[a, b] + xi * self.tau0
+            tau[b, a] = tau[a, b]
+            stats.atomics_fp += 2.0 * m  # modeled: every ant writes its edge
+            gmem.load(2.0 * m, 4, AccessPattern.RANDOM)
+
+            visited[ant_idx, nxt] = True
+            tours[:, step] = nxt
+            cur = nxt
+
+        tours[:, n] = tours[:, 0]
+        report = StageReport(
+            stage="construction", kernel=self.name, stats=stats, launch=launch
+        )
+        return tours, report
+
+    def global_update(self) -> StageReport:
+        """Best-so-far-only deposit: ``tau <- (1-rho) tau + rho/C_bs``."""
+        st = self.state
+        assert st.best_tour is not None and st.best_length is not None
+        stats = KernelStats()
+        launch = LaunchConfig(grid=max(1, st.n // 256 + 1), block=256)
+        self.record_launch(stats, launch)
+
+        rho = self.params.rho
+        best = st.best_tour.astype(np.int64)
+        a, b = best[:-1], best[1:]
+        deposit = rho / float(st.best_length)
+        st.pheromone[a, b] = (1.0 - rho) * st.pheromone[a, b] + deposit
+        st.pheromone[b, a] = st.pheromone[a, b]
+
+        gmem = GlobalMemory(self.device, stats)
+        gmem.load(2.0 * st.n, 4, AccessPattern.RANDOM)
+        gmem.store(2.0 * st.n, 4, AccessPattern.RANDOM)
+        stats.flops += 4.0 * st.n
+        return StageReport(
+            stage="pheromone", kernel="acs_global", stats=stats, launch=launch
+        )
+
+    def run_iteration(self) -> tuple[int, list[StageReport]]:
+        """One ACS iteration; returns (iteration best length, stage reports)."""
+        tours, construction_report = self.construct()
+        lengths = tour_lengths(tours, self.state.dist)
+        self.state.record_tours(tours, lengths)
+        update_report = self.global_update()
+        self.state.iteration += 1
+        return int(lengths.min()), [construction_report, update_report]
+
+    def run(self, iterations: int):
+        """Run several ACS iterations, tracking the best tour."""
+        from repro.core.acs import ACSRunResult
+
+        if iterations < 1:
+            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        bests: list[int] = []
+        clock = WallClock()
+        try:
+            with clock:
+                for _ in range(iterations):
+                    best, _ = self.run_iteration()
+                    bests.append(best)
+        except KeyboardInterrupt:
+            st = self.state
+            if st.best_tour is None or st.best_length is None:
+                raise
+            partial = ACSRunResult(
+                best_tour=st.best_tour,
+                best_length=st.best_length,
+                iteration_best_lengths=bests,
+                wall_seconds=clock.elapsed,
+            )
+            raise RunInterrupted(partial, "ACS run interrupted") from None
+        st = self.state
+        assert st.best_tour is not None and st.best_length is not None
+        validate_tour(st.best_tour, st.n)
+        return ACSRunResult(
+            best_tour=st.best_tour,
+            best_length=st.best_length,
+            iteration_best_lengths=bests,
+            wall_seconds=clock.elapsed,
+        )
+
+
+class ReferenceMaxMinAntSystem(Kernel):
+    """The pre-redesign solo MMAS loop (numpy-only), kept as a parity oracle.
+
+    MMAS (Stützle & Hoos, 2000) modifies the Ant System in three ways:
+    best-only deposit (iteration best, periodically best-so-far), trail
+    limits ``[tau_min, tau_max]`` following the best-so-far length, and
+    optimistic initialisation at ``tau_max``.
+    """
+
+    name = "mmas"
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        params: ACOParams | None = None,
+        mmas: MMASParams | None = None,
+        construction: int | str | TourConstruction = 8,
+        device: DeviceSpec = TESLA_M2050,
+    ) -> None:
+        self.params = params or ACOParams()
+        self.mmas = mmas or MMASParams()
+        self.device = device
+        self.construction = make_construction(construction)
+        self.choice_kernel = ChoiceKernel()
+        self.state = ColonyState.create(
+            instance, self.params, device, backend="numpy"
+        )
+
+        # Optimistic initialisation: tau_max from the greedy tour.
+        c_nn = tour_length(nearest_neighbor_tour(self.state.dist), self.state.dist)
+        self._set_limits(float(c_nn))
+        self.state.pheromone[:, :] = self.tau_max
+        np.fill_diagonal(self.state.pheromone, 0.0)
+
+        streams = self.construction.rng_streams(self.state.n, self.state.m)
+        self.rng = make_rng(
+            self.construction.rng_kind, streams, self.params.seed,
+            backend="numpy",
+        )
+        self.trail_reinitialisations = 0
+
+    # -------------------------------------------------------------- limits
+
+    def _set_limits(self, best_length: float) -> None:
+        """Recompute ``tau_max``/``tau_min`` from the current best length."""
+        self.tau_max = 1.0 / (self.params.rho * best_length)
+        self.tau_min = self.tau_max / (self.mmas.tau_min_divisor * self.state.n)
+
+    def clamp_trails(self) -> None:
+        """Clamp pheromone into ``[tau_min, tau_max]`` (diagonal stays 0)."""
+        np.clip(
+            self.state.pheromone, self.tau_min, self.tau_max,
+            out=self.state.pheromone,
+        )
+        np.fill_diagonal(self.state.pheromone, 0.0)
+
+    def reinitialise_trails(self) -> None:
+        """Reset all trails to ``tau_max`` (stagnation escape)."""
+        self.state.pheromone[:, :] = self.tau_max
+        np.fill_diagonal(self.state.pheromone, 0.0)
+        self.trail_reinitialisations += 1
+
+    def branching_factor(self, lam: float = 0.05) -> float:
+        """Mean λ-branching factor — the classical MMAS stagnation gauge."""
+        tau = self.state.pheromone
+        n = self.state.n
+        off = ~np.eye(n, dtype=bool)
+        rows = np.where(off, tau, np.nan)
+        row_min = np.nanmin(rows, axis=1, keepdims=True)
+        row_max = np.nanmax(rows, axis=1, keepdims=True)
+        threshold = row_min + lam * (row_max - row_min)
+        counts = np.nansum(rows >= threshold, axis=1)
+        return float(counts.mean())
+
+    # ------------------------------------------------------------- geometry
+
+    def launch_config(self, device: DeviceSpec, **problem) -> LaunchConfig:
+        n = problem.get("n", self.state.n)
+        return LaunchConfig(grid=grid_for(n * n, 256), block=256)
+
+    # --------------------------------------------------------------- update
+
+    def update_pheromone(
+        self, deposit_tour: np.ndarray, deposit_length: int
+    ) -> StageReport:
+        """Evaporate everywhere, deposit on one tour, clamp to the limits."""
+        st = self.state
+        stats = KernelStats()
+        launch = self.launch_config(self.device, n=st.n)
+        gmem = GlobalMemory(self.device, stats)
+
+        # Evaporation sweep (the dominant kernel: n^2 cells).
+        self.record_launch(stats, launch)
+        st.pheromone *= 1.0 - self.params.rho
+        cells = float(st.n) * st.n
+        gmem.load(cells, 4, AccessPattern.COALESCED)
+        gmem.store(cells, 4, AccessPattern.COALESCED)
+        stats.flops += cells
+
+        # Single-tour deposit (one block).
+        deposit_launch = LaunchConfig(
+            grid=1, block=min(256, self.device.max_threads_per_block)
+        )
+        self.record_launch(stats, deposit_launch)
+        t = deposit_tour.astype(np.int64)
+        a, b = t[:-1], t[1:]
+        delta = 1.0 / float(deposit_length)
+        st.pheromone[a, b] += delta
+        st.pheromone[b, a] += delta
+        stats.atomics_fp += 2.0 * st.n
+        gmem.load(float(st.n + 1), 4, AccessPattern.COALESCED)
+
+        # Clamp kernel (fused in practice; counted as one more sweep).
+        self.clamp_trails()
+        self.record_launch(stats, launch)
+        gmem.load(cells, 4, AccessPattern.COALESCED)
+        gmem.store(cells, 4, AccessPattern.COALESCED)
+        stats.flops += 2.0 * cells  # two compares per cell
+
+        return StageReport(
+            stage="pheromone", kernel="mmas_update", stats=stats, launch=launch
+        )
+
+    # ------------------------------------------------------------ iteration
+
+    def run_iteration(self) -> tuple[int, list[StageReport]]:
+        """One MMAS iteration; returns (iteration best, stage reports)."""
+        st = self.state
+        stages: list[StageReport] = []
+        if self.construction.needs_choice_info:
+            stages.append(self.choice_kernel.run(st))
+
+        result = self.construction.build(st, self.rng)
+        stages.append(result.report)
+        lengths = tour_lengths(result.tours, st.dist)
+
+        it_best = int(np.argmin(lengths))
+        improved = st.best_length is None or int(lengths[it_best]) < st.best_length
+        st.record_tours(result.tours, lengths)
+        if improved:
+            assert st.best_length is not None
+            self._set_limits(float(st.best_length))
+
+        # Deposit schedule: iteration best, periodically best-so-far.
+        k = self.mmas.use_best_so_far_every
+        use_bsf = k > 0 and st.iteration % k == k - 1
+        if use_bsf:
+            assert st.best_tour is not None and st.best_length is not None
+            stages.append(self.update_pheromone(st.best_tour, st.best_length))
+        else:
+            stages.append(
+                self.update_pheromone(result.tours[it_best], int(lengths[it_best]))
+            )
+        st.iteration += 1
+        return int(lengths[it_best]), stages
+
+    def run(self, iterations: int, *, reinit_branching: float | None = None):
+        """Run MMAS; optionally reinitialise trails when the branching
+        factor falls below ``reinit_branching`` (e.g. 2.05)."""
+        from repro.core.mmas import MMASRunResult
+
+        if iterations < 1:
+            raise ACOConfigError(f"iterations must be >= 1, got {iterations}")
+        bests: list[int] = []
+        clock = WallClock()
+        try:
+            with clock:
+                for _ in range(iterations):
+                    best, _ = self.run_iteration()
+                    bests.append(best)
+                    if (
+                        reinit_branching is not None
+                        and self.branching_factor() < reinit_branching
+                    ):
+                        self.reinitialise_trails()
+        except KeyboardInterrupt:
+            st = self.state
+            if st.best_tour is None or st.best_length is None:
+                raise
+            partial = MMASRunResult(
+                best_tour=st.best_tour,
+                best_length=st.best_length,
+                iteration_best_lengths=bests,
+                wall_seconds=clock.elapsed,
+                trail_reinitialisations=self.trail_reinitialisations,
+            )
+            raise RunInterrupted(partial, "MMAS run interrupted") from None
+        st = self.state
+        assert st.best_tour is not None and st.best_length is not None
+        validate_tour(st.best_tour, st.n)
+        return MMASRunResult(
+            best_tour=st.best_tour,
+            best_length=st.best_length,
+            iteration_best_lengths=bests,
+            wall_seconds=clock.elapsed,
+            trail_reinitialisations=self.trail_reinitialisations,
+        )

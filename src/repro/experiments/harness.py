@@ -261,17 +261,19 @@ def run_replicas(
     seed_stride: int = 1,
     backend=None,
     report_every: int = 1,
+    variant: str = "as",
+    variant_options: dict | None = None,
 ) -> BatchRunResult:
     """Run ``replicas`` independent seed-replicas as one vectorized batch.
 
     Row ``b`` uses seed ``params.seed + b * seed_stride`` and is
-    bit-identical to a solo :class:`~repro.core.AntSystem` run with that
-    seed — the whole point is getting B solo runs for roughly the
-    interpreter cost of one.  ``backend`` selects the array substrate
-    (name, instance, or ``None`` for ``ACO_BACKEND`` / numpy);
-    ``report_every=K`` amortises host transfers and report materialization
-    over K-iteration device-resident blocks (results are bit-identical for
-    every K).
+    bit-identical to a solo run with that seed — the whole point is
+    getting B solo runs for roughly the interpreter cost of one.
+    ``backend`` selects the array substrate (name, instance, or ``None``
+    for ``ACO_BACKEND`` / numpy); ``report_every=K`` amortises host
+    transfers and report materialization over K-iteration device-resident
+    blocks (results are bit-identical for every K); ``variant`` selects
+    the ACO algorithm (``"as"``, ``"acs"``, ``"mmas"`` — all batched).
     """
     engine = BatchEngine.replicas(
         instance,
@@ -282,6 +284,8 @@ def run_replicas(
         construction=construction,
         pheromone=pheromone,
         backend=backend,
+        variant=variant,
+        variant_options=variant_options,
     )
     return engine.run(iterations, report_every=report_every)
 
@@ -338,6 +342,8 @@ def run_sweep(
     pheromone: int | str = 1,
     backend=None,
     report_every: int = 1,
+    variant: str = "as",
+    variant_options: dict | None = None,
 ) -> SweepResult:
     """Cartesian parameter sweep × seed replicas, one vectorized batch.
 
@@ -346,7 +352,8 @@ def run_sweep(
     ``len(grid product) * replicas`` colonies run together through the
     :class:`~repro.core.batch.BatchEngine`; ``report_every=K`` amortises
     the host boundary over K-iteration device-resident blocks
-    (bit-identical results for every K).
+    (bit-identical results for every K); ``variant`` selects the ACO
+    algorithm the whole sweep runs (``"as"``, ``"acs"``, ``"mmas"``).
     """
     base = params or ACOParams()
     for key, values in grid.items():
@@ -386,6 +393,8 @@ def run_sweep(
         construction=construction,
         pheromone=pheromone,
         backend=backend,
+        variant=variant,
+        variant_options=variant_options,
     )
 
     def _bundle(batch: BatchRunResult) -> SweepResult:

@@ -47,6 +47,7 @@ class AsyncSolveClient:
         target_length: int | None = None,
         construction: int = 8,
         pheromone: int = 1,
+        variant: str = "as",
     ) -> SolveHandle:
         """Queue one solve; returns once the request is accepted (which may
         suspend under backpressure).  Stream/await the returned handle."""
@@ -59,6 +60,7 @@ class AsyncSolveClient:
             target_length=target_length,
             construction=construction,
             pheromone=pheromone,
+            variant=variant,
         )
         return await self.service.submit(request)
 

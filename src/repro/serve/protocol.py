@@ -8,12 +8,15 @@ Request (client -> server)::
 
     {"id": "r1", "instance": {"suite": "att48"}, "iterations": 50,
      "report_every": 10, "params": {"seed": 7}, "deadline": 2.0,
-     "target_length": 11200, "construction": 8, "pheromone": 1}
+     "target_length": 11200, "construction": 8, "pheromone": 1,
+     "variant": "mmas"}
 
 ``instance`` is either ``{"suite": NAME}`` (a paper-suite instance) or an
 inline coordinate instance ``{"name": ..., "coords": [[x, y], ...],
 "edge_weight_type": "EUC_2D"}``.  Every field except ``instance`` is
-optional; ``id`` defaults to a server-assigned ordinal.
+optional; ``id`` defaults to a server-assigned ordinal; ``variant``
+defaults to ``"as"`` (``"acs"`` and ``"mmas"`` run on the same batched
+engine; unknown values are answered with an ``error`` line).
 
 Responses (server -> client), all tagged with the request ``id``::
 
@@ -96,6 +99,7 @@ def encode_request(request: SolveRequest, req_id: str) -> bytes:
         "report_every": request.report_every,
         "construction": request.construction,
         "pheromone": request.pheromone,
+        "variant": request.variant,
         "params": {f: getattr(request.params, f) for f in _PARAM_FIELDS},
     }
     if request.deadline is not None:
@@ -146,6 +150,7 @@ def decode_request(line: bytes | str, *, default_id: str) -> tuple[str, SolveReq
             ),
             construction=int(obj.get("construction", 8)),
             pheromone=int(obj.get("pheromone", 1)),
+            variant=str(obj.get("variant", "as")),
         )
     except (TypeError, ValueError) as exc:
         # Well-formed JSON carrying wrong-typed values (ragged coords, a

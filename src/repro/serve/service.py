@@ -67,8 +67,9 @@ class BatchKey(NamedTuple):
 
     Two requests land in the same bucket iff an engine batch can legally
     hold both as rows — equal array geometry (``n``, ``m``, ``nn``), equal
-    iteration schedule and one kernel pair.  Per-row params and instance
-    *data* are free to differ.
+    iteration schedule, one kernel pair and one ACO variant (a batch runs
+    a single :class:`~repro.core.variant.VariantStrategy`).  Per-row
+    params and instance *data* are free to differ.
     """
 
     n: int
@@ -78,6 +79,7 @@ class BatchKey(NamedTuple):
     report_every: int
     construction: int
     pheromone: int
+    variant: str = "as"
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,9 @@ class SolveRequest:
         whose best is at or below this length.
     construction / pheromone:
         Kernel versions (part of the bucket key).
+    variant:
+        ACO variant the request runs (``"as"``, ``"acs"`` or ``"mmas"``;
+        part of the bucket key — a packed batch runs one variant).
     """
 
     instance: TSPInstance
@@ -115,8 +120,31 @@ class SolveRequest:
     target_length: int | None = None
     construction: int = 8
     pheromone: int = 1
+    variant: str = "as"
 
     def __post_init__(self) -> None:
+        from repro.core.variant import VARIANTS
+
+        if self.variant not in VARIANTS:
+            raise ACOConfigError(
+                f"unknown variant {self.variant!r}; valid: {sorted(VARIANTS)}"
+            )
+        # Kernel selections a variant owns are rejected, never silently
+        # ignored (the CLI contract) — and since ignored values would still
+        # split BatchKey buckets, accepting them would also fragment the
+        # packing of execution-identical requests.  The defaults (8 / 1)
+        # pass, so clients spelling them out stay compatible.
+        if self.variant == "acs" and self.construction != 8:
+            raise ACOConfigError(
+                "variant 'acs' owns its construction rule (pseudo-random-"
+                "proportional); 'construction' is only valid with variant "
+                "as/mmas"
+            )
+        if self.variant != "as" and self.pheromone != 1:
+            raise ACOConfigError(
+                f"variant {self.variant!r} owns its pheromone schedule; "
+                "'pheromone' is only valid with variant 'as'"
+            )
         if self.iterations < 1:
             raise ACOConfigError(
                 f"iterations must be >= 1, got {self.iterations}"
@@ -143,6 +171,7 @@ class SolveRequest:
             report_every=self.report_every,
             construction=self.construction,
             pheromone=self.pheromone,
+            variant=self.variant,
         )
 
 
@@ -252,6 +281,14 @@ class ServiceStats:
             return 0.0
         return self.colony_iterations / self.engine_wall_seconds
 
+    @property
+    def batches_per_variant(self) -> dict[str, int]:
+        """Batch counts keyed by ACO variant (folded over bucket keys)."""
+        counts: dict[str, int] = {}
+        for key, n in self.batches_per_bucket.items():
+            counts[key.variant] = counts.get(key.variant, 0) + n
+        return counts
+
     def snapshot(self) -> dict:
         """A JSON-friendly summary (for logs and the serve CLI)."""
         return {
@@ -261,6 +298,7 @@ class ServiceStats:
             "resolved_by_deadline": self.resolved_by_deadline,
             "failed": self.failed,
             "batches": self.batches,
+            "batches_per_variant": self.batches_per_variant,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "engine_wall_seconds": round(self.engine_wall_seconds, 6),
             "colony_iterations": self.colony_iterations,
@@ -552,6 +590,13 @@ class SolveService:
                     p.resolved = True
                     self.stats.failed += 1
                     p.handle._reject(wrapped)
+                elif p.early == "target":
+                    # Early-resolved riders of a failed batch already hold
+                    # their snapshot result; count them so the stats keep
+                    # adding up (submitted == completed + early + failed).
+                    self.stats.resolved_by_target += 1
+                else:
+                    self.stats.resolved_by_deadline += 1
         else:
             self.stats.record_batch(key, batch)
             for p, row in zip(pack, batch.results):
@@ -597,6 +642,7 @@ class SolveService:
             backend=self._backend,
             amortize=self.amortize,
             work=self._worker_arena() if self.amortize else None,
+            variant=key.variant,
         )
         loop = self._loop
         assert loop is not None

@@ -1,4 +1,10 @@
-"""Tests for the Ant Colony System extension."""
+"""Tests for the Ant Colony System extension.
+
+Construction/update internals are exercised on the retained solo reference
+loop (:class:`~repro.core.reference.ReferenceAntColonySystem`); run-level
+behaviour is exercised on the engine-backed :class:`AntColonySystem` view,
+which the parity suite pins bit-identical to the reference.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ import pytest
 
 from repro.core import ACOParams
 from repro.core.acs import ACSParams, AntColonySystem
+from repro.core.reference import ReferenceAntColonySystem
 from repro.errors import ACOConfigError
 from repro.simt.device import TESLA_C1060
 from repro.tsp.generator import uniform_instance
@@ -48,7 +55,7 @@ class TestInitialisation:
 
 class TestConstruction:
     def test_valid_tours(self, instance):
-        acs = AntColonySystem(instance, ACOParams(seed=2))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=2))
         tours, report = acs.construct()
         for t in tours:
             validate_tour(t, instance.n)
@@ -59,7 +66,7 @@ class TestConstruction:
         """q0 = 1: every ant moves deterministically to the best candidate,
         so two runs from the same pheromone state make identical choices
         (starts differ by seed only)."""
-        acs = AntColonySystem(instance, ACOParams(seed=7), ACSParams(q0=1.0))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=7), ACSParams(q0=1.0))
         choice = acs._choice_info()
         tours, _ = acs.construct()
         # verify the first step of ant 0 was the greedy argmax
@@ -69,7 +76,7 @@ class TestConstruction:
         assert tours[0, 1] == int(np.argmax(row))
 
     def test_local_update_decays_toward_tau0(self, instance):
-        acs = AntColonySystem(instance, ACOParams(seed=3), ACSParams(xi=0.5))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=3), ACSParams(xi=0.5))
         # inflate one edge artificially, then run a construction pass
         acs.state.pheromone[:, :] = acs.tau0 * 100
         np.fill_diagonal(acs.state.pheromone, 0.0)
@@ -81,14 +88,14 @@ class TestConstruction:
         assert np.all(acs.state.pheromone[changed] >= acs.tau0 - 1e-18)
 
     def test_local_update_preserves_symmetry(self, instance):
-        acs = AntColonySystem(instance, ACOParams(seed=4))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=4))
         acs.construct()
         np.testing.assert_allclose(acs.state.pheromone, acs.state.pheromone.T)
 
 
 class TestGlobalUpdate:
     def test_only_best_edges_touched(self, instance):
-        acs = AntColonySystem(instance, ACOParams(seed=5), ACSParams(xi=0.01))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=5), ACSParams(xi=0.01))
         best, _ = acs.run_iteration()
         tau_before = acs.state.pheromone.copy()
         report = acs.global_update()
@@ -102,7 +109,7 @@ class TestGlobalUpdate:
         assert not np.any(diff & ~expected)
 
     def test_deposit_strength(self, instance):
-        acs = AntColonySystem(instance, ACOParams(seed=6, rho=0.5))
+        acs = ReferenceAntColonySystem(instance, ACOParams(seed=6, rho=0.5))
         acs.run_iteration()
         bt = acs.state.best_tour
         a, b = int(bt[0]), int(bt[1])

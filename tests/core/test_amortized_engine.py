@@ -57,11 +57,13 @@ def test_amortize_false_strips_arena(instance):
 
 def test_advance_collect_false_returns_no_stages(instance):
     engine = _engine(instance)
-    tours, lengths, stages = engine._advance(collect=False)
+    engine._seed_fold()
+    tours, lengths, ctx, stages = engine._advance(collect=False)
     assert stages is None
     assert tours.shape == (2, engine.state.m, engine.state.n + 1)
     assert lengths.shape == (2, engine.state.m)
-    _, _, stages2 = engine._advance(collect=True)
+    assert ctx.best_lengths.shape == (2,)
+    _, _, _, stages2 = engine._advance(collect=True)
     assert len(stages2) == 2
     assert all(len(s) >= 2 for s in stages2)  # construction + pheromone
 

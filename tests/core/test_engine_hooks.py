@@ -160,7 +160,9 @@ class TestInterruptSalvage:
 
         for cls in (AntColonySystem, MaxMinAntSystem):
             colony = cls(instance, ACOParams(seed=2, nn=7))
-            original = colony.run_iteration
+            # The views run through their engine's K=1 loop; trip the
+            # interrupt on the engine's third iteration.
+            original = colony.engine.run_iteration
             calls = []
 
             def tripwire(*a, _original=original, _calls=calls, **kw):
@@ -169,7 +171,7 @@ class TestInterruptSalvage:
                 _calls.append(1)
                 return _original(*a, **kw)
 
-            monkeypatch.setattr(colony, "run_iteration", tripwire)
+            monkeypatch.setattr(colony.engine, "run_iteration", tripwire)
             with pytest.raises(RunInterrupted) as err:
                 colony.run(50)
             partial = err.value.partial
@@ -177,37 +179,49 @@ class TestInterruptSalvage:
             assert len(partial.iteration_best_lengths) == 2
 
 
-class TestVariantGuards:
-    def test_variants_reject_report_every(self, instance):
+class TestVariantEngineComposition:
+    """The redesign's un-stranding contract: ACS/MMAS ride the engine, so
+    report_every and backend selection compose instead of raising (the old
+    ``require_numpy_backend``/``report_every`` fences are gone)."""
+
+    def test_variants_support_report_every(self, instance):
         from repro.core import AntColonySystem, MaxMinAntSystem
 
         for cls in (AntColonySystem, MaxMinAntSystem):
-            colony = cls(instance)
-            with pytest.raises(ACOConfigError, match="report_every"):
-                colony.run(2, report_every=4)
+            ref = cls(instance, ACOParams(seed=3, nn=7)).run(4)
+            amortized = cls(instance, ACOParams(seed=3, nn=7)).run(
+                4, report_every=4
+            )
+            assert ref.iteration_best_lengths == amortized.iteration_best_lengths
+            assert ref.best_length == amortized.best_length
 
-    def test_variants_reject_non_numpy_backend(self, instance):
+    def test_variants_accept_backend_selection(self, instance):
         from repro.core import AntColonySystem, MaxMinAntSystem
+        from repro.errors import BackendError
 
         for cls in (AntColonySystem, MaxMinAntSystem):
-            with pytest.raises(ACOConfigError, match="numpy"):
-                cls(instance, backend="cupy")
-            # numpy (name or resolved instance) and None are fine.
+            # Explicit names, instances and None all resolve.
             cls(instance, backend="numpy")
             cls(instance, backend=resolve_backend("numpy"))
             cls(instance, backend=None)
+            # An explicitly requested unavailable backend still fails
+            # loudly (strict resolution), never silently falls back.
+            with pytest.raises(BackendError):
+                cls(instance, backend="cupy")
 
-    def test_variants_pin_numpy_against_env_selection(self, instance, monkeypatch):
-        """ACO_BACKEND must not leak into the numpy-only solo paths: the
-        state and RNG are pinned to numpy explicitly, not resolved from
-        the environment."""
+    def test_variants_resolve_env_backend_like_the_engine(
+        self, instance, monkeypatch
+    ):
+        """ACO_BACKEND now selects the variants' backend exactly as it does
+        the engine's (soft resolution: warn and fall back when the
+        requested backend is unavailable)."""
         from repro.core import AntColonySystem, MaxMinAntSystem
 
-        monkeypatch.setenv("ACO_BACKEND", "cupy")
+        monkeypatch.setenv("ACO_BACKEND", "numpy")
         for cls in (AntColonySystem, MaxMinAntSystem):
             colony = cls(instance)
-            assert colony.state.backend.name == "numpy"
-            assert colony.rng.backend.name == "numpy"
+            assert colony.backend.name == "numpy"
+            assert colony.engine.rng.backend.name == "numpy"
 
 
 class TestWallClockSemantics:

@@ -261,22 +261,72 @@ class TestSolveVariants:
                     ["solve", "att48", "--variant", variant, "--pheromone", "2"]
                 )
 
-    def test_variants_reject_replicas(self):
-        with pytest.raises(SystemExit, match="replicas"):
-            cli_main(
-                ["solve", "att48", "--variant", "acs", "--replicas", "3"]
-            )
+    def test_variants_compose_with_replicas(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--variant", "acs",
+             "--replicas", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 batched replicas" in out and "variant acs" in out
 
-    def test_variants_reject_report_every(self):
-        with pytest.raises(SystemExit, match="report_every"):
-            cli_main(
-                ["solve", "att48", "--variant", "mmas", "--report-every", "5"]
-            )
+    def test_variants_compose_with_report_every(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "4", "--variant", "mmas",
+             "--report-every", "2"]
+        )
+        assert rc == 0
+        assert "best tour length" in capsys.readouterr().out
 
-    def test_variants_reject_accelerated_backend(self):
-        with pytest.raises(SystemExit, match="numpy"):
+    def test_variants_compose_with_replicas_and_report_every(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "4", "--variant", "mmas",
+             "--replicas", "4", "--report-every", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 batched replicas" in out and "variant mmas" in out
+
+    def test_variants_compose_with_backend(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--variant", "acs",
+             "--backend", "numpy"]
+        )
+        assert rc == 0
+        assert "backend numpy" in capsys.readouterr().out
+
+    def test_variant_unavailable_backend_fails_loudly(self):
+        # An explicitly requested unavailable backend is still a clean
+        # usage error (strict resolution), not a silent fallback.
+        import importlib.util
+
+        if importlib.util.find_spec("cupy") is not None:
+            pytest.skip("cupy installed; unavailable-backend path untestable")
+        with pytest.raises(SystemExit, match="cupy"):
             cli_main(
                 ["solve", "att48", "--variant", "acs", "--backend", "cupy"]
+            )
+
+    def test_sweep_variant_flag(self, capsys):
+        rc = cli_main(
+            ["sweep", "att48", "--iterations", "2", "--variant", "mmas",
+             "--param", "rho=0.3,0.7", "--replicas", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "variant mmas" in out
+        assert "4 batched colonies" in out
+
+    def test_sweep_variant_rejects_owned_kernels(self):
+        with pytest.raises(SystemExit, match="pheromone"):
+            cli_main(
+                ["sweep", "att48", "--variant", "acs", "--param", "rho=0.3",
+                 "--pheromone", "2"]
+            )
+        with pytest.raises(SystemExit, match="construction"):
+            cli_main(
+                ["sweep", "att48", "--variant", "acs", "--param", "rho=0.3",
+                 "--construction", "4"]
             )
 
     def test_serve_config_errors_exit_cleanly(self):
