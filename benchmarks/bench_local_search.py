@@ -1,0 +1,187 @@
+"""Local-search quality per wall-second: 2-opt on vs off at a fixed budget.
+
+Throughput benchmarks answer "how many colony-iterations per second"; this
+one answers the question users actually care about — *how good a tour do I
+hold after T seconds of wall clock*.  Each variant (AS/ACS/MMAS) runs twice
+under an identical wall budget: once plain, once with the batched
+nn-restricted 2-opt stage polishing the iteration-best tour at every report
+boundary (``--local-search 2opt``).  2-opt spends wall time the plain run
+would have used for more ACO iterations, so the comparison captures the
+real trade: fewer-but-polished iterations vs more-but-raw ones.
+
+Timing protocol: the six configs of one sweep are measured **interleaved
+round-robin with a rotated starting point** (this box's wall clock drifts
+±30 % between windows; only co-scheduled measurements compare fairly —
+same protocol as ``bench_variant_throughput``).  Every sweep uses fresh
+engines and a fresh seed shared by all six configs, so ls-on/ls-off pairs
+are seed-matched; the reported figure is the **median best length** over
+sweeps.  The wall budget is enforced through the engine's ``on_boundary``
+deadline seam, so runs stop at the first report boundary past the budget.
+
+Results go to ``BENCH_ls.json`` at the repository root; the schema is
+pinned by ``benchmarks/conftest.py`` (``validate_bench_ls``).
+
+The default budget (0.25 s) sits in the still-improving regime on att48 —
+by ~1 s every variant has essentially converged on this instance and the
+off/on medians collapse together; raise ``--wall`` when pointing the
+benchmark at larger instances.
+
+Run:  python benchmarks/bench_local_search.py [--wall 0.25] [--repeats 5]
+      [--instance att48] [--out BENCH_ls.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.backend import resolve_backend
+from repro.core import ACOParams, BatchEngine
+
+VARIANTS = ("as", "acs", "mmas")
+LS_MODES = ("none", "2opt")
+REPORT_EVERY = 5
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_ls.json"
+
+QUICK_WALL = 0.25
+QUICK_REPEATS = 2
+QUICK_REPORT_EVERY = 2
+
+#: effectively "until the deadline fires" — the run is wall-bounded
+_MANY_ITERATIONS = 10_000_000
+
+
+def _make_engine(instance, seed, backend, variant, ls):
+    return BatchEngine.replicas(
+        instance,
+        ACOParams(seed=seed),
+        replicas=1,
+        variant=variant,
+        backend=backend,
+        local_search=ls,
+    )
+
+
+def _run_budget(engine, backend, wall, report_every):
+    """One wall-bounded run; returns (best_length, iterations_run, seconds)."""
+    t0 = time.perf_counter()
+    deadline = t0 + wall
+
+    def expired(update) -> bool:
+        backend.synchronize()
+        return time.perf_counter() >= deadline
+
+    batch = engine.run(
+        _MANY_ITERATIONS, report_every=report_every, on_boundary=expired
+    )
+    backend.synchronize()
+    seconds = time.perf_counter() - t0
+    return int(batch.best_length), int(batch.iterations_run), seconds
+
+
+def measure(instance, backend, wall, repeats, report_every) -> list[dict]:
+    """All (variant, ls) configs, seed-matched and interleaved per sweep."""
+    configs = [(v, ls) for v in VARIANTS for ls in LS_MODES]
+    # Untimed warm-up on throwaway engines: first-touch costs (distance and
+    # nn-list caches, arena shapes) must not land inside anyone's budget.
+    for variant, ls in configs:
+        _make_engine(instance, 1, backend, variant, ls).run(
+            2, report_every=report_every
+        )
+    backend.synchronize()
+
+    bests: dict[tuple, list[int]] = {c: [] for c in configs}
+    iters: dict[tuple, list[int]] = {c: [] for c in configs}
+    for sweep in range(repeats):
+        seed = 1 + sweep
+        engines = {c: _make_engine(instance, seed, backend, *c) for c in configs}
+        order = [configs[(j + sweep) % len(configs)] for j in range(len(configs))]
+        for config in order:
+            best, ran, _ = _run_budget(
+                engines[config], backend, wall, report_every
+            )
+            bests[config].append(best)
+            iters[config].append(ran)
+
+    rows = []
+    for variant, ls in configs:
+        lengths = bests[(variant, ls)]
+        rows.append(
+            {
+                "variant": variant,
+                "local_search": ls,
+                "median_best": int(statistics.median_low(lengths)),
+                "best": min(lengths),
+                "lengths": lengths,
+                "mean_iterations": round(
+                    statistics.fmean(iters[(variant, ls)]), 1
+                ),
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instance", default="att48")
+    parser.add_argument(
+        "--wall",
+        type=float,
+        default=0.25,
+        help="wall budget per measured run, seconds",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny budget for CI smoke runs (0.25s wall, 2 repeats)",
+    )
+    args = parser.parse_args()
+
+    wall = QUICK_WALL if args.quick else args.wall
+    repeats = QUICK_REPEATS if args.quick else args.repeats
+    report_every = QUICK_REPORT_EVERY if args.quick else REPORT_EVERY
+
+    from repro.tsp import load_instance
+
+    instance = load_instance(args.instance)
+    backend = resolve_backend(None)
+
+    rows = measure(instance, backend, wall, repeats, report_every)
+    medians = {(r["variant"], r["local_search"]): r["median_best"] for r in rows}
+    for row in rows:
+        off = medians[(row["variant"], "none")]
+        delta = off - row["median_best"]
+        print(
+            f"{row['variant']:4s} ls={row['local_search']:4s} "
+            f"median {row['median_best']:6d}  best {row['best']:6d}  "
+            f"{row['mean_iterations']:8.1f} iters  "
+            + (f"(-{delta} vs plain)" if row["local_search"] != "none" else "")
+        )
+
+    payload = {
+        "instance": args.instance,
+        "wall_seconds": wall,
+        "repeats": repeats,
+        "report_every": report_every,
+        "backend": backend.name,
+        "variants": list(VARIANTS),
+        "results": rows,
+    }
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import validate_bench_ls
+
+    validate_bench_ls(payload)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -199,11 +199,73 @@ def validate_bench_variant(payload: dict) -> None:
         )
 
 
+# ------------------------------------------------------------ BENCH_ls.json
+#
+# Schema of the artefact bench_local_search.py writes at the repo root:
+# quality-at-fixed-wall of the batched 2-opt local-search stage — for each
+# variant, the median best tour length reached inside an identical wall
+# budget with local search off vs on.
+
+#: top-level keys -> required type
+BENCH_LS_SCHEMA: dict[str, type] = {
+    "instance": str,  # TSPLIB/suite instance name
+    "wall_seconds": float,  # wall budget per measured run
+    "repeats": int,  # seed-matched sweeps per config
+    "report_every": int,  # K shared by all rows (ls fires at K-boundaries)
+    "backend": str,  # backend every row ran on
+    "variants": list,  # variant keys covered
+    "results": list,  # list of per-(variant, local_search) rows
+}
+
+#: per-row keys -> required type
+BENCH_LS_ROW_SCHEMA: dict[str, type] = {
+    "variant": str,  # "as" | "acs" | "mmas"
+    "local_search": str,  # "none" | "2opt"
+    "median_best": int,  # median over sweeps of best length at budget
+    "best": int,  # min over sweeps
+    "lengths": list,  # the per-sweep best lengths behind the median
+    "mean_iterations": float,  # ACO iterations completed inside the budget
+}
+
+
+def validate_bench_ls(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_ls.json schema above."""
+    for key, typ in BENCH_LS_SCHEMA.items():
+        assert key in payload, f"BENCH_ls missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_ls[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_ls has no result rows"
+    seen: dict[str, set] = {}
+    for row in payload["results"]:
+        for key, typ in BENCH_LS_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_ls row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_ls row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["variant"] in payload["variants"], (
+            f"row variant {row['variant']!r} absent from variants"
+        )
+        assert len(row["lengths"]) == payload["repeats"], (
+            f"row has {len(row['lengths'])} lengths, expected "
+            f"{payload['repeats']}"
+        )
+        seen.setdefault(row["variant"], set()).add(row["local_search"])
+    for variant in payload["variants"]:
+        assert seen.get(variant) == {"none", "2opt"}, (
+            f"variant {variant!r} needs both a ls=none and a ls=2opt row; "
+            f"got {sorted(seen.get(variant, ()))}"
+        )
+
+
 #: script filename -> (artefact filename, validator); the `gpu-aco bench`
 #: runner loads this registry to validate whatever a script wrote.
 BENCH_ARTIFACTS: dict = {
     "bench_backend_throughput.py": ("BENCH_backend.json", validate_bench_backend),
     "bench_loop_amortization.py": ("BENCH_loop.json", validate_bench_loop),
+    "bench_local_search.py": ("BENCH_ls.json", validate_bench_ls),
     "bench_variant_throughput.py": ("BENCH_variant.json", validate_bench_variant),
 }
 

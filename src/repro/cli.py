@@ -39,6 +39,11 @@ K-iteration blocks device-resident, reporting (and transferring tours to
 the host) only at K-boundaries — bit-identical results, amortised
 per-iteration overhead.
 
+``solve`` and ``sweep`` also accept ``--local-search 2opt`` (with
+``--ls-passes N`` and ``--ls-target {iteration-best,best-so-far}``): elite
+tours are polished with batched nn-restricted 2-opt at each report
+boundary, and the improvements feed the pheromone update.
+
 Ctrl-C during ``solve``/``sweep``/``bench`` reports the best-so-far result
 and exits with status 130 instead of dumping a traceback.
 
@@ -49,6 +54,7 @@ Examples
     gpu-aco solve att48 --iterations 50 --construction 8 --pheromone 1
     gpu-aco solve att48 --replicas 16 --iterations 20 --report-every 10
     gpu-aco solve att48 --variant mmas --replicas 4 --report-every 2
+    gpu-aco solve att48 --variant acs --local-search 2opt --report-every 5
     gpu-aco sweep att48 --variant acs --param rho=0.1,0.5 --replicas 2
     gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
@@ -141,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="device-resident amortized loop: report/transfer only every "
         "K-th iteration (bit-identical results; default 1)",
     )
+    _add_local_search_flags(solve)
 
     sweep = sub.add_parser(
         "sweep", help="batched parameter sweep over one instance"
@@ -201,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="device-resident amortized loop: report/transfer only every "
         "K-th iteration (bit-identical results; default 1)",
     )
+    _add_local_search_flags(sweep)
 
     serve = sub.add_parser(
         "serve",
@@ -284,6 +292,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_local_search_flags(parser) -> None:
+    """The local-search seam's three flags, shared by solve and sweep."""
+    parser.add_argument(
+        "--local-search",
+        choices=("none", "2opt"),
+        default="none",
+        dest="local_search",
+        help="polish elite tours at each report boundary with batched "
+        "nn-restricted 2-opt (default: none)",
+    )
+    parser.add_argument(
+        "--ls-passes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap 2-opt improvement passes per boundary (default: run to "
+        "convergence)",
+    )
+    parser.add_argument(
+        "--ls-target",
+        choices=("iteration-best", "best-so-far"),
+        default="iteration-best",
+        help="which tours 2-opt polishes (default: iteration-best)",
+    )
+
+
 def _load(name_or_path: str):
     if os.path.exists(name_or_path):
         return parse_tsplib(name_or_path)
@@ -322,6 +356,31 @@ def _check_variant_flags(variant: str, construction, pheromone) -> None:
         )
 
 
+def _check_ls_flags(args) -> dict | None:
+    """Validate the local-search flags; return engine options (or None)."""
+    if args.local_search == "none":
+        if args.ls_passes is not None or args.ls_target != "iteration-best":
+            raise SystemExit(
+                "error: --ls-passes/--ls-target require --local-search 2opt"
+            )
+        return None
+    if args.ls_passes is not None and args.ls_passes < 1:
+        raise SystemExit(
+            f"error: --ls-passes must be >= 1, got {args.ls_passes}"
+        )
+    return {"passes": args.ls_passes, "target": args.ls_target}
+
+
+def _ls_stats_line(args, batch) -> None:
+    if args.local_search == "none":
+        return
+    print(
+        f"local search (2opt, {args.ls_target}): {batch.ls_exchanges} "
+        f"exchanges, total gain {batch.ls_gain}, "
+        f"{batch.ls_wall_seconds:.2f}s in 2-opt"
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         raise SystemExit(f"error: --replicas must be >= 1, got {args.replicas}")
@@ -330,13 +389,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"error: --report-every must be >= 1, got {args.report_every}"
         )
     _check_variant_flags(args.variant, args.construction, args.pheromone)
+    _check_ls_flags(args)
     instance = _load(args.instance)
     device = DEVICES[args.device]
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
     backend = _resolve_backend_arg(args.backend)
     construction = 8 if args.construction is None else args.construction
     pheromone = 1 if args.pheromone is None else args.pheromone
-    if args.replicas > 1:
+    # Local search lives on the batched engine, so an ls-enabled solve runs
+    # through the replica path even at B=1 (any variant).
+    if args.replicas > 1 or args.local_search != "none":
         return _solve_replicas(
             args, instance, device, params, backend, construction, pheromone
         )
@@ -437,6 +499,8 @@ def _solve_replicas(
         pheromone=pheromone,
         backend=backend,
         variant=args.variant,
+        local_search=args.local_search,
+        local_search_options=_check_ls_flags(args),
     )
     kernels = (
         f"variant {args.variant}"
@@ -462,6 +526,7 @@ def _solve_replicas(
         t.add_row([b, engine.state.params[b].seed, res.best_length])
     print(t.render())
     print(f"best overall: {batch.best_length} (replica {batch.best_row})")
+    _ls_stats_line(args, batch)
     iterations_run = batch.iterations_run or args.iterations
     print(
         f"wall-clock (batched functional simulation): {batch.wall_seconds:.2f}s "
@@ -496,6 +561,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"error: --report-every must be >= 1, got {args.report_every}"
         )
     _check_variant_flags(args.variant, args.construction, args.pheromone)
+    ls_options = _check_ls_flags(args)
     instance = _load(args.instance)
     device = DEVICES[args.device]
     backend = _resolve_backend_arg(args.backend)
@@ -518,6 +584,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             backend=backend,
             report_every=args.report_every,
             variant=args.variant,
+            local_search=args.local_search,
+            local_search_options=ls_options,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -533,6 +601,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{sweep.batch.B} batched colonies"
     )
     print(sweep.table().render())
+    _ls_stats_line(args, sweep.batch)
     iterations_run = sweep.batch.iterations_run or args.iterations
     print(
         f"wall-clock (batched functional simulation): "

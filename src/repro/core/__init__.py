@@ -29,7 +29,13 @@ from repro.core.pheromone import PHEROMONE_VERSIONS, PheromoneUpdate, make_phero
 from repro.core.reference import ReferenceAntColonySystem, ReferenceMaxMinAntSystem
 from repro.core.report import IterationReport, StageReport
 from repro.core.state import ColonyState
-from repro.core.variant import VARIANTS, VariantStrategy, make_variant
+from repro.core.variant import (
+    LOCAL_SEARCH,
+    VARIANTS,
+    VariantStrategy,
+    make_local_search,
+    make_variant,
+)
 
 __all__ = [
     "ACOParams",
@@ -60,4 +66,6 @@ __all__ = [
     "make_construction",
     "make_pheromone",
     "make_variant",
+    "make_local_search",
+    "LOCAL_SEARCH",
 ]

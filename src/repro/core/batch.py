@@ -43,7 +43,13 @@ from repro.core.params import ACOParams
 from repro.core.pheromone import PheromoneUpdate, make_pheromone
 from repro.core.report import IterationReport
 from repro.core.state import ColonyState
-from repro.core.variant import IterationContext, VariantStrategy, make_variant
+from repro.core.variant import (
+    IterationContext,
+    LocalSearchPolicy,
+    VariantStrategy,
+    make_local_search,
+    make_variant,
+)
 from repro.errors import ACOConfigError, RunInterrupted
 from repro.rng import make_batched_rng
 from repro.simt.device import TESLA_M2050, DeviceSpec
@@ -302,6 +308,12 @@ class BatchRunResult:
     stopped_early: bool = False
     #: ``True`` when the run was cut short by Ctrl-C (partial results)
     interrupted: bool = False
+    #: 2-opt exchanges applied across all rows and boundaries of this run
+    ls_exchanges: int = 0
+    #: total tour-length gain those exchanges bought
+    ls_gain: int = 0
+    #: wall-clock spent inside the local-search kernel during this run
+    ls_wall_seconds: float = 0.0
 
     @property
     def B(self) -> int:
@@ -368,6 +380,16 @@ class BatchEngine:
         Extra arguments for the variant factory (e.g.
         ``{"acs": ACSParams(q0=0.95)}`` or ``{"mmas": MMASParams(...),
         "reinit_branching": 2.05}``).
+    local_search:
+        Boundary-time tour polishing — ``"none"`` (default), ``"2opt"``
+        (the batched nn-restricted 2-opt), or a ready-made
+        :class:`~repro.core.variant.LocalSearchPolicy`.  Runs at report
+        boundaries on the per-row iteration-best (or best-so-far) tours,
+        with improvements folded into the best-so-far records before the
+        pheromone update; composes with every variant.
+    local_search_options:
+        Extra arguments for the local-search policy (e.g. ``{"passes": 2,
+        "target": "best-so-far"}``); only valid with an algorithm selected.
     backend:
         Array backend the batch executes on — a name (``"numpy"``,
         ``"cupy"``), an :class:`~repro.backend.ArrayBackend` instance, or
@@ -403,6 +425,8 @@ class BatchEngine:
         work: WorkBuffers | None = None,
         variant: str | VariantStrategy = "as",
         variant_options: dict | None = None,
+        local_search: str | LocalSearchPolicy = "none",
+        local_search_options: dict | None = None,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -439,6 +463,20 @@ class BatchEngine:
                 f"variant {self.variant.key!r} owns its pheromone schedule; "
                 "a pheromone selection is only valid with variant 'as'"
             )
+        # Local-search seam: installed into the variant's third policy slot
+        # before bind(); plain "none" keeps the variant's NoLocalSearch
+        # default ("none" *with* options is rejected by the factory).
+        if local_search != "none" or local_search_options:
+            self.variant.local = make_local_search(
+                local_search, **(local_search_options or {})
+            )
+        # Local-search accounting over the engine's lifetime (host ints);
+        # run() snapshots _ls_mark so results carry per-run deltas.
+        self.ls_exchanges_total = 0
+        self.ls_gain_total = 0
+        self.ls_wall_seconds = 0.0
+        self._ls_last: tuple[np.ndarray, np.ndarray] | None = None
+        self._ls_mark: tuple[int, int, float] = (0, 0, 0.0)
         self.construction = make_construction(
             construction, **(construction_options or {})
         )
@@ -599,6 +637,11 @@ class BatchEngine:
             tours, bs.dist, xp=self.backend.xp, work=self.work
         )
         ctx = self._fold_best(tours, lengths)
+        # The local-search seam rides the amortized loop: polish only at
+        # report boundaries (collect iterations), before the update seam,
+        # so best-so-far deposits spread the improved edges.
+        if collect and self.variant.local.enabled:
+            ctx = self._apply_local_search(tours, lengths, ctx)
         pher_reports = self.variant.update.update_batch(
             bs, self.pheromone, tours, lengths, ctx, collect=collect
         )
@@ -610,6 +653,60 @@ class BatchEngine:
             for b, rep in enumerate(reps):
                 stages[b].append(rep)
         return tours, lengths, ctx, stages
+
+    def _apply_local_search(
+        self, tours, lengths, ctx: IterationContext
+    ) -> IterationContext:
+        """Boundary-time polish of the selected per-row tours.
+
+        Improvements fold into the backend-resident best-so-far records
+        (strict improvement, like :meth:`_fold_best`); for the
+        ``iteration-best`` target the polished tours also replace the
+        winning ants' rows in place, so iteration-best deposits (AS
+        deposit-all, the MMAS schedule) and the boundary reports all see
+        the improved edges.  Per-row exchange/gain counts are kept for the
+        boundary's :class:`~repro.core.report.IterationReport` rows.
+        """
+        bs = self.state
+        xp = self.backend.xp
+        policy = self.variant.local
+        assert self._fold_len is not None and self._fold_tours is not None
+        it_best_lengths = ctx.it_best_lengths
+        if policy.target == "best-so-far":
+            res = policy.improve(bs, self._fold_tours, self._fold_len)
+        else:
+            rows = xp.arange(bs.B)
+            res = policy.improve(bs, tours[rows, ctx.it_best], ctx.it_best_lengths)
+            tours[rows, ctx.it_best] = res.tours
+            lengths[rows, ctx.it_best] = res.lengths
+            it_best_lengths = res.lengths
+        better = res.lengths < self._fold_len
+        imp = xp.nonzero(better)[0]
+        if imp.size:
+            self._fold_len[imp] = res.lengths[imp]
+            self._fold_tours[imp] = res.tours[imp]
+        ex = self.backend.to_host(res.exchanges)
+        gain = self.backend.to_host(res.initial_lengths - res.lengths)
+        self._ls_last = (ex, gain)
+        self.ls_exchanges_total += int(ex.sum())
+        self.ls_gain_total += int(gain.sum())
+        self.ls_wall_seconds += res.wall_seconds
+        return IterationContext(
+            iteration=ctx.iteration,
+            it_best=ctx.it_best,
+            it_best_lengths=it_best_lengths,
+            best_lengths=self._fold_len,
+            best_tours=self._fold_tours,
+            improved=ctx.improved | better,
+        )
+
+    def _ls_fields(self, b: int) -> dict:
+        """Row ``b``'s local-search stats of the current boundary, as
+        :class:`~repro.core.report.IterationReport` keyword fields."""
+        if self._ls_last is None:
+            return {}
+        ex, gain = self._ls_last
+        return {"ls_exchanges": int(ex[b]), "ls_gain": int(gain[b])}
 
     def run_iteration(self) -> list[IterationReport]:
         """One full variant iteration for every colony; one report per row.
@@ -632,6 +729,7 @@ class BatchEngine:
                 tours=bs.tours[b],
                 lengths=bs.lengths[b],
                 stages=stages[b],
+                **self._ls_fields(b),
             )
             for b in range(bs.B)
         ]
@@ -685,6 +783,11 @@ class BatchEngine:
         bs = self.state
         start_iteration = bs.iteration
         self._seed_fold()
+        self._ls_mark = (
+            self.ls_exchanges_total,
+            self.ls_gain_total,
+            self.ls_wall_seconds,
+        )
         reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
         bests: list[list[int]] = [[] for _ in range(bs.B)]
         stopped_early = False
@@ -756,6 +859,9 @@ class BatchEngine:
             iterations_run=iterations_run,
             stopped_early=stopped_early,
             interrupted=interrupted,
+            ls_exchanges=self.ls_exchanges_total - self._ls_mark[0],
+            ls_gain=self.ls_gain_total - self._ls_mark[1],
+            ls_wall_seconds=self.ls_wall_seconds - self._ls_mark[2],
         )
 
     def _boundary_hook(self, on_boundary, targets) -> bool:
@@ -837,6 +943,7 @@ class BatchEngine:
                                 tours=host_tours[b],
                                 lengths=host_lengths[b],
                                 stages=stages[b],
+                                **self._ls_fields(b),
                             )
                         )
                     if self._boundary_hook(on_boundary, targets):

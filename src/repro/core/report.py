@@ -80,6 +80,11 @@ class IterationReport:
     tours: np.ndarray
     lengths: np.ndarray
     stages: list[StageReport] = field(default_factory=list)
+    #: 2-opt exchanges applied to this row at this report boundary (0 when
+    #: the engine runs without local search)
+    ls_exchanges: int = 0
+    #: total tour-length gain those exchanges bought
+    ls_gain: int = 0
 
     @property
     def best_length(self) -> int:

@@ -19,6 +19,13 @@ seams, and this module factors exactly those out of the engine:
   ``[tau_min, tau_max]`` trail limits with optional stagnation
   reinitialisation (:class:`TrailLimitsUpdate`).
 
+A third, variant-orthogonal seam rides along: a **local-search policy** —
+what happens to the best tours at report boundaries.  The default is
+nothing (:class:`NoLocalSearch`); :class:`BatchedTwoOpt` polishes the
+iteration-best (or best-so-far) tours with the batched nn-restricted
+2-opt kernel before the update seam runs, so deposits see the improved
+edges.
+
 A :class:`VariantStrategy` composes one policy of each kind and is bound to
 one :class:`~repro.core.batch.BatchEngine`.  Every policy is **batched over
 B colonies** and **backend-resident** (``xp`` arrays, optional
@@ -58,6 +65,12 @@ __all__ = [
     "DepositAllUpdate",
     "GlobalBestUpdate",
     "TrailLimitsUpdate",
+    "LocalSearchPolicy",
+    "NoLocalSearch",
+    "BatchedTwoOpt",
+    "LOCAL_SEARCH",
+    "LS_TARGETS",
+    "make_local_search",
     "VariantStrategy",
     "VARIANTS",
     "make_variant",
@@ -601,34 +614,163 @@ class TrailLimitsUpdate(UpdatePolicy):
 
 
 # ---------------------------------------------------------------------------
+# local-search policies
+# ---------------------------------------------------------------------------
+
+#: valid ``--ls-target`` spellings: which tours each boundary polish runs on
+LS_TARGETS = ("iteration-best", "best-so-far")
+
+
+class LocalSearchPolicy(abc.ABC):
+    """Boundary-time tour polishing: the third seam of a variant.
+
+    The engine invokes :meth:`improve` at ``report_every`` boundaries on
+    one selected tour per batch row (the iteration best or the best so
+    far, per :attr:`target`) and folds improvements into the
+    backend-resident best-so-far records *before* the update seam — so
+    best-so-far deposits (ACS global-best, MMAS schedules) spread the
+    improved edges, which is what makes local search the quality lever the
+    ACOTSP/GPU-follow-up literature says it is.
+    """
+
+    key: str = ""
+    enabled: bool = True
+    target: str = "iteration-best"
+
+    def bind(self, bstate) -> None:
+        """Initialise per-engine state."""
+
+    @abc.abstractmethod
+    def improve(self, bstate, tours, lengths):
+        """Polish ``(B, n + 1)`` tours; returns a
+        :class:`~repro.tsp.local_search.BatchTwoOptResult` with fresh
+        ``tours``/``lengths``/``exchanges`` arrays on the backend."""
+
+
+class NoLocalSearch(LocalSearchPolicy):
+    """The default: construction-only, exactly the pre-seam engine."""
+
+    key = "none"
+    enabled = False
+
+    def improve(self, bstate, tours, lengths):  # pragma: no cover
+        raise ACOConfigError("NoLocalSearch has no improve step")
+
+
+class BatchedTwoOpt(LocalSearchPolicy):
+    """nn-restricted batched best-improvement 2-opt (ACOTSP candidate lists).
+
+    Runs :func:`~repro.tsp.local_search.two_opt_batch` over all B selected
+    tours at once through the engine's backend/arena, restricted to the
+    candidate lists the construction already built (``bstate.nn_list``).
+    ``passes`` caps the lockstep improvement rounds per boundary (``None``
+    runs each tour to 2-opt optimality over the nn neighbourhood).
+    """
+
+    key = "2opt"
+
+    def __init__(
+        self, passes: int | None = None, target: str = "iteration-best"
+    ) -> None:
+        if passes is not None and passes < 1:
+            raise ACOConfigError(f"local-search passes must be >= 1, got {passes}")
+        if target not in LS_TARGETS:
+            raise ACOConfigError(
+                f"unknown ls target {target!r}; valid: {list(LS_TARGETS)}"
+            )
+        self.passes = passes
+        self.target = target
+
+    def improve(self, bstate, tours, lengths):
+        from repro.tsp.local_search import two_opt_batch
+
+        return two_opt_batch(
+            tours,
+            bstate.dist,
+            nn_list=bstate.nn_list,
+            lengths=lengths,
+            max_passes=self.passes,
+            xp=bstate.backend.xp,
+            work=bstate.work,
+        )
+
+
+#: registered local-search policies, keyed as the CLI / serve protocol
+#: spell them
+LOCAL_SEARCH = {"none": NoLocalSearch, "2opt": BatchedTwoOpt}
+
+
+def make_local_search(
+    which: str | LocalSearchPolicy, **options
+) -> LocalSearchPolicy:
+    """Instantiate a local-search policy by key (``"none" | "2opt"``).
+
+    Mirrors :func:`make_variant`: a ready-made policy passes through
+    unchanged (options must then be empty), keyword options go to the
+    policy constructor — ``make_local_search("2opt", passes=2,
+    target="best-so-far")``.
+    """
+    if isinstance(which, LocalSearchPolicy):
+        if options:
+            raise ACOConfigError(
+                "options cannot be combined with a local-search instance"
+            )
+        return which
+    try:
+        cls = LOCAL_SEARCH[which]
+    except (KeyError, TypeError):
+        raise ACOConfigError(
+            f"unknown local search {which!r}; valid: {sorted(LOCAL_SEARCH)}"
+        ) from None
+    if cls is NoLocalSearch and options:
+        raise ACOConfigError(
+            "local-search options require an algorithm (got 'none' with "
+            f"options {sorted(options)})"
+        )
+    return cls(**options)
+
+
+# ---------------------------------------------------------------------------
 # variant composition
 # ---------------------------------------------------------------------------
 
 
 class VariantStrategy:
-    """One choice policy + one update policy = one ACO variant.
+    """One choice policy + one update policy (+ optional local search) =
+    one ACO variant.
 
     Instances are **per-engine**: the policies carry per-row device arrays
     (ACS ``tau0``, MMAS trail limits) installed by :meth:`bind` and must
-    not be shared between engines.  Build through :func:`make_variant`.
+    not be shared between engines.  Build through :func:`make_variant`;
+    the engine installs the local-search policy from its own
+    ``local_search=`` argument (every variant composes with every policy).
     """
 
-    def __init__(self, key: str, label: str, choice: ChoicePolicy, update: UpdatePolicy) -> None:
+    def __init__(
+        self,
+        key: str,
+        label: str,
+        choice: ChoicePolicy,
+        update: UpdatePolicy,
+        local: LocalSearchPolicy | None = None,
+    ) -> None:
         self.key = key
         self.label = label
         self.choice = choice
         self.update = update
+        self.local = local if local is not None else NoLocalSearch()
 
     def bind(self, bstate) -> None:
         """Install variant state on a freshly created batch state."""
         self.choice.bind(bstate)
         self.update.bind(bstate)
+        self.local.bind(bstate)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"<VariantStrategy {self.key!r}: {type(self.choice).__name__} + "
-            f"{type(self.update).__name__}>"
-        )
+        parts = f"{type(self.choice).__name__} + {type(self.update).__name__}"
+        if self.local.enabled:
+            parts += f" + {type(self.local).__name__}"
+        return f"<VariantStrategy {self.key!r}: {parts}>"
 
 
 def _make_as() -> VariantStrategy:

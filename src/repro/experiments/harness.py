@@ -263,6 +263,8 @@ def run_replicas(
     report_every: int = 1,
     variant: str = "as",
     variant_options: dict | None = None,
+    local_search: str = "none",
+    local_search_options: dict | None = None,
 ) -> BatchRunResult:
     """Run ``replicas`` independent seed-replicas as one vectorized batch.
 
@@ -273,7 +275,8 @@ def run_replicas(
     for ``ACO_BACKEND`` / numpy); ``report_every=K`` amortises host
     transfers and report materialization over K-iteration device-resident
     blocks (results are bit-identical for every K); ``variant`` selects
-    the ACO algorithm (``"as"``, ``"acs"``, ``"mmas"`` — all batched).
+    the ACO algorithm (``"as"``, ``"acs"``, ``"mmas"`` — all batched);
+    ``local_search`` enables boundary-time tour polishing (``"2opt"``).
     """
     engine = BatchEngine.replicas(
         instance,
@@ -286,6 +289,8 @@ def run_replicas(
         backend=backend,
         variant=variant,
         variant_options=variant_options,
+        local_search=local_search,
+        local_search_options=local_search_options,
     )
     return engine.run(iterations, report_every=report_every)
 
@@ -344,6 +349,8 @@ def run_sweep(
     report_every: int = 1,
     variant: str = "as",
     variant_options: dict | None = None,
+    local_search: str = "none",
+    local_search_options: dict | None = None,
 ) -> SweepResult:
     """Cartesian parameter sweep × seed replicas, one vectorized batch.
 
@@ -353,7 +360,8 @@ def run_sweep(
     :class:`~repro.core.batch.BatchEngine`; ``report_every=K`` amortises
     the host boundary over K-iteration device-resident blocks
     (bit-identical results for every K); ``variant`` selects the ACO
-    algorithm the whole sweep runs (``"as"``, ``"acs"``, ``"mmas"``).
+    algorithm the whole sweep runs (``"as"``, ``"acs"``, ``"mmas"``);
+    ``local_search`` enables boundary-time tour polishing (``"2opt"``).
     """
     base = params or ACOParams()
     for key, values in grid.items():
@@ -395,6 +403,8 @@ def run_sweep(
         backend=backend,
         variant=variant,
         variant_options=variant_options,
+        local_search=local_search,
+        local_search_options=local_search_options,
     )
 
     def _bundle(batch: BatchRunResult) -> SweepResult:

@@ -48,6 +48,9 @@ class AsyncSolveClient:
         construction: int = 8,
         pheromone: int = 1,
         variant: str = "as",
+        local_search: str = "none",
+        ls_passes: int | None = None,
+        ls_target: str = "iteration-best",
     ) -> SolveHandle:
         """Queue one solve; returns once the request is accepted (which may
         suspend under backpressure).  Stream/await the returned handle."""
@@ -61,6 +64,9 @@ class AsyncSolveClient:
             construction=construction,
             pheromone=pheromone,
             variant=variant,
+            local_search=local_search,
+            ls_passes=ls_passes,
+            ls_target=ls_target,
         )
         return await self.service.submit(request)
 

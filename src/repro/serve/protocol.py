@@ -9,7 +9,8 @@ Request (client -> server)::
     {"id": "r1", "instance": {"suite": "att48"}, "iterations": 50,
      "report_every": 10, "params": {"seed": 7}, "deadline": 2.0,
      "target_length": 11200, "construction": 8, "pheromone": 1,
-     "variant": "mmas"}
+     "variant": "mmas", "local_search": "2opt", "ls_passes": 2,
+     "ls_target": "iteration-best"}
 
 ``instance`` is either ``{"suite": NAME}`` (a paper-suite instance) or an
 inline coordinate instance ``{"name": ..., "coords": [[x, y], ...],
@@ -17,6 +18,8 @@ inline coordinate instance ``{"name": ..., "coords": [[x, y], ...],
 optional; ``id`` defaults to a server-assigned ordinal; ``variant``
 defaults to ``"as"`` (``"acs"`` and ``"mmas"`` run on the same batched
 engine; unknown values are answered with an ``error`` line).
+``local_search`` defaults to ``"none"``; unknown values — and ls knobs
+without an algorithm — are likewise answered with an ``error`` line.
 
 Responses (server -> client), all tagged with the request ``id``::
 
@@ -106,6 +109,11 @@ def encode_request(request: SolveRequest, req_id: str) -> bytes:
         payload["deadline"] = request.deadline
     if request.target_length is not None:
         payload["target_length"] = request.target_length
+    if request.local_search != "none":
+        payload["local_search"] = request.local_search
+        payload["ls_target"] = request.ls_target
+        if request.ls_passes is not None:
+            payload["ls_passes"] = request.ls_passes
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
@@ -151,6 +159,11 @@ def decode_request(line: bytes | str, *, default_id: str) -> tuple[str, SolveReq
             construction=int(obj.get("construction", 8)),
             pheromone=int(obj.get("pheromone", 1)),
             variant=str(obj.get("variant", "as")),
+            local_search=str(obj.get("local_search", "none")),
+            ls_passes=(
+                None if obj.get("ls_passes") is None else int(obj["ls_passes"])
+            ),
+            ls_target=str(obj.get("ls_target", "iteration-best")),
         )
     except (TypeError, ValueError) as exc:
         # Well-formed JSON carrying wrong-typed values (ragged coords, a

@@ -80,6 +80,9 @@ class BatchKey(NamedTuple):
     construction: int
     pheromone: int
     variant: str = "as"
+    local_search: str = "none"
+    ls_passes: int | None = None
+    ls_target: str = "iteration-best"
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,12 @@ class SolveRequest:
     variant:
         ACO variant the request runs (``"as"``, ``"acs"`` or ``"mmas"``;
         part of the bucket key — a packed batch runs one variant).
+    local_search / ls_passes / ls_target:
+        Boundary-time local search (``"none"`` or ``"2opt"``, optional
+        pass cap, polish target) — part of the bucket key, since a batch
+        runs one local-search policy.  The ls knobs are only valid with an
+        algorithm selected (accepting them with ``"none"`` would split
+        buckets of execution-identical requests).
     """
 
     instance: TSPInstance
@@ -121,13 +130,37 @@ class SolveRequest:
     construction: int = 8
     pheromone: int = 1
     variant: str = "as"
+    local_search: str = "none"
+    ls_passes: int | None = None
+    ls_target: str = "iteration-best"
 
     def __post_init__(self) -> None:
-        from repro.core.variant import VARIANTS
+        from repro.core.variant import LOCAL_SEARCH, LS_TARGETS, VARIANTS
 
         if self.variant not in VARIANTS:
             raise ACOConfigError(
                 f"unknown variant {self.variant!r}; valid: {sorted(VARIANTS)}"
+            )
+        if self.local_search not in LOCAL_SEARCH:
+            raise ACOConfigError(
+                f"unknown local search {self.local_search!r}; "
+                f"valid: {sorted(LOCAL_SEARCH)}"
+            )
+        if self.ls_target not in LS_TARGETS:
+            raise ACOConfigError(
+                f"unknown ls target {self.ls_target!r}; "
+                f"valid: {list(LS_TARGETS)}"
+            )
+        if self.ls_passes is not None and self.ls_passes < 1:
+            raise ACOConfigError(
+                f"ls_passes must be >= 1, got {self.ls_passes}"
+            )
+        if self.local_search == "none" and (
+            self.ls_passes is not None or self.ls_target != "iteration-best"
+        ):
+            raise ACOConfigError(
+                "ls_passes/ls_target require a local-search algorithm "
+                "(got local_search='none')"
             )
         # Kernel selections a variant owns are rejected, never silently
         # ignored (the CLI contract) — and since ignored values would still
@@ -172,6 +205,9 @@ class SolveRequest:
             construction=self.construction,
             pheromone=self.pheromone,
             variant=self.variant,
+            local_search=self.local_search,
+            ls_passes=self.ls_passes,
+            ls_target=self.ls_target,
         )
 
 
@@ -257,6 +293,7 @@ class ServiceStats:
     failed: int = 0
     batches: int = 0
     rows_packed: int = 0  #: total rows across all batches (sum of B)
+    ls_batches: int = 0  #: batches that ran with local search enabled
     batches_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
     engine_wall_seconds: float = 0.0  #: sum of batch-level walls
     colony_iterations: int = 0  #: sum over batches of B * iterations_run
@@ -264,6 +301,8 @@ class ServiceStats:
     def record_batch(self, key: BatchKey, batch: BatchRunResult) -> None:
         self.batches += 1
         self.rows_packed += batch.B
+        if key.local_search != "none":
+            self.ls_batches += 1
         self.batches_per_bucket[key] = self.batches_per_bucket.get(key, 0) + 1
         self.engine_wall_seconds += batch.wall_seconds
         self.colony_iterations += batch.B * batch.iterations_run
@@ -298,6 +337,7 @@ class ServiceStats:
             "resolved_by_deadline": self.resolved_by_deadline,
             "failed": self.failed,
             "batches": self.batches,
+            "ls_batches": self.ls_batches,
             "batches_per_variant": self.batches_per_variant,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "engine_wall_seconds": round(self.engine_wall_seconds, 6),
@@ -643,6 +683,12 @@ class SolveService:
             amortize=self.amortize,
             work=self._worker_arena() if self.amortize else None,
             variant=key.variant,
+            local_search=key.local_search,
+            local_search_options=(
+                {"passes": key.ls_passes, "target": key.ls_target}
+                if key.local_search != "none"
+                else None
+            ),
         )
         loop = self._loop
         assert loop is not None

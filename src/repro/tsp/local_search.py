@@ -3,28 +3,52 @@
 The paper's evaluation times the pure Ant System, but the ACOTSP code it
 compares against ships 2-opt/2.5-opt/3-opt local search, and any practical
 ACO deployment runs one of them on the constructed tours.  This module
-provides a best-improvement 2-opt:
+provides two implementations over the symmetric TSP:
 
-* each pass evaluates every exchange ``(i, j)`` — replacing edges
+* :func:`two_opt` — the solo reference.  ``mode="best"`` (default)
+  evaluates every exchange ``(i, j)`` — replacing edges
   ``(t[i], t[i+1])`` and ``(t[j], t[j+1])`` with ``(t[i], t[j])`` and
-  ``(t[i+1], t[j+1])`` — via one vectorised ``(n, n)`` gain matrix,
-* the single best exchange is applied (segment reversal) and the pass
-  repeats until no exchange improves the tour.
+  ``(t[i+1], t[j+1])`` — via one vectorised ``(n, n)`` gain matrix per
+  pass and applies the single best one; ``mode="sweep"`` applies *every*
+  improving move of one gain build (gain-descending, re-checked against
+  the current tour before each application), amortising the O(n²) build
+  over many exchanges.  The gain buffer is allocated once and reused
+  across passes.
+* :func:`two_opt_batch` — the batched nn-restricted kernel: per-row
+  best-improvement sweeps over ``B`` tours at once, candidates limited to
+  each city's ``nn`` nearest neighbours (the ACOTSP candidate-list
+  restriction), all gain math in ``(B, n, nn)`` integer tensors through
+  the ``xp`` array-module seam with optional
+  :class:`~repro.backend.WorkBuffers` scratch.  Row ``b`` is
+  bit-identical to :func:`two_opt` with the same ``nn_list`` applied to
+  that row alone — the parity invariant
+  ``tests/property/test_local_search_parity.py`` pins.
 
 For the symmetric TSP every applied exchange strictly decreases the tour
-length, so termination is guaranteed; the result is 2-opt-optimal.
+length, so termination is guaranteed; the result is 2-opt-optimal over the
+searched neighbourhood.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import InvalidTourError
+from repro.errors import ACOConfigError, InvalidTourError
 from repro.tsp.tour import tour_length, validate_tour
 
-__all__ = ["two_opt", "TwoOptResult", "best_exchange"]
+__all__ = [
+    "two_opt",
+    "two_opt_batch",
+    "TwoOptResult",
+    "BatchTwoOptResult",
+    "best_exchange",
+]
+
+#: "never pick this candidate" gain sentinel (beats -inf: stays integer)
+_NEG_GAIN = np.int64(np.iinfo(np.int64).min // 4)
 
 
 @dataclass
@@ -36,19 +60,50 @@ class TwoOptResult:
     initial_length: int
     passes: int  # improvement passes applied
     exchanges: int  # exchanges applied (== passes for best-improvement)
+    wall_seconds: float = 0.0  # wall-clock spent inside the search
 
     @property
     def improvement(self) -> int:
         return self.initial_length - self.length
 
 
-def _gain_matrix(body: np.ndarray, dist: np.ndarray) -> np.ndarray:
+@dataclass
+class BatchTwoOptResult:
+    """Outcome of a batched 2-opt run over ``B`` tours."""
+
+    tours: np.ndarray  # (B, n + 1) int32 closed tours (fresh arrays)
+    lengths: np.ndarray  # (B,) int64 final lengths
+    initial_lengths: np.ndarray  # (B,) int64
+    passes: int  # lockstep passes run (max over rows)
+    exchanges: np.ndarray  # (B,) int64 exchanges applied per row
+    wall_seconds: float = 0.0
+
+    @property
+    def improvement(self) -> np.ndarray:
+        return self.initial_lengths - self.lengths
+
+
+def _exchange_mask(n: int) -> np.ndarray:
+    """Valid full-matrix exchange pairs: ``i < j`` minus the wrap pair."""
+    mask = np.triu(np.ones((n, n), dtype=bool), k=1)
+    mask[0, n - 1] = False
+    return mask
+
+
+def _gain_matrix(
+    body: np.ndarray,
+    dist: np.ndarray,
+    out: np.ndarray | None = None,
+    invalid: np.ndarray | None = None,
+) -> np.ndarray:
     """Gain of every 2-opt exchange on the open tour ``body`` (n cities).
 
     ``gain[i, j]`` (for ``i < j``) is the length *decrease* from replacing
     edges ``(body[i], body[i+1])`` and ``(body[j], body[(j+1) % n])`` with
     ``(body[i], body[j])`` and ``(body[i+1], body[(j+1) % n])``.
-    Invalid/degenerate pairs are set to ``-inf``.
+    Invalid/degenerate pairs are set to ``-inf``.  ``out`` supplies a
+    reusable ``(n, n)`` float64 buffer and ``invalid`` the precomputed
+    complement of :func:`_exchange_mask` (both rebuilt when omitted).
     """
     n = body.shape[0]
     nxt = np.roll(body, -1)
@@ -56,12 +111,14 @@ def _gain_matrix(body: np.ndarray, dist: np.ndarray) -> np.ndarray:
     removed = dist[body, nxt]
     rem = removed[:, None] + removed[None, :]
     add = dist[body[:, None], body[None, :]] + dist[nxt[:, None], nxt[None, :]]
-    gain = rem - add
+    if out is None:
+        out = np.empty((n, n), dtype=np.float64)
+    np.subtract(rem, add, out=out)
     # only i < j with j != i (adjacent j = i + 1 yields zero gain naturally;
     # the pair (0, n-1) re-creates the same tour, mask it out).
-    mask = np.triu(np.ones((n, n), dtype=bool), k=1)
-    mask[0, n - 1] = False
-    out = np.where(mask, gain, -np.inf)
+    if invalid is None:
+        invalid = ~_exchange_mask(n)
+    out[invalid] = -np.inf
     return out
 
 
@@ -79,6 +136,8 @@ def two_opt(
     *,
     max_passes: int | None = None,
     min_gain: float = 0.5,
+    mode: str = "best",
+    nn_list: np.ndarray | None = None,
 ) -> TwoOptResult:
     """Improve a closed tour to (best-improvement) 2-opt optimality.
 
@@ -89,10 +148,22 @@ def two_opt(
     dist:
         ``(n, n)`` integer distance matrix.
     max_passes:
-        Optional cap on improvement passes (``None`` = run to optimality).
+        Optional cap on improvement passes (``None`` = run to optimality;
+        ``0`` returns the input untouched).
     min_gain:
         Minimum gain to accept an exchange; the default 0.5 accepts every
         strictly positive integer gain while rejecting float-noise zeros.
+    mode:
+        ``"best"`` applies the single best exchange per gain build (the
+        reference semantics); ``"sweep"`` applies every improving move of
+        one build in gain-descending order, re-checking each against the
+        current tour — far fewer O(n²) builds on long descents.
+    nn_list:
+        Optional ``(n, nn)`` candidate lists (``instance.nn_lists``): the
+        search then only considers exchanges whose removed edge pairs a
+        city with one of its ``nn`` nearest neighbours, like ACOTSP.
+        Delegates to :func:`two_opt_batch` with ``B = 1`` (``mode`` must
+        stay ``"best"``).
 
     Returns
     -------
@@ -108,23 +179,89 @@ def two_opt(
     >>> res.length
     4
     """
+    t_start = time.perf_counter()
+    if mode not in ("best", "sweep"):
+        raise ACOConfigError(f"mode must be 'best' or 'sweep', got {mode!r}")
+    if max_passes is not None and max_passes < 0:
+        raise ACOConfigError(f"max_passes must be >= 0, got {max_passes}")
     d = np.asarray(dist)
     n = d.shape[0]
     t = validate_tour(np.asarray(tour), n)
-    body = t[:-1].astype(np.int64).copy()
     initial = tour_length(t, d)
 
+    if nn_list is not None:
+        if mode != "best":
+            raise ACOConfigError(
+                "nn-restricted 2-opt supports mode='best' only; the sweep "
+                "mode is full-matrix"
+            )
+        res = two_opt_batch(
+            t[None],
+            d[None],
+            nn_list=np.asarray(nn_list, dtype=np.int32)[None],
+            max_passes=max_passes,
+            min_gain=min_gain,
+        )
+        return TwoOptResult(
+            tour=res.tours[0],
+            length=int(res.lengths[0]),
+            initial_length=int(res.initial_lengths[0]),
+            passes=res.passes,
+            exchanges=int(res.exchanges[0]),
+            wall_seconds=time.perf_counter() - t_start,
+        )
+
+    body = t[:-1].astype(np.int64).copy()
+    gain_buf = np.empty((n, n), dtype=np.float64)  # reused across passes
+    invalid = ~_exchange_mask(n)
     passes = 0
     exchanges = 0
-    while max_passes is None or passes < max_passes:
-        passes += 1
-        i, j, gain = best_exchange(body, d)
-        if gain < min_gain:
-            passes -= 1  # the final scan found nothing; do not count it
-            break
-        # reverse the segment between i+1 and j (inclusive)
-        body[i + 1 : j + 1] = body[i + 1 : j + 1][::-1]
-        exchanges += 1
+    if mode == "best":
+        while max_passes is None or passes < max_passes:
+            passes += 1
+            g = _gain_matrix(body, d, out=gain_buf, invalid=invalid)
+            flat = int(np.argmax(g))
+            i, j = divmod(flat, n)
+            if g[i, j] < min_gain:
+                passes -= 1  # the final scan found nothing; do not count it
+                break
+            # reverse the segment between i+1 and j (inclusive)
+            body[i + 1 : j + 1] = body[i + 1 : j + 1][::-1]
+            exchanges += 1
+    else:
+        # Sweep mode: one gain build serves many exchanges.  Moves are
+        # identified by their end *cities* (positions go stale after each
+        # reversal) and re-checked O(1) against the current successors; a
+        # re-checked gain is exact for the current tour, so staleness can
+        # only skip a move, never corrupt the tour.
+        pos = np.empty(n, dtype=np.int64)
+        pos[body] = np.arange(n)
+        while max_passes is None or passes < max_passes:
+            g = _gain_matrix(body, d, out=gain_buf, invalid=invalid)
+            flat = g.reshape(-1)
+            cand = np.nonzero(flat >= min_gain)[0]
+            if cand.size == 0:
+                break
+            order = np.argsort(-flat[cand], kind="stable")
+            snap = body.copy()  # cities at build-time positions
+            applied = 0
+            for fi in cand[order]:
+                i0, j0 = divmod(int(fi), n)
+                a, c = int(snap[i0]), int(snap[j0])
+                pi, pj = int(pos[a]), int(pos[c])
+                ni = int(body[(pi + 1) % n])
+                nj = int(body[(pj + 1) % n])
+                g2 = int(d[a, ni]) + int(d[c, nj]) - int(d[a, c]) - int(d[ni, nj])
+                if g2 < min_gain:
+                    continue  # stale: a previous reversal ate this gain
+                lo, hi = (pi, pj) if pi < pj else (pj, pi)
+                body[lo + 1 : hi + 1] = body[lo + 1 : hi + 1][::-1]
+                pos[body[lo + 1 : hi + 1]] = np.arange(lo + 1, hi + 1)
+                exchanges += 1
+                applied += 1
+            if not applied:
+                break
+            passes += 1
 
     final = np.concatenate([body, body[:1]]).astype(np.int32)
     length = tour_length(final, d)
@@ -139,4 +276,175 @@ def two_opt(
         initial_length=int(initial),
         passes=passes,
         exchanges=exchanges,
+        wall_seconds=time.perf_counter() - t_start,
+    )
+
+
+def two_opt_batch(
+    tours: np.ndarray,
+    dist: np.ndarray,
+    *,
+    nn_list: np.ndarray | None = None,
+    lengths: np.ndarray | None = None,
+    max_passes: int | None = None,
+    min_gain: float = 0.5,
+    xp=np,
+    work=None,
+) -> BatchTwoOptResult:
+    """Batched nn-restricted best-improvement 2-opt over ``B`` tours.
+
+    Per pass, every row evaluates the gain of every candidate exchange —
+    removed edge ``(c_i, succ_i)`` paired with removed edge
+    ``(c_j, succ_j)`` where ``c_j`` ranges over ``c_i``'s candidate list —
+    as one ``(B, n, nn)`` integer tensor (no ``(B, n, n)`` materialisation),
+    applies the single best exchange per row, and repeats until no row has
+    a gain ``>= min_gain``.  Rows proceed in lockstep but never couple:
+    row ``b`` is bit-identical to a ``B = 1`` run of that row (integer
+    gains have no float ties, and numpy/CuPy argmax both take the first
+    maximum), which is what makes the batch a pure throughput transform.
+
+    Parameters
+    ----------
+    tours:
+        ``(B, n + 1)`` int closed tours (not validated; the engine hands in
+        tours it already evaluated).
+    dist:
+        ``(B, n, n)`` integer distances — a broadcast view with a length-1
+        batch stride (replicas of one instance) works.
+    nn_list:
+        ``(B, n, nn)`` candidate lists (broadcast views fine).  ``None``
+        searches the full neighbourhood (each city's ``n - 1`` others).
+    lengths:
+        Optional ``(B,)`` exact initial lengths (skips one gather).
+    max_passes:
+        Optional cap on lockstep passes (``0`` returns the input untouched).
+    min_gain:
+        As in :func:`two_opt`.
+    xp / work:
+        Array module and optional :class:`~repro.backend.WorkBuffers`
+        arena (keys namespaced ``ls.*``) — the engine's backend seam.
+
+    Returns
+    -------
+    BatchTwoOptResult
+        Freshly allocated ``tours``/``lengths``; ``exchanges`` counts per
+        row, ``passes`` counts lockstep rounds (the max over rows).
+    """
+    t_start = time.perf_counter()
+    if tours.ndim != 2:
+        raise InvalidTourError(f"tours must be (B, n + 1), got shape {tours.shape}")
+    B, n1 = tours.shape
+    n = n1 - 1
+    if max_passes is not None and max_passes < 0:
+        raise ACOConfigError(f"max_passes must be >= 0, got {max_passes}")
+    # (B, n * n) flat distance rows; a view for both real layouts (full
+    # stacks and broadcast replicas merge their contiguous trailing axes).
+    dflat = dist.reshape(B, n * n)
+
+    def _buf(key: str, shape, dtype):
+        if work is None:
+            return xp.empty(shape, dtype=dtype)
+        return work.get("ls." + key, shape, dtype)
+
+    body = _buf("body", (B, n), np.int64)
+    body[...] = tours[:, :-1]
+    if lengths is None:
+        nxt0 = xp.roll(body, -1, axis=1)
+        initial = xp.take_along_axis(dflat, body * n + nxt0, axis=1).sum(axis=1)
+    else:
+        initial = lengths.astype(np.int64)
+    exchanges = xp.zeros(B, dtype=np.int64)
+    total_gain = xp.zeros(B, dtype=np.int64)
+    passes = 0
+
+    # n <= 3 has no non-degenerate exchange (every pair is adjacent or the
+    # wrap pair, both zero-gain on a symmetric matrix); skip the loop so the
+    # all-pairs candidate template below never needs width < 1.
+    if n >= 4 and (max_passes is None or max_passes > 0):
+        if nn_list is None:
+            # All-pairs candidates: city c's list is (c + 1 + k) % n for
+            # k in [0, n - 1) — every other city, backend-pure to build.
+            r = xp.arange(n, dtype=np.int64)
+            tpl = (r[:, None] + 1 + xp.arange(n - 1, dtype=np.int64)[None, :]) % n
+            nn_arr = xp.broadcast_to(tpl[None], (B, n, n - 1))
+        else:
+            nn_arr = nn_list
+        K = nn_arr.shape[2]
+
+        # city -> position index, maintained across reversals
+        pos = _buf("pos", (B, n), np.int64)
+        xp.put_along_axis(
+            pos,
+            body,
+            xp.broadcast_to(xp.arange(n, dtype=np.int64), (B, n)),
+            axis=1,
+        )
+        gain = _buf("gain", (B, n, K), np.int64)
+        ipos = xp.arange(n, dtype=np.int64)[None, :, None]
+        to_host = getattr(xp, "asnumpy", np.asarray)
+
+        while max_passes is None or passes < max_passes:
+            succ = xp.roll(body, -1, axis=1)
+            removed = xp.take_along_axis(dflat, body * n + succ, axis=1)
+            # candidate partner cities of position i: nn rows of city body[i]
+            cand = xp.take_along_axis(nn_arr, body[:, :, None], axis=1).astype(
+                np.int64
+            )
+            cflat = cand.reshape(B, n * K)
+            jpos = xp.take_along_axis(pos, cflat, axis=1)
+            succ_j = xp.take_along_axis(succ, jpos, axis=1).reshape(B, n, K)
+            removed_j = xp.take_along_axis(removed, jpos, axis=1).reshape(B, n, K)
+            jpos = jpos.reshape(B, n, K)
+            d_new1 = xp.take_along_axis(
+                dflat, (body[:, :, None] * n + cand).reshape(B, n * K), axis=1
+            ).reshape(B, n, K)
+            d_new2 = xp.take_along_axis(
+                dflat, (succ[:, :, None] * n + succ_j).reshape(B, n * K), axis=1
+            ).reshape(B, n, K)
+            # gain = removed_i + removed_j - d(c_i, c_j) - d(succ_i, succ_j);
+            # adjacent pairs and the wrap pair come out exactly 0 on a
+            # symmetric matrix, so min_gain=0.5 rejects them without masks.
+            xp.add(removed[:, :, None], removed_j, out=gain)
+            xp.subtract(gain, d_new1, out=gain)
+            xp.subtract(gain, d_new2, out=gain)
+            # a candidate list containing the city itself would fake a gain
+            gain[jpos == ipos] = _NEG_GAIN
+
+            flat = gain.reshape(B, n * K)
+            bidx = xp.argmax(flat, axis=1)
+            bgain = xp.take_along_axis(flat, bidx[:, None], axis=1)[:, 0]
+            apply_rows = bgain >= min_gain
+            if not bool(apply_rows.any()):
+                break
+            passes += 1
+            i_sel = bidx // K
+            j_sel = xp.take_along_axis(
+                jpos.reshape(B, n * K), bidx[:, None], axis=1
+            )[:, 0]
+            # Segment reversals are ragged per row — a small host loop over
+            # the improving rows (boundary-time code; B is tens, not
+            # thousands).  The reversal between sorted positions realises
+            # the computed gain exactly (symmetric matrix).
+            h_rows = np.nonzero(to_host(apply_rows))[0]
+            h_i = to_host(i_sel)
+            h_j = to_host(j_sel)
+            for b in h_rows:
+                pi, pj = int(h_i[b]), int(h_j[b])
+                lo, hi = (pi, pj) if pi < pj else (pj, pi)
+                seg = body[b, lo + 1 : hi + 1][::-1].copy()
+                body[b, lo + 1 : hi + 1] = seg
+                pos[b, seg] = xp.arange(lo + 1, hi + 1, dtype=np.int64)
+            exchanges += apply_rows
+            total_gain += xp.where(apply_rows, bgain, 0)
+
+    out_tours = xp.empty((B, n + 1), dtype=np.int32)
+    out_tours[:, :n] = body
+    out_tours[:, n] = body[:, 0]
+    return BatchTwoOptResult(
+        tours=out_tours,
+        lengths=initial - total_gain,
+        initial_lengths=initial,
+        passes=passes,
+        exchanges=exchanges,
+        wall_seconds=time.perf_counter() - t_start,
     )
