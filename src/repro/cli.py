@@ -19,6 +19,11 @@ Subcommands
     batched-engine runs, and streams per-boundary best-so-far updates back
     to each caller.  Ctrl-C drains gracefully (stop accepting, finish
     in-flight batches, flush streams).
+``stats``
+    Scrape the live stats plane of a running ``serve`` process (the
+    ``{"op": "stats"}`` admin line): batch/flush counters plus queue-wait,
+    batch-wall and request-latency percentiles.  ``--json`` emits the raw
+    snapshot.
 ``sweep``
     Parameter sweep (``--param rho=0.25,0.5,0.75`` style, × ``--replicas``)
     over one instance, executed as a single vectorized batch.
@@ -44,6 +49,11 @@ per-iteration overhead.
 tours are polished with batched nn-restricted 2-opt at each report
 boundary, and the improvements feed the pheromone update.
 
+``solve`` further accepts ``--profile`` (paper-style per-phase wall-clock
+table: construct / fold / local-search / update / host-sync) and
+``--trace PATH`` (a ``chrome://tracing`` JSON timeline of the run); both
+route through the batched engine even at ``--replicas 1``.
+
 Ctrl-C during ``solve``/``sweep``/``bench`` reports the best-so-far result
 and exits with status 130 instead of dumping a traceback.
 
@@ -59,9 +69,12 @@ Examples
     gpu-aco solve att48 --backend numpy
     gpu-aco sweep att48 --param rho=0.25,0.5,0.75 --param beta=2,4 --replicas 3
     gpu-aco solve /path/to/berlin52.tsp --device c1060
+    gpu-aco solve att48 --replicas 2 --profile --trace trace.json
     gpu-aco serve --port 8642 --max-batch 8 --max-wait-ms 50
+    gpu-aco stats --port 8642 --json
     gpu-aco experiments table2
     gpu-aco bench loop -- --quick
+    gpu-aco bench --json loop -- --quick
     gpu-aco bench --list
     gpu-aco devices
     gpu-aco backends
@@ -148,6 +161,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "K-th iteration (bit-identical results; default 1)",
     )
     _add_local_search_flags(solve)
+    solve.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a paper-style per-phase wall-clock table (construct / "
+        "fold / local-search / update / host-sync); routes through the "
+        "batched engine even at --replicas 1",
+    )
+    solve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a chrome://tracing JSON timeline of the run to PATH "
+        "(open in chrome://tracing or Perfetto; implies the engine path "
+        "like --profile)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="batched parameter sweep over one instance"
@@ -252,6 +280,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="array backend (default: $ACO_BACKEND or numpy)",
     )
 
+    stats = sub.add_parser(
+        "stats",
+        help="scrape live stats from a running `gpu-aco serve` over TCP",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8642)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw snapshot as one JSON object instead of tables",
+    )
+
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
     exps.add_argument("args", nargs=argparse.REMAINDER)
 
@@ -271,6 +312,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_benchmarks",
         help="list discoverable benchmark scripts and exit",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable mode: capture the script's output and print "
+        "one JSON object (run summary + validated artefact); pass before "
+        "NAME — after it the flag is forwarded to the script",
     )
     bench.add_argument(
         "--benchmarks-dir",
@@ -396,9 +445,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     backend = _resolve_backend_arg(args.backend)
     construction = 8 if args.construction is None else args.construction
     pheromone = 1 if args.pheromone is None else args.pheromone
-    # Local search lives on the batched engine, so an ls-enabled solve runs
-    # through the replica path even at B=1 (any variant).
-    if args.replicas > 1 or args.local_search != "none":
+    # Local search and phase accounting live on the batched engine, so an
+    # ls-enabled or profiled/traced solve runs through the replica path
+    # even at B=1 (any variant).
+    if (
+        args.replicas > 1
+        or args.local_search != "none"
+        or args.profile
+        or args.trace
+    ):
         return _solve_replicas(
             args, instance, device, params, backend, construction, pheromone
         )
@@ -487,9 +542,50 @@ def _solve_variant(args, instance, device, params, backend, construction) -> int
     return rc
 
 
+def _profile_table(batch) -> None:
+    """The paper-style per-phase breakdown (its per-stage kernel-time
+    tables), from the engine's always-on phase totals."""
+    from repro.obs import PHASES
+
+    breakdown = batch.phase_breakdown
+    total = sum(breakdown.values())
+    wall = batch.wall_seconds
+    t = Table(
+        ["phase", "seconds", "% of phases", "% of wall"],
+        title="per-phase wall-clock (profile)",
+    )
+    for phase in PHASES:
+        sec = breakdown.get(phase, 0.0)
+        if sec == 0.0 and phase == "local-search":
+            continue  # not installed; don't print a dead row
+        t.add_row(
+            [
+                phase,
+                f"{sec:.4f}",
+                f"{100.0 * sec / total:5.1f}%" if total else "-",
+                f"{100.0 * sec / wall:5.1f}%" if wall else "-",
+            ]
+        )
+    t.add_row(
+        [
+            "total (phases)",
+            f"{total:.4f}",
+            "100.0%",
+            f"{100.0 * total / wall:5.1f}%" if wall else "-",
+        ]
+    )
+    print(t.render())
+
+
 def _solve_replicas(
     args, instance, device, params, backend, construction, pheromone
 ) -> int:
+    from repro.obs import MetricsRegistry, TraceRecorder
+
+    profile = getattr(args, "profile", False)
+    trace_path = getattr(args, "trace", None)
+    metrics = MetricsRegistry() if profile else None
+    tracer = TraceRecorder() if trace_path else None
     engine = BatchEngine.replicas(
         instance,
         params,
@@ -501,6 +597,8 @@ def _solve_replicas(
         variant=args.variant,
         local_search=args.local_search,
         local_search_options=_check_ls_flags(args),
+        metrics=metrics,
+        tracer=tracer,
     )
     kernels = (
         f"variant {args.variant}"
@@ -533,6 +631,11 @@ def _solve_replicas(
         f"for {args.replicas} x {iterations_run} iterations "
         f"({batch.colonies_per_second(iterations_run):.1f} colony-iterations/s)"
     )
+    if profile:
+        _profile_table(batch)
+    if tracer is not None:
+        tracer.write(trace_path)
+        print(f"chrome trace written to {trace_path} ({len(tracer)} spans)")
     return rc
 
 
@@ -657,6 +760,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     registry = _load_bench_registry(bench_dir)
 
     if args.list_benchmarks or args.name is None:
+        if args.as_json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "script": name,
+                            "artefact": registry.get(name, (None,))[0],
+                        }
+                        for name in scripts
+                    ]
+                )
+            )
+            return 0
         t = Table(["script", "artefact"], title=f"benchmarks in {bench_dir}")
         for name in scripts:
             artefact = registry.get(name, (None,))[0]
@@ -693,9 +809,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         p for p in (pkg_parent, env.get("PYTHONPATH")) if p
     )
     cmd = [sys.executable, str(script), *extra]
-    print(f"running: {' '.join(cmd)}")
+    # --json mode keeps stdout clean for the single JSON object: the
+    # script's own chatter is captured and carried inside that object.
+    report: dict = {"script": matches[0], "validated": False, "artefact": None}
+
+    def _emit_json() -> None:
+        if proc is not None:
+            report["returncode"] = proc.returncode
+            if proc.stdout:
+                report["run_stdout"] = proc.stdout[-4000:]
+        print(json.dumps(report))
+
+    proc = None
+    if not args.as_json:
+        print(f"running: {' '.join(cmd)}")
     try:
-        proc = subprocess.run(cmd, env=env)
+        proc = subprocess.run(
+            cmd, env=env, capture_output=args.as_json, text=args.as_json
+        )
     except KeyboardInterrupt:
         # The child shares our process group, so it received the SIGINT
         # too; subprocess.run has already reaped it by the time we get here.
@@ -703,12 +834,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 130
     if proc.returncode != 0:
-        print(f"error: {matches[0]} exited with {proc.returncode}", file=sys.stderr)
+        if args.as_json:
+            report["error"] = f"script exited with {proc.returncode}"
+            if proc.stderr:
+                report["run_stderr"] = proc.stderr[-4000:]
+            _emit_json()
+        else:
+            print(f"error: {matches[0]} exited with {proc.returncode}",
+                  file=sys.stderr)
         return proc.returncode
 
     entry = registry.get(matches[0])
     if entry is None:
-        print(f"{matches[0]}: no pinned artefact schema; skipping validation")
+        if args.as_json:
+            report["error"] = "no pinned artefact schema"
+            _emit_json()
+        else:
+            print(f"{matches[0]}: no pinned artefact schema; skipping validation")
         return 0
     artefact_name, validator = entry
     out_path = None
@@ -719,16 +861,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             out_path = pathlib.Path(arg.split("=", 1)[1])
     if out_path is None:
         out_path = bench_dir.parent / artefact_name
+    report["artefact_path"] = str(out_path)
     if not out_path.is_file():
-        print(f"error: expected artefact {out_path} was not written", file=sys.stderr)
+        if args.as_json:
+            report["error"] = "expected artefact was not written"
+            _emit_json()
+        else:
+            print(f"error: expected artefact {out_path} was not written",
+                  file=sys.stderr)
         return 1
     payload = json.loads(out_path.read_text(encoding="utf-8"))
+    report["artefact"] = payload
     try:
         validator(payload)
     except AssertionError as exc:
-        print(f"error: {out_path.name} failed schema validation: {exc}", file=sys.stderr)
+        if args.as_json:
+            report["error"] = f"schema validation failed: {exc}"
+            _emit_json()
+        else:
+            print(f"error: {out_path.name} failed schema validation: {exc}",
+                  file=sys.stderr)
         return 1
-    print(f"validated {out_path} against the pinned schema")
+    report["validated"] = True
+    if args.as_json:
+        _emit_json()
+    else:
+        print(f"validated {out_path} against the pinned schema")
     return 0
 
 
@@ -799,6 +957,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape ``{"op": "stats"}`` from a running server and render it."""
+    import asyncio
+    import json
+
+    from repro.errors import ServeError
+    from repro.serve import stats_over_tcp
+
+    try:
+        snap = asyncio.run(stats_over_tcp(args.host, args.port))
+    except (ServeError, OSError) as exc:
+        print(
+            f"error: cannot scrape stats from {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.as_json:
+        print(json.dumps(snap, sort_keys=True))
+        return 0
+    t = Table(
+        ["counter", "value"], title=f"service stats @ {args.host}:{args.port}"
+    )
+    for key in (
+        "submitted",
+        "completed",
+        "resolved_by_target",
+        "resolved_by_deadline",
+        "failed",
+        "batches",
+        "rows_packed",
+        "ls_batches",
+    ):
+        t.add_row([key, snap.get(key, 0)])
+    for cause, count in sorted(snap.get("flush_causes", {}).items()):
+        t.add_row([f"flush[{cause}]", count])
+    print(t.render())
+    h = Table(
+        ["distribution", "count", "mean", "p50", "p95", "p99", "max"],
+        title="request lifecycle distributions (seconds; rows for batch_rows)",
+    )
+    for key in (
+        "queue_wait_seconds",
+        "batch_wall_seconds",
+        "request_latency_seconds",
+        "batch_rows",
+    ):
+        dist = snap.get(key)
+        if not dist:
+            continue
+        h.add_row(
+            [
+                key,
+                dist["count"],
+                f"{dist['mean']:.6g}",
+                f"{dist['p50']:.6g}",
+                f"{dist['p95']:.6g}",
+                f"{dist['p99']:.6g}",
+                f"{dist['max']:.6g}",
+            ]
+        )
+    print(h.render())
+    return 0
+
+
 def _cmd_backends() -> int:
     t = Table(
         ["key", "available", "accelerated", "detail"],
@@ -855,6 +1077,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "devices":
             return _cmd_devices()
         if args.command == "backends":

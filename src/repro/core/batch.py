@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.core.variant import (
     make_variant,
 )
 from repro.errors import ACOConfigError, RunInterrupted
+from repro.obs import MetricsRegistry, PhaseClock, TraceRecorder
 from repro.rng import make_batched_rng
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.tsp.instance import TSPInstance
@@ -274,6 +276,9 @@ class BoundaryUpdate:
     iteration: int  #: engine iteration count at this boundary (1-based)
     best_lengths: np.ndarray  #: (B,) int64 best-so-far tour lengths
     best_tours: np.ndarray  #: (B, n + 1) int32 best-so-far tours
+    #: wall seconds per engine phase (:data:`repro.obs.PHASES`) spent in
+    #: the ``report_every`` block this boundary closes
+    phase_seconds: dict[str, float] | None = None
 
 
 @dataclass
@@ -314,6 +319,10 @@ class BatchRunResult:
     ls_gain: int = 0
     #: wall-clock spent inside the local-search kernel during this run
     ls_wall_seconds: float = 0.0
+    #: wall seconds per engine phase (:data:`repro.obs.PHASES`) over the
+    #: whole run — the paper-style construct/update breakdown; phases sum
+    #: to ``wall_seconds`` up to Python loop overhead
+    phase_breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def B(self) -> int:
@@ -390,6 +399,20 @@ class BatchEngine:
     local_search_options:
         Extra arguments for the local-search policy (e.g. ``{"passes": 2,
         "target": "best-so-far"}``); only valid with an algorithm selected.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` the engine publishes into —
+        per-block phase-seconds histograms (``engine.phase.<name>``) and
+        iteration/boundary counters.  ``None`` (the default) is the
+        shared no-op :class:`~repro.obs.NullRegistry`: nothing is stored.
+        Run-level phase *totals* are always kept (two float adds per phase
+        per iteration) and surface as
+        :attr:`BatchRunResult.phase_breakdown` either way.  Neither path
+        perturbs numerics — results are bit-identical with instrumentation
+        on, off, or traced (pinned by the parity suites).
+    tracer:
+        A :class:`~repro.obs.TraceRecorder` collecting one span per phase
+        per iteration, exportable as a ``chrome://tracing`` JSON timeline
+        of the whole run (``gpu-aco solve --trace``).
     backend:
         Array backend the batch executes on — a name (``"numpy"``,
         ``"cupy"``), an :class:`~repro.backend.ArrayBackend` instance, or
@@ -427,6 +450,8 @@ class BatchEngine:
         variant_options: dict | None = None,
         local_search: str | LocalSearchPolicy = "none",
         local_search_options: dict | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         if isinstance(instances, TSPInstance):
             instances = [instances]
@@ -470,6 +495,15 @@ class BatchEngine:
             self.variant.local = make_local_search(
                 local_search, **(local_search_options or {})
             )
+        # Phase accounting: run totals always on, per-block histograms only
+        # into a real registry, spans only into an attached tracer.  The
+        # clock reads perf_counter and never touches engine arrays, so the
+        # instrumented path stays bit-identical to the bare one.
+        self.metrics = metrics
+        self.tracer = tracer
+        self.phase_clock = PhaseClock(metrics=metrics, tracer=tracer)
+        self._span_labels = self.variant.span_labels()
+        self._phase_mark: dict[str, float] = self.phase_clock.mark()
         # Local-search accounting over the engine's lifetime (host ints);
         # run() snapshots _ls_mark so results carry per-run deltas.
         self.ls_exchanges_total = 0
@@ -629,22 +663,32 @@ class BatchEngine:
         feed it, like atomic hot degrees — is skipped entirely.
         """
         bs = self.state
+        clock, labels = self.phase_clock, self._span_labels
 
+        t0 = perf_counter()
         tours, choice_reports, build_reports = self.variant.choice.build_batch(
             bs, self.construction, self.choice_kernel, self.rng, collect=collect
         )
+        t1 = perf_counter()
+        clock.add("construct", t0, t1, labels["construct"])
         lengths = tour_lengths_batch(
             tours, bs.dist, xp=self.backend.xp, work=self.work
         )
         ctx = self._fold_best(tours, lengths)
+        t2 = perf_counter()
+        clock.add("fold", t1, t2)
         # The local-search seam rides the amortized loop: polish only at
         # report boundaries (collect iterations), before the update seam,
         # so best-so-far deposits spread the improved edges.
         if collect and self.variant.local.enabled:
             ctx = self._apply_local_search(tours, lengths, ctx)
+            t_ls = perf_counter()
+            clock.add("local-search", t2, t_ls, labels["local-search"])
+            t2 = t_ls
         pher_reports = self.variant.update.update_batch(
             bs, self.pheromone, tours, lengths, ctx, collect=collect
         )
+        clock.add("update", t2, perf_counter(), labels["update"])
 
         if not collect:
             return tours, lengths, ctx, None
@@ -719,11 +763,12 @@ class BatchEngine:
         if self._fold_len is None:
             self._seed_fold()
         tours, lengths, _, stages = self._advance(collect=True)
+        t0 = perf_counter()
         bs.tours = self.backend.to_host(tours)
         bs.lengths = self.backend.to_host(lengths)
         self._sync_fold_host()
         bs.iteration += 1
-        return [
+        reports = [
             IterationReport(
                 iteration=bs.iteration,
                 tours=bs.tours[b],
@@ -733,6 +778,8 @@ class BatchEngine:
             )
             for b in range(bs.B)
         ]
+        self.phase_clock.add("host-sync", t0, perf_counter())
+        return reports
 
     def run(
         self,
@@ -788,6 +835,7 @@ class BatchEngine:
             self.ls_gain_total,
             self.ls_wall_seconds,
         )
+        self._phase_mark = self.phase_clock.mark()
         reports: list[list[IterationReport]] = [[] for _ in range(bs.B)]
         bests: list[list[int]] = [[] for _ in range(bs.B)]
         stopped_early = False
@@ -799,7 +847,10 @@ class BatchEngine:
                         for b, rep in enumerate(self.run_iteration()):
                             reports[b].append(rep)
                             bests[b].append(rep.best_length)
-                        if self._boundary_hook(on_boundary, targets):
+                        phase_seconds = self.phase_clock.flush_block()
+                        if self._boundary_hook(
+                            on_boundary, targets, phase_seconds
+                        ):
                             stopped_early = it + 1 < iterations
                             break
                 else:
@@ -840,6 +891,11 @@ class BatchEngine:
         from repro.core.colony import RunResult
 
         bs = self.state
+        metrics = self.phase_clock.metrics
+        if metrics.enabled:
+            metrics.inc("engine.runs")
+            metrics.inc("engine.iterations", iterations_run)
+            metrics.inc("engine.colony_iterations", iterations_run * bs.B)
         assert bs.best_tours is not None and bs.best_lengths is not None
         results = [
             RunResult(
@@ -862,9 +918,10 @@ class BatchEngine:
             ls_exchanges=self.ls_exchanges_total - self._ls_mark[0],
             ls_gain=self.ls_gain_total - self._ls_mark[1],
             ls_wall_seconds=self.ls_wall_seconds - self._ls_mark[2],
+            phase_breakdown=self.phase_clock.since(self._phase_mark),
         )
 
-    def _boundary_hook(self, on_boundary, targets) -> bool:
+    def _boundary_hook(self, on_boundary, targets, phase_seconds=None) -> bool:
         """Fire the boundary callback / target check on fresh host records.
 
         Runs strictly after the boundary host transfer, so the snapshot
@@ -881,6 +938,7 @@ class BatchEngine:
                 iteration=bs.iteration,
                 best_lengths=bs.best_lengths.copy(),
                 best_tours=bs.best_tours.copy(),
+                phase_seconds=phase_seconds,
             )
             stop = bool(on_boundary(update))
         if targets is not None and bool(np.all(bs.best_lengths <= targets)):
@@ -931,6 +989,7 @@ class BatchEngine:
                 block_vals.append(ctx.it_best_lengths)
                 bs.iteration += 1
                 if boundary:
+                    t0 = perf_counter()
                     host_tours = self.backend.to_host(tours)
                     host_lengths = self.backend.to_host(lengths)
                     bs.tours = host_tours
@@ -946,7 +1005,9 @@ class BatchEngine:
                                 **self._ls_fields(b),
                             )
                         )
-                    if self._boundary_hook(on_boundary, targets):
+                    self.phase_clock.add("host-sync", t0, perf_counter())
+                    phase_seconds = self.phase_clock.flush_block()
+                    if self._boundary_hook(on_boundary, targets, phase_seconds):
                         return it + 1 < iterations
         except KeyboardInterrupt:
             _sync_fold()

@@ -766,6 +766,17 @@ class VariantStrategy:
         self.update.bind(bstate)
         self.local.bind(bstate)
 
+    def span_labels(self) -> dict[str, str]:
+        """Trace-span names for the engine phases this variant owns — the
+        policy key rides along (``construct:roulette``,
+        ``update:trail_limits``, ``local-search:2opt``) so a chrome-trace
+        timeline names the kernel, not just the phase family."""
+        return {
+            "construct": f"construct:{self.choice.key}",
+            "update": f"update:{self.update.key}",
+            "local-search": f"local-search:{self.local.key}",
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = f"{type(self.choice).__name__} + {type(self.update).__name__}"
         if self.local.enabled:

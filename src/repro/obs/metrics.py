@@ -1,0 +1,330 @@
+"""Always-on metrics primitives: counters, gauges, reservoir histograms.
+
+The paper's whole argument is a per-phase time breakdown (Tables II-IV);
+this module is the substrate that breakdown — and every serve-tier signal
+the scaling roadmap needs (queue waits, latency percentiles, flush causes)
+— is published into.  Two design rules keep it safe on the hot path:
+
+* **Bit-exactness.**  Metrics only *observe* wall-clock floats and integer
+  counts; nothing here touches engine arrays or the engine RNG (the
+  reservoir's sampling randomness is a private :mod:`random` stream), so
+  instrumentation cannot perturb numerics.  The parity suites pin this.
+* **True no-op when disabled.**  :class:`NullRegistry` hands out shared
+  do-nothing metric objects and never stores a name, so a disabled path
+  costs one attribute lookup and an empty method call.
+
+Thread model: every metric object carries its own lock (registries are
+shared between the asyncio loop thread and engine worker threads), and
+:meth:`MetricsRegistry.snapshot` is consistent per metric.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.util.timer import Timer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "ReservoirHistogram",
+]
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter increments must be >= 0, got {delta}")
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (e.g. queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class ReservoirHistogram:
+    """Streaming distribution summary over an unbounded observation stream.
+
+    Exact ``count``/``total``/``min``/``max`` plus percentile estimates
+    from a fixed-size uniform reservoir (Vitter's algorithm R): the first
+    ``max_samples`` observations are kept verbatim, after which each new
+    observation replaces a random slot with probability
+    ``max_samples / count`` — every observation ever seen is equally likely
+    to be in the reservoir, so sorted-reservoir quantiles are unbiased
+    estimates at O(1) memory.  The reservoir itself is a
+    :class:`~repro.util.timer.Timer`, whose ``percentile`` rule this class
+    therefore shares with plain lap timers.
+
+    The replacement randomness is a private seeded :class:`random.Random`
+    stream — deterministic per histogram, and entirely separate from the
+    engine's RNG (instrumentation must never consume engine draws).
+    """
+
+    __slots__ = (
+        "name", "max_samples", "_reservoir", "_count", "_total",
+        "_min", "_max", "_rng", "_lock",
+    )
+
+    def __init__(
+        self, name: str = "", max_samples: int = 512, seed: int = 0x5EED
+    ) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self._reservoir = Timer()
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            laps = self._reservoir.laps
+            if len(laps) < self.max_samples:
+                laps.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.max_samples:
+                    laps[slot] = value
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (exact while ``count`` is within
+        the reservoir size)."""
+        with self._lock:
+            return self._reservoir.percentile(p)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def merge(self, other: "ReservoirHistogram") -> "ReservoirHistogram":
+        """Fold ``other`` into this histogram (combining per-thread
+        instances); exact fields combine exactly, reservoirs concatenate
+        (slightly over-weighting whichever side sampled less — acceptable
+        for the per-thread-merge use this exists for).  Returns ``self``."""
+        with other._lock:
+            count, total = other._count, other._total
+            omin, omax = other._min, other._max
+            laps = list(other._reservoir.laps)
+        with self._lock:
+            self._count += count
+            self._total += total
+            if omin is not None and (self._min is None or omin < self._min):
+                self._min = omin
+            if omax is not None and (self._max is None or omax > self._max):
+                self._max = omax
+            self._reservoir.laps.extend(laps)
+            del self._reservoir.laps[self.max_samples:]
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary with the standard percentile triple."""
+        with self._lock:
+            reservoir = self._reservoir
+            return {
+                "count": self._count,
+                "total": round(self._total, 6),
+                "mean": round(self.mean, 6),
+                "min": round(self.min, 6),
+                "max": round(self.max, 6),
+                "p50": round(reservoir.percentile(50.0), 6),
+                "p95": round(reservoir.percentile(95.0), 6),
+                "p99": round(reservoir.percentile(99.0), 6),
+            }
+
+
+class MetricsRegistry:
+    """Named metric store: get-or-create counters, gauges and histograms.
+
+    One registry per observed subsystem (an engine, a solve service); the
+    ``snapshot()`` dict is the wire form the serve tier's ``{"op":
+    "stats"}`` admin line returns.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, ReservoirHistogram] = {}
+
+    # -------------------------------------------------------- get-or-create
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, max_samples: int = 512
+    ) -> ReservoirHistogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = ReservoirHistogram(
+                    name, max_samples=max_samples
+                )
+            return metric
+
+    # ---------------------------------------------------------- convenience
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        self.counter(name).inc(delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-friendly dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(histograms.items())
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, delta: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(ReservoirHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled path: hands out shared do-nothing metrics, stores
+    nothing, snapshots empty.  ``registry.enabled`` is the cheap gate for
+    callers that want to skip building label strings entirely."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter()
+        self._null_gauge = _NullGauge()
+        self._null_histogram = _NullHistogram()
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, max_samples: int = 512) -> ReservoirHistogram:
+        return self._null_histogram
+
+
+#: Shared default no-op registry: the ``metrics=None`` resolution target.
+NULL_REGISTRY = NullRegistry()

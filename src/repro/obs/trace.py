@@ -1,0 +1,85 @@
+"""Chrome-trace span recording: whole runs as ``chrome://tracing`` timelines.
+
+Skinderowicz's GPU-ACS/MMAS profiling localized the construction-vs-update
+bottleneck with exactly this kind of timeline; :class:`TraceRecorder`
+collects ``(name, start, duration)`` spans (perf_counter seconds) and
+exports them in the Trace Event Format that ``chrome://tracing``,
+Perfetto and ``speedscope`` all read: complete events (``"ph": "X"``) with
+microsecond timestamps normalized to the first span.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+__all__ = ["TraceRecorder", "TraceSpan"]
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One completed span, in perf_counter seconds."""
+
+    name: str
+    start: float
+    duration: float
+    tid: int = 0
+    cat: str = ""
+
+
+class TraceRecorder:
+    """Append-only span sink; thread-safe (engine workers may share one).
+
+    ``tid`` groups spans into horizontal tracks in the viewer — callers
+    that record from several engines/threads can pass a distinct track id
+    per source; within one engine the phases are sequential, so a single
+    track renders as the classic per-iteration ribbon.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[TraceSpan] = []
+        self._lock = threading.Lock()
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        tid: int = 0,
+        cat: str = "",
+    ) -> None:
+        span = TraceSpan(name=name, start=start, duration=max(duration, 0.0),
+                         tid=tid, cat=cat)
+        with self._lock:
+            self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def to_chrome_trace(self) -> dict:
+        """The Trace Event Format payload (JSON Object Format, so a
+        ``displayTimeUnit`` can ride along)."""
+        with self._lock:
+            spans = list(self.spans)
+        t0 = min((s.start for s in spans), default=0.0)
+        events = [
+            {
+                "name": s.name,
+                "cat": s.cat or "span",
+                "ph": "X",
+                "ts": round((s.start - t0) * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": 0,
+                "tid": s.tid,
+            }
+            for s in spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        """Write the chrome-trace JSON to ``path`` (open the file in
+        ``chrome://tracing`` / https://ui.perfetto.dev)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh)

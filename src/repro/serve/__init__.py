@@ -13,7 +13,7 @@ architecture, :mod:`repro.serve.client` for in-process use and
 from __future__ import annotations
 
 from repro.serve.client import AsyncSolveClient
-from repro.serve.protocol import request_over_tcp, serve_tcp
+from repro.serve.protocol import request_over_tcp, serve_tcp, stats_over_tcp
 from repro.serve.service import (
     BatchKey,
     ServiceStats,
@@ -33,4 +33,5 @@ __all__ = [
     "SolveUpdate",
     "request_over_tcp",
     "serve_tcp",
+    "stats_over_tcp",
 ]

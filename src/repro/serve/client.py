@@ -74,3 +74,9 @@ class AsyncSolveClient:
         """Submit and block until the final result (ignores the stream)."""
         handle = await self.solve(instance, **kwargs)
         return await handle.result()
+
+    def stats(self) -> dict:
+        """Live :meth:`~repro.serve.service.ServiceStats.snapshot` of the
+        wrapped service (same payload the TCP ``{"op": "stats"}`` line
+        returns)."""
+        return self.service.stats.snapshot()

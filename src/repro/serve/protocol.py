@@ -33,6 +33,19 @@ Responses (server -> client), all tagged with the request ``id``::
 A connection may pipeline any number of requests; responses for different
 requests interleave (match on ``id``).  Closing the connection does not
 cancel accepted work.
+
+Admin lines carry an ``op`` instead of an ``instance`` — the live stats
+plane::
+
+    {"op": "stats", "id": "s1"}
+    {"type": "stats", "id": "s1", "stats": {"submitted": 12, ...,
+     "request_latency_seconds": {"count": 12, "p50": ..., "p95": ...}}}
+
+``stats`` answers with the service's
+:meth:`~repro.serve.service.ServiceStats.snapshot` (batch counters,
+flush-cause counts, queue-wait / batch-wall / request-latency
+distributions); unknown ops get an ``error`` line.  ``gpu-aco stats`` is
+the CLI client.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ __all__ = [
     "instance_to_json",
     "request_over_tcp",
     "serve_tcp",
+    "stats_over_tcp",
 ]
 
 _PARAM_FIELDS = ("alpha", "beta", "rho", "n_ants", "nn", "seed", "eta_shift")
@@ -117,6 +131,18 @@ def encode_request(request: SolveRequest, req_id: str) -> bytes:
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
+def _parse_line(line: bytes | str) -> dict:
+    """One wire line as a JSON object; :class:`~repro.errors.ServeError`
+    on anything else."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"bad JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError("request must be a JSON object")
+    return obj
+
+
 def decode_request(line: bytes | str, *, default_id: str) -> tuple[str, SolveRequest]:
     """Parse one request line into ``(id, SolveRequest)``.
 
@@ -125,12 +151,11 @@ def decode_request(line: bytes | str, *, default_id: str) -> tuple[str, SolveReq
     malformed input; the connection handler converts that into an
     ``error`` response instead of dropping the connection.
     """
-    try:
-        obj = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ServeError(f"bad JSON: {exc}") from None
-    if not isinstance(obj, dict):
-        raise ServeError("request must be a JSON object")
+    return decode_request_obj(_parse_line(line), default_id=default_id)
+
+
+def decode_request_obj(obj: dict, *, default_id: str) -> tuple[str, SolveRequest]:
+    """Decode an already-parsed request object (see :func:`decode_request`)."""
     req_id = str(obj.get("id", default_id))
     try:
         if "instance" not in obj:
@@ -218,6 +243,11 @@ def _encode_accepted(req_id: str) -> bytes:
     return (json.dumps({"type": "accepted", "id": req_id}) + "\n").encode("utf-8")
 
 
+def _encode_stats(req_id: str, stats: dict) -> bytes:
+    payload = {"type": "stats", "id": req_id, "stats": stats}
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
 # --------------------------------------------------------------------- server
 
 
@@ -272,7 +302,21 @@ async def _handle_connection(
             counter += 1
             req_id: str | None = None
             try:
-                req_id, request = decode_request(line, default_id=f"req-{counter}")
+                obj = _parse_line(line)
+                if "op" in obj:
+                    # Admin plane: answered inline, never queued behind
+                    # solve work (snapshot() is lock-bounded, not solving).
+                    op = str(obj["op"])
+                    op_id = str(obj.get("id", f"req-{counter}"))
+                    if op != "stats":
+                        raise ServeError(f"unknown op {op!r} (supported: 'stats')")
+                    async with lock:
+                        writer.write(_encode_stats(op_id, service.stats.snapshot()))
+                        await writer.drain()
+                    continue
+                req_id, request = decode_request_obj(
+                    obj, default_id=f"req-{counter}"
+                )
                 handle = await service.submit(request)
             except ReproError as exc:
                 async with lock:
@@ -361,6 +405,40 @@ async def request_over_tcp(
                 )
             else:
                 raise ServeError(f"unknown response type {kind!r}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def stats_over_tcp(host: str, port: int, *, req_id: str = "stats-0") -> dict:
+    """Scrape a running server's live stats snapshot over one connection.
+
+    Sends ``{"op": "stats"}`` and returns the decoded ``stats`` payload
+    (:meth:`~repro.serve.service.ServiceStats.snapshot`).  Raises
+    :class:`~repro.errors.ServeError` on an ``error`` response or early
+    close.  This is what ``gpu-aco stats`` calls.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (json.dumps({"op": "stats", "id": req_id}) + "\n").encode("utf-8")
+        )
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ServeError("server closed the connection mid-request")
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "stats":
+            return obj["stats"]
+        if kind == "error":
+            raise ServeError(
+                f"server error {obj.get('error')}: {obj.get('message')}"
+            )
+        raise ServeError(f"unknown response type {kind!r}")
     finally:
         writer.close()
         try:

@@ -49,6 +49,7 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.obs import MetricsRegistry
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.tsp.instance import TSPInstance
 
@@ -276,14 +277,33 @@ class SolveHandle:
             yield item
 
 
+#: what ended a request: a full run, an early-out, or a failed batch
+REQUEST_OUTCOMES = ("completed", "target", "deadline", "failed")
+
+#: why a bucket launched: filled to ``max_batch``, aged past ``max_wait``,
+#: or flushed by the drain path
+FLUSH_CAUSES = ("full", "max_wait", "drain")
+
+
 @dataclass
 class ServiceStats:
-    """Aggregate service counters.
+    """Aggregate service counters plus request-lifecycle distributions.
 
     All throughput numbers derive from **batch-level** wall clocks
     (:attr:`~repro.core.batch.BatchRunResult.wall_seconds`), never from
     summed per-row shares — see :class:`~repro.core.batch.BatchRunResult`
     for why summing shares across batches under-reports.
+
+    Distributions (queue wait, batch wall, end-to-end request latency,
+    bucket occupancy at flush) live as reservoir histograms in
+    :attr:`registry` — a :class:`~repro.obs.MetricsRegistry` whose
+    snapshot the ``{"op": "stats"}`` admin line returns.
+
+    Thread model: the ``observe_*`` mutators are called from the asyncio
+    loop thread (submission, flushes, completed batches) **and** from
+    engine worker threads (early resolutions happen inside the engine's
+    ``on_boundary`` callback), so every mutation and :meth:`snapshot` hold
+    :attr:`_lock` — unguarded ``+=`` from two threads can tear.
     """
 
     submitted: int = 0
@@ -295,17 +315,89 @@ class ServiceStats:
     rows_packed: int = 0  #: total rows across all batches (sum of B)
     ls_batches: int = 0  #: batches that ran with local search enabled
     batches_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
+    rows_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
+    flush_causes: dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(FLUSH_CAUSES, 0)
+    )
     engine_wall_seconds: float = 0.0  #: sum of batch-level walls
     colony_iterations: int = 0  #: sum over batches of B * iterations_run
+    registry: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False
+    )
 
-    def record_batch(self, key: BatchKey, batch: BatchRunResult) -> None:
-        self.batches += 1
-        self.rows_packed += batch.B
-        if key.local_search != "none":
-            self.ls_batches += 1
-        self.batches_per_bucket[key] = self.batches_per_bucket.get(key, 0) + 1
-        self.engine_wall_seconds += batch.wall_seconds
-        self.colony_iterations += batch.B * batch.iterations_run
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queue_wait = self.registry.histogram("serve.queue_wait_seconds")
+        self.batch_wall = self.registry.histogram("serve.batch_wall_seconds")
+        self.request_latency = self.registry.histogram(
+            "serve.request_latency_seconds"
+        )
+        self.batch_rows = self.registry.histogram("serve.batch_rows")
+
+    # ----------------------------------------------------------- observation
+
+    def observe_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def observe_flush(
+        self, key: BatchKey, cause: str, queue_waits: list[float]
+    ) -> None:
+        """One bucket launch: why it flushed, how full it was, and how long
+        each packed request had queued."""
+        if cause not in self.flush_causes:
+            raise ACOConfigError(
+                f"unknown flush cause {cause!r}; valid: {FLUSH_CAUSES}"
+            )
+        with self._lock:
+            self.flush_causes[cause] += 1
+            self.rows_per_bucket[key] = (
+                self.rows_per_bucket.get(key, 0) + len(queue_waits)
+            )
+        self.registry.inc(f"serve.flush.{cause}")
+        self.batch_rows.observe(len(queue_waits))
+        for wait in queue_waits:
+            self.queue_wait.observe(wait)
+
+    def observe_batch(self, key: BatchKey, batch: BatchRunResult) -> None:
+        """One finished engine run (loop thread, after the worker returns)."""
+        with self._lock:
+            self.batches += 1
+            self.rows_packed += batch.B
+            if key.local_search != "none":
+                self.ls_batches += 1
+            self.batches_per_bucket[key] = (
+                self.batches_per_bucket.get(key, 0) + 1
+            )
+            self.engine_wall_seconds += batch.wall_seconds
+            self.colony_iterations += batch.B * batch.iterations_run
+        self.batch_wall.observe(batch.wall_seconds)
+
+    # Retained name from the batch-sums-only era; same locked mutation.
+    record_batch = observe_batch
+
+    def observe_resolution(self, outcome: str, latency: float) -> None:
+        """One request reaching its terminal state; ``latency`` is seconds
+        from submission.  Early outcomes (``target``/``deadline``) are
+        recorded from engine **worker threads** at the resolving boundary
+        — the reason every counter here is lock-guarded."""
+        if outcome not in REQUEST_OUTCOMES:
+            raise ACOConfigError(
+                f"unknown outcome {outcome!r}; valid: {REQUEST_OUTCOMES}"
+            )
+        with self._lock:
+            if outcome == "completed":
+                self.completed += 1
+            elif outcome == "target":
+                self.resolved_by_target += 1
+            elif outcome == "deadline":
+                self.resolved_by_deadline += 1
+            else:
+                self.failed += 1
+        self.request_latency.observe(latency)
+        self.registry.inc(f"serve.resolved.{outcome}")
+
+    # ------------------------------------------------------------- summaries
 
     @property
     def mean_batch_size(self) -> float:
@@ -329,21 +421,39 @@ class ServiceStats:
         return counts
 
     def snapshot(self) -> dict:
-        """A JSON-friendly summary (for logs and the serve CLI)."""
-        return {
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "resolved_by_target": self.resolved_by_target,
-            "resolved_by_deadline": self.resolved_by_deadline,
-            "failed": self.failed,
-            "batches": self.batches,
-            "ls_batches": self.ls_batches,
-            "batches_per_variant": self.batches_per_variant,
-            "mean_batch_size": round(self.mean_batch_size, 3),
-            "engine_wall_seconds": round(self.engine_wall_seconds, 6),
-            "colony_iterations": self.colony_iterations,
-            "colonies_per_second": round(self.colonies_per_second, 3),
-        }
+        """A JSON-friendly summary (the ``{"op": "stats"}`` wire payload).
+
+        Batch-level sums plus the request-lifecycle distributions
+        (count/mean/p50/p95/p99/max per histogram).
+        """
+        with self._lock:
+            summary = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "resolved_by_target": self.resolved_by_target,
+                "resolved_by_deadline": self.resolved_by_deadline,
+                "failed": self.failed,
+                "batches": self.batches,
+                "rows_packed": self.rows_packed,
+                "ls_batches": self.ls_batches,
+                "batches_per_variant": self.batches_per_variant,
+                # BatchKey tuples stringified for the JSON wire.
+                "rows_per_bucket": {
+                    str(k): v for k, v in sorted(
+                        self.rows_per_bucket.items(), key=lambda kv: str(kv[0])
+                    )
+                },
+                "mean_batch_size": round(self.mean_batch_size, 3),
+                "engine_wall_seconds": round(self.engine_wall_seconds, 6),
+                "colony_iterations": self.colony_iterations,
+                "colonies_per_second": round(self.colonies_per_second, 3),
+                "flush_causes": dict(self.flush_causes),
+            }
+        summary["queue_wait_seconds"] = self.queue_wait.snapshot()
+        summary["batch_wall_seconds"] = self.batch_wall.snapshot()
+        summary["request_latency_seconds"] = self.request_latency.snapshot()
+        summary["batch_rows"] = self.batch_rows.snapshot()
+        return summary
 
 
 class _Pending:
@@ -504,11 +614,15 @@ class SolveService:
         key = request.bucket_key
         bucket = self._buckets.setdefault(key, deque())
         bucket.append(pending)
-        self.stats.submitted += 1
+        self.stats.observe_submitted()
         if len(bucket) >= self.max_batch:
             # Launch-on-full keeps packing deterministic and latency minimal:
             # the request that fills a bucket dispatches it synchronously.
-            self._launch(key, [bucket.popleft() for _ in range(self.max_batch)])
+            self._launch(
+                key,
+                [bucket.popleft() for _ in range(self.max_batch)],
+                cause="full",
+            )
             if not bucket:
                 del self._buckets[key]
         else:
@@ -586,7 +700,7 @@ class SolveService:
                     bucket.popleft()
                     for _ in range(min(len(bucket), self.max_batch))
                 ]
-                self._launch(key, pack)
+                self._launch(key, pack, cause="max_wait")
             if bucket:
                 due = bucket[0].submitted_at + self.max_wait
                 next_due = due if next_due is None else min(next_due, due)
@@ -602,10 +716,16 @@ class SolveService:
                     bucket.popleft()
                     for _ in range(min(len(bucket), self.max_batch))
                 ]
-                self._launch(key, pack)
+                self._launch(key, pack, cause="drain")
             del self._buckets[key]
 
-    def _launch(self, key: BatchKey, pack: list[_Pending]) -> None:
+    def _launch(
+        self, key: BatchKey, pack: list[_Pending], *, cause: str
+    ) -> None:
+        now = time.monotonic()
+        self.stats.observe_flush(
+            key, cause, [now - p.submitted_at for p in pack]
+        )
         task = asyncio.create_task(
             self._run_and_resolve(key, pack), name=f"aco-serve-batch-{key.n}"
         )
@@ -625,29 +745,26 @@ class SolveService:
         except BaseException as exc:  # incl. stray interrupts: never hang riders
             wrapped = ServeError(f"batch execution failed: {exc!r}")
             wrapped.__cause__ = exc
+            now = time.monotonic()
             for p in pack:
+                # Early-resolved riders already hold their snapshot result
+                # and were counted at their resolving boundary (on the
+                # worker thread); only live riders become failures.
                 if not p.resolved:
                     p.resolved = True
-                    self.stats.failed += 1
+                    self.stats.observe_resolution(
+                        "failed", now - p.submitted_at
+                    )
                     p.handle._reject(wrapped)
-                elif p.early == "target":
-                    # Early-resolved riders of a failed batch already hold
-                    # their snapshot result; count them so the stats keep
-                    # adding up (submitted == completed + early + failed).
-                    self.stats.resolved_by_target += 1
-                else:
-                    self.stats.resolved_by_deadline += 1
         else:
-            self.stats.record_batch(key, batch)
+            self.stats.observe_batch(key, batch)
+            now = time.monotonic()
             for p, row in zip(pack, batch.results):
-                if p.resolved:
-                    if p.early == "target":
-                        self.stats.resolved_by_target += 1
-                    else:
-                        self.stats.resolved_by_deadline += 1
-                else:
+                if not p.resolved:
                     p.resolved = True
-                    self.stats.completed += 1
+                    self.stats.observe_resolution(
+                        "completed", now - p.submitted_at
+                    )
                     p.handle._resolve(row)
         finally:
             assert self._slots is not None and self._wake is not None
@@ -724,6 +841,10 @@ class SolveService:
                     )
                     p.resolved = True
                     p.early = "target" if hit_target else "deadline"
+                    # Worker-thread stats mutation: ServiceStats locks
+                    # internally, so this cannot tear against the loop
+                    # thread's counters.
+                    self.stats.observe_resolution(p.early, now - p.submitted_at)
                     loop.call_soon_threadsafe(p.handle._resolve, row)
                 else:
                     all_resolved = False

@@ -54,6 +54,43 @@ class Timer:
         """Mean lap duration; 0.0 when no laps were recorded."""
         return self.total / self.count if self.laps else 0.0
 
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of the recorded laps (``0 <= p <= 100``).
+
+        Linear interpolation between order statistics (numpy's default
+        ``"linear"`` method); 0.0 when no laps were recorded.  This is the
+        quantile rule the observability histograms
+        (:class:`repro.obs.ReservoirHistogram`) share.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.laps:
+            return 0.0
+        laps = sorted(self.laps)
+        rank = (p / 100.0) * (len(laps) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(laps) - 1)
+        frac = rank - lo
+        return laps[lo] * (1.0 - frac) + laps[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def merge(self, other: "Timer") -> "Timer":
+        """Fold ``other``'s laps into this timer (per-thread timers combine
+        into one aggregate view); returns ``self`` for chaining."""
+        self.laps.extend(other.laps)
+        return self
+
     def reset(self) -> None:
         self.laps.clear()
 

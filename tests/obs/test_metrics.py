@@ -1,0 +1,195 @@
+"""Tests for the metrics primitives (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    ReservoirHistogram,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.name == "hits"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safe_under_contention(self):
+        c = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.add(2.5)
+        assert g.value == 5.5
+
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(10)
+        g.set(1)
+        assert g.value == 1.0
+
+
+class TestReservoirHistogram:
+    def test_exact_summaries(self):
+        h = ReservoirHistogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_percentiles_exact_within_reservoir(self):
+        h = ReservoirHistogram(max_samples=256)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.p50 == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.p95 == pytest.approx(95.05)
+
+    def test_empty_percentiles_are_zero(self):
+        h = ReservoirHistogram()
+        assert h.p50 == 0.0 and h.p99 == 0.0
+        assert h.mean == 0.0 and h.min == 0.0 and h.max == 0.0
+
+    def test_reservoir_caps_memory_but_counts_exactly(self):
+        h = ReservoirHistogram(max_samples=32)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert len(h._reservoir.laps) == 32
+        # Exact extremes survive sampling.
+        assert h.min == 0.0 and h.max == 999.0
+
+    def test_sampled_percentiles_are_plausible(self):
+        h = ReservoirHistogram(max_samples=128, seed=7)
+        for v in range(10_000):
+            h.observe(float(v))
+        # A uniform stream 0..9999: the sampled median must land mid-range.
+        assert 2000.0 < h.p50 < 8000.0
+
+    def test_deterministic_given_seed(self):
+        def build():
+            h = ReservoirHistogram(max_samples=16, seed=42)
+            for v in range(500):
+                h.observe(float(v))
+            return h.snapshot()
+
+        assert build() == build()
+
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(ValueError):
+            ReservoirHistogram(max_samples=0)
+
+    def test_merge_combines_exact_fields(self):
+        a = ReservoirHistogram()
+        b = ReservoirHistogram()
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        out = a.merge(b)
+        assert out is a
+        assert a.count == 4
+        assert a.total == pytest.approx(33.0)
+        assert a.min == 1.0 and a.max == 20.0
+
+    def test_merge_truncates_reservoir(self):
+        a = ReservoirHistogram(max_samples=4)
+        b = ReservoirHistogram(max_samples=4)
+        for v in range(4):
+            a.observe(float(v))
+            b.observe(float(v + 10))
+        a.merge(b)
+        assert len(a._reservoir.laps) == 4
+        assert a.count == 8
+
+    def test_snapshot_shape(self):
+        h = ReservoirHistogram()
+        h.observe(1.0)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "total", "mean", "min", "max", "p50", "p95", "p99",
+        }
+        assert snap["count"] == 1 and snap["p50"] == 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.enabled is True
+
+    def test_convenience_methods(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 2)
+        reg.set_gauge("depth", 7)
+        reg.observe("lat", 0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 2}
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_sorted_and_json_friendly(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # must not raise
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert NULL_REGISTRY.enabled is False
+
+    def test_stores_nothing(self):
+        reg = NullRegistry()
+        reg.inc("hits", 100)
+        reg.set_gauge("depth", 3)
+        reg.observe("lat", 1.0)
+        reg.histogram("other").observe(2.0)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert reg.counter("hits").value == 0
+        assert reg.histogram("lat").count == 0
+
+    def test_hands_out_shared_noop_metrics(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.histogram("a") is reg.histogram("b")

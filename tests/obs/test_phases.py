@@ -1,0 +1,77 @@
+"""Tests for the engine phase clock (repro.obs.phases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import PHASES, MetricsRegistry, PhaseClock, TraceRecorder
+
+
+class TestPhaseClock:
+    def test_phase_order(self):
+        assert PHASES == (
+            "construct", "fold", "local-search", "update", "host-sync",
+        )
+
+    def test_add_accumulates_totals_and_block(self):
+        clock = PhaseClock()
+        clock.add("construct", 1.0, 1.5)
+        clock.add("construct", 2.0, 2.25)
+        clock.add("update", 3.0, 3.1)
+        assert clock.totals["construct"] == pytest.approx(0.75)
+        assert clock.totals["update"] == pytest.approx(0.1)
+        assert clock.totals["fold"] == 0.0
+
+    def test_flush_block_returns_all_phases_and_resets(self):
+        clock = PhaseClock()
+        clock.add("construct", 0.0, 1.0)
+        deltas = clock.flush_block()
+        assert set(deltas) == set(PHASES)
+        assert deltas["construct"] == pytest.approx(1.0)
+        assert deltas["host-sync"] == 0.0
+        # Block reset; totals survive.
+        assert clock.flush_block()["construct"] == 0.0
+        assert clock.totals["construct"] == pytest.approx(1.0)
+
+    def test_flush_publishes_nonzero_phases_to_registry(self):
+        reg = MetricsRegistry()
+        clock = PhaseClock(metrics=reg)
+        clock.add("construct", 0.0, 0.5)
+        clock.add("update", 0.5, 0.6)
+        clock.flush_block()
+        clock.add("construct", 1.0, 1.2)
+        clock.flush_block()
+        snap = reg.snapshot()["histograms"]
+        assert snap["engine.phase.construct"]["count"] == 2
+        assert snap["engine.phase.update"]["count"] == 1
+        # Zero phases never publish an observation.
+        assert "engine.phase.fold" not in snap
+
+    def test_null_registry_stays_empty(self):
+        clock = PhaseClock()  # metrics=None -> NULL_REGISTRY
+        clock.add("construct", 0.0, 1.0)
+        clock.flush_block()
+        assert clock.metrics.enabled is False
+        assert clock.metrics.snapshot()["histograms"] == {}
+
+    def test_mark_since_windows_the_totals(self):
+        clock = PhaseClock()
+        clock.add("construct", 0.0, 1.0)
+        mark = clock.mark()
+        clock.add("construct", 2.0, 2.5)
+        clock.add("fold", 3.0, 3.25)
+        window = clock.since(mark)
+        assert window["construct"] == pytest.approx(0.5)
+        assert window["fold"] == pytest.approx(0.25)
+        assert window["update"] == 0.0
+
+    def test_tracer_receives_labelled_spans(self):
+        tracer = TraceRecorder()
+        clock = PhaseClock(tracer=tracer)
+        clock.add("construct", 1.0, 1.5, label="construct:roulette")
+        clock.add("update", 1.5, 1.6)
+        assert len(tracer) == 2
+        assert tracer.spans[0].name == "construct:roulette"
+        assert tracer.spans[0].cat == "construct"
+        assert tracer.spans[1].name == "update"  # label defaults to phase
+        assert tracer.spans[1].duration == pytest.approx(0.1)

@@ -1,0 +1,64 @@
+"""Tests for the chrome-trace exporter (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import TraceRecorder, TraceSpan
+
+
+class TestTraceRecorder:
+    def test_spans_accumulate(self):
+        rec = TraceRecorder()
+        rec.add_span("a", 1.0, 0.5)
+        rec.add_span("b", 1.5, 0.25, tid=3, cat="update")
+        assert len(rec) == 2
+        assert rec.spans[0] == TraceSpan("a", 1.0, 0.5)
+        assert rec.spans[1].tid == 3 and rec.spans[1].cat == "update"
+
+    def test_negative_durations_clamped(self):
+        rec = TraceRecorder()
+        rec.add_span("x", 5.0, -0.1)
+        assert rec.spans[0].duration == 0.0
+
+    def test_chrome_trace_format(self):
+        rec = TraceRecorder()
+        rec.add_span("construct", 10.0, 0.002, cat="construct")
+        rec.add_span("update", 10.002, 0.001, cat="update")
+        payload = rec.to_chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        first = events[0]
+        # Complete events, µs timestamps normalized to the first span.
+        assert first["ph"] == "X"
+        assert first["ts"] == 0.0
+        assert first["dur"] == 2000.0
+        assert events[1]["ts"] == 2000.0
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(first)
+
+    def test_empty_trace_exports(self):
+        assert TraceRecorder().to_chrome_trace()["traceEvents"] == []
+
+    def test_write_roundtrip(self, tmp_path):
+        rec = TraceRecorder()
+        rec.add_span("a", 0.0, 1.0)
+        path = tmp_path / "trace.json"
+        rec.write(path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == rec.to_chrome_trace()
+
+    def test_thread_safe_appends(self):
+        rec = TraceRecorder()
+
+        def hammer(tid):
+            for i in range(1000):
+                rec.add_span("s", float(i), 0.001, tid=tid)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == 4000

@@ -1,0 +1,150 @@
+"""Instrumentation parity: metrics/tracing must not perturb the engine.
+
+The observability layer only reads ``perf_counter``; it must never touch
+engine arrays or the engine RNG.  This suite pins that contract the same
+way ``test_report_every.py`` pins the amortized loop: an engine run with a
+live :class:`~repro.obs.MetricsRegistry` and
+:class:`~repro.obs.TraceRecorder` attached must be **bit-identical** — best
+tours, best lengths, per-iteration bests and the final pheromone stack —
+to a bare engine, for every construction kernel (1-8) x every pheromone
+strategy (1-5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams, BatchEngine
+from repro.obs import PHASES, MetricsRegistry, NullRegistry, TraceRecorder
+from repro.tsp import uniform_instance
+
+ITERATIONS = 5
+SEEDS = [11, 19]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Same grid geometry test_report_every.py pins its invariant on.
+    return uniform_instance(16, seed=2024)
+
+
+def _engine(instance, construction, pheromone, **kwargs):
+    return BatchEngine(
+        instance,
+        [ACOParams(seed=s, nn=7) for s in SEEDS],
+        construction=construction,
+        pheromone=pheromone,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("construction", range(1, 9))
+@pytest.mark.parametrize("pheromone", range(1, 6))
+def test_instrumented_run_bit_identical(instance, construction, pheromone):
+    bare_engine = _engine(instance, construction, pheromone)
+    bare = bare_engine.run(ITERATIONS, report_every=2)
+
+    metrics = MetricsRegistry()
+    tracer = TraceRecorder()
+    obs_engine = _engine(
+        instance, construction, pheromone, metrics=metrics, tracer=tracer
+    )
+    got = obs_engine.run(ITERATIONS, report_every=2)
+
+    for b in range(len(SEEDS)):
+        assert got.results[b].best_length == bare.results[b].best_length
+        np.testing.assert_array_equal(
+            got.results[b].best_tour, bare.results[b].best_tour
+        )
+        assert (
+            got.results[b].iteration_best_lengths
+            == bare.results[b].iteration_best_lengths
+        )
+    np.testing.assert_array_equal(
+        obs_engine.state.pheromone, bare_engine.state.pheromone
+    )
+    np.testing.assert_array_equal(obs_engine.state.tours, bare_engine.state.tours)
+
+    # The instrumented run did actually record something.
+    assert len(tracer) > 0
+    assert metrics.snapshot()["counters"]["engine.runs"] == 1
+
+
+def test_bare_engine_publishes_nothing(instance):
+    """metrics=None resolves to the shared no-op registry: zero entries."""
+    engine = _engine(instance, 8, 1)
+    engine.run(ITERATIONS, report_every=2)
+    assert isinstance(engine.phase_clock.metrics, NullRegistry)
+    assert engine.phase_clock.metrics.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    assert engine.tracer is None
+
+
+def test_phase_breakdown_always_on_and_sums_to_wall(instance):
+    """Run totals are accumulated even without a registry, and account for
+    the whole wall-clock (phases sum <= wall, and nearly all of it)."""
+    engine = _engine(instance, 8, 1)
+    batch = engine.run(ITERATIONS, report_every=2)
+    breakdown = batch.phase_breakdown
+    assert set(breakdown) == set(PHASES)
+    total = sum(breakdown.values())
+    assert total > 0.0
+    # Loop overhead only: the phases cover the run up to ~5% slack, and
+    # can never exceed the measured wall.
+    assert total <= batch.wall_seconds * 1.05
+    assert breakdown["construct"] > 0.0
+    assert breakdown["local-search"] == 0.0  # not installed
+
+
+def test_phase_breakdown_windows_per_run(instance):
+    """Each run() reports only its own window of the engine's totals."""
+    engine = _engine(instance, 8, 1)
+    first = engine.run(3, report_every=1)
+    second = engine.run(2, report_every=1)
+    assert sum(first.phase_breakdown.values()) > 0.0
+    assert sum(second.phase_breakdown.values()) > 0.0
+    # Engine totals hold both windows.
+    both = engine.phase_clock.totals
+    for phase in PHASES:
+        assert both[phase] == pytest.approx(
+            first.phase_breakdown[phase] + second.phase_breakdown[phase]
+        )
+
+
+def test_boundary_updates_carry_block_deltas(instance):
+    seen = []
+
+    def on_boundary(update):
+        seen.append(update.phase_seconds)
+        return False
+
+    engine = _engine(
+        instance, 8, 1, metrics=MetricsRegistry(), tracer=TraceRecorder()
+    )
+    engine.run(ITERATIONS, report_every=2, on_boundary=on_boundary)
+    assert len(seen) == 3  # boundaries at 2, 4 and the forced final 5
+    for deltas in seen:
+        assert set(deltas) == set(PHASES)
+        assert deltas["construct"] > 0.0
+    # Block histograms got one observation per boundary.
+    snap = engine.metrics.snapshot()["histograms"]
+    assert snap["engine.phase.construct"]["count"] == 3
+
+
+def test_local_search_phase_accounted(instance):
+    engine = _engine(instance, 8, 1, local_search="2opt")
+    batch = engine.run(4, report_every=2)
+    assert batch.phase_breakdown["local-search"] > 0.0
+
+
+def test_tracer_spans_labelled_by_variant_policies(instance):
+    tracer = TraceRecorder()
+    engine = _engine(instance, 8, 1, tracer=tracer)
+    engine.run(2, report_every=1)
+    names = {s.name for s in tracer.spans}
+    assert "construct:roulette" in names
+    assert any(n.startswith("update:") for n in names)
+    cats = {s.cat for s in tracer.spans}
+    assert {"construct", "fold", "update", "host-sync"} <= cats

@@ -347,6 +347,85 @@ class TestSolveVariants:
         assert "construction v8" in out and "pheromone v1" in out
 
 
+class TestObservabilityFlags:
+    def test_solve_profile_prints_phase_table(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--seed", "3", "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall-clock (profile)" in out
+        assert "construct" in out and "host-sync" in out
+        assert "total (phases)" in out
+
+    def test_solve_profile_matches_unprofiled_result(self, capsys):
+        # --profile routes through the engine at B=1; the result must not move.
+        assert cli_main(["solve", "att48", "--iterations", "2", "--seed", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert cli_main(
+            ["solve", "att48", "--iterations", "2", "--seed", "3", "--profile"]
+        ) == 0
+        profiled = capsys.readouterr().out
+        import re
+
+        def get_best(out):
+            return re.search(r"best (?:tour length|overall): (\d+)", out).group(1)
+
+        assert get_best(plain) == get_best(profiled)
+
+    def test_solve_trace_writes_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "2", "--replicas", "2",
+             "--report-every", "2", "--trace", str(trace)]
+        )
+        assert rc == 0
+        assert f"chrome trace written to {trace}" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert any(e["cat"] == "construct" for e in events)
+
+    def test_profile_phase_sum_close_to_wall(self, capsys):
+        rc = cli_main(
+            ["solve", "att48", "--iterations", "4", "--replicas", "2",
+             "--report-every", "2", "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        total_row = next(
+            line for line in out.splitlines() if "total (phases)" in line
+        )
+        # Last column is the phases' share of the (unrounded) wall-clock.
+        wall_pct = float(total_row.split()[-1].rstrip("%"))
+        # The acceptance bound: phases within 10% of the measured wall.
+        assert 90.0 <= wall_pct <= 100.5
+
+    def test_stats_unreachable_server_fails_cleanly(self, capsys):
+        rc = cli_main(["stats", "--port", "1"])  # nothing listens there
+        assert rc == 1
+        assert "cannot scrape stats" in capsys.readouterr().err
+
+    def test_bench_json_list(self, capsys):
+        assert cli_main(["bench", "--json", "--list"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        scripts = {row["script"] for row in payload}
+        assert "bench_loop_amortization.py" in scripts
+
+    def test_bench_json_run_validates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_loop.json"
+        rc = cli_main(
+            ["bench", "--json", "loop", "--", "--quick", "--out", str(out)]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["script"] == "bench_loop_amortization.py"
+        assert report["validated"] is True
+        assert report["returncode"] == 0
+        assert report["artefact"]["results"]
+
+
 class TestExperimentsCommand:
     def test_single_artefact(self, capsys):
         assert exp_main(["table3"]) == 0

@@ -50,3 +50,43 @@ class TestTimer:
         t.reset()
         assert t.count == 0
         assert t.total == 0.0
+
+    def test_percentile_linear_interpolation(self):
+        t = Timer()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            t.add(v)
+        assert t.percentile(0) == 1.0
+        assert t.percentile(100) == 4.0
+        assert t.p50 == pytest.approx(2.5)
+        assert t.percentile(25) == pytest.approx(1.75)
+
+    def test_percentile_single_lap(self):
+        t = Timer()
+        t.add(7.0)
+        assert t.p50 == 7.0 and t.p99 == 7.0
+
+    def test_percentile_ignores_insertion_order(self):
+        t = Timer()
+        for v in (9.0, 1.0, 5.0):
+            t.add(v)
+        assert t.p50 == 5.0
+        assert t.laps == [9.0, 1.0, 5.0]  # sorting never mutates the laps
+
+    def test_percentile_empty_is_zero(self):
+        assert Timer().p95 == 0.0
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Timer().percentile(-1)
+        with pytest.raises(ValueError):
+            Timer().percentile(100.5)
+
+    def test_merge_folds_laps_and_chains(self):
+        a = Timer()
+        b = Timer()
+        a.add(1.0)
+        b.add(3.0)
+        assert a.merge(b) is a
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+        assert b.count == 1  # other side untouched
