@@ -176,6 +176,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "(open in chrome://tracing or Perfetto; implies the engine path "
         "like --profile)",
     )
+    solve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write engine checkpoints to PATH at report boundaries "
+        "(atomic replace; Ctrl-C salvages a final checkpoint; implies "
+        "the engine path like --profile)",
+    )
+    solve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N iterations (default: every report "
+        "boundary; must be a multiple of --report-every)",
+    )
+    solve.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="restore engine state from a checkpoint and run the "
+        "remaining iterations (bit-identical to the uninterrupted run "
+        "when the checkpoint sits on a report boundary)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="batched parameter sweep over one instance"
@@ -279,6 +303,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="array backend (default: $ACO_BACKEND or numpy)",
     )
+    serve.add_argument(
+        "--retry-budget",
+        type=int,
+        default=3,
+        help="failed-batch re-runs each request may consume before its "
+        "failure is surfaced (quarantine bisection; default 3)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write a checkpoint of every completed batch engine into DIR",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -291,6 +328,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="as_json",
         help="print the raw snapshot as one JSON object instead of tables",
+    )
+    stats.add_argument(
+        "--health",
+        action="store_true",
+        help='probe {"op": "health"} (liveness, queue depths, worker '
+        "threads) instead of scraping the stats counters",
     )
 
     exps = sub.add_parser("experiments", help="reproduce paper tables/figures")
@@ -439,20 +482,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     _check_variant_flags(args.variant, args.construction, args.pheromone)
     _check_ls_flags(args)
+    if args.checkpoint_every is not None:
+        if args.checkpoint is None:
+            raise SystemExit(
+                "error: --checkpoint-every requires --checkpoint PATH"
+            )
+        if args.checkpoint_every < 1:
+            raise SystemExit(
+                f"error: --checkpoint-every must be >= 1, "
+                f"got {args.checkpoint_every}"
+            )
+        if args.checkpoint_every % args.report_every != 0:
+            raise SystemExit(
+                f"error: --checkpoint-every ({args.checkpoint_every}) must "
+                f"be a multiple of --report-every ({args.report_every}); "
+                "checkpoints are written at report boundaries"
+            )
     instance = _load(args.instance)
     device = DEVICES[args.device]
     params = ACOParams(n_ants=args.ants, nn=args.nn, seed=args.seed)
     backend = _resolve_backend_arg(args.backend)
     construction = 8 if args.construction is None else args.construction
     pheromone = 1 if args.pheromone is None else args.pheromone
-    # Local search and phase accounting live on the batched engine, so an
-    # ls-enabled or profiled/traced solve runs through the replica path
-    # even at B=1 (any variant).
+    # Local search, phase accounting and checkpointing live on the batched
+    # engine, so an ls-enabled, profiled/traced or checkpointed solve runs
+    # through the replica path even at B=1 (any variant).
     if (
         args.replicas > 1
         or args.local_search != "none"
         or args.profile
         or args.trace
+        or args.checkpoint
+        or args.resume
     ):
         return _solve_replicas(
             args, instance, device, params, backend, construction, pheromone
@@ -584,6 +645,8 @@ def _solve_replicas(
 
     profile = getattr(args, "profile", False)
     trace_path = getattr(args, "trace", None)
+    ck_path = getattr(args, "checkpoint", None)
+    resume_path = getattr(args, "resume", None)
     metrics = MetricsRegistry() if profile else None
     tracer = TraceRecorder() if trace_path else None
     engine = BatchEngine.replicas(
@@ -600,6 +663,28 @@ def _solve_replicas(
         metrics=metrics,
         tracer=tracer,
     )
+    iterations = args.iterations
+    if resume_path is not None:
+        from repro.core import load_checkpoint
+        from repro.errors import CheckpointError
+
+        try:
+            ck = load_checkpoint(resume_path)
+            engine.restore(ck)
+        except CheckpointError as exc:
+            raise SystemExit(f"error: cannot resume from {resume_path}: {exc}")
+        iterations = args.iterations - ck.iteration
+        if iterations <= 0:
+            print(
+                f"checkpoint {resume_path} is already at iteration "
+                f"{ck.iteration} >= --iterations {args.iterations}; "
+                "nothing to run"
+            )
+            return 0
+        print(
+            f"resumed from {resume_path} at iteration {ck.iteration}; "
+            f"running the remaining {iterations}"
+        )
     kernels = (
         f"variant {args.variant}"
         if args.variant != "as"
@@ -611,21 +696,44 @@ def _solve_replicas(
         f"[backend {backend.name}] with "
         f"{args.replicas} batched replicas, {kernels}"
     )
+    on_boundary = None
+    if ck_path is not None:
+        ck_every = getattr(args, "checkpoint_every", None) or args.report_every
+
+        def on_boundary(update) -> None:
+            # The final boundary fires even off the K-grid; only write on
+            # aligned iterations so every checkpoint resumes bit-identical.
+            if update.iteration % ck_every == 0:
+                engine.checkpoint(ck_path)
+
     try:
-        batch = engine.run(args.iterations, report_every=args.report_every)
+        batch = engine.run(
+            iterations, report_every=args.report_every, on_boundary=on_boundary
+        )
     except RunInterrupted as exc:
         _interrupt_banner()
         batch = exc.partial
         rc = 130
+        if ck_path is not None:
+            # Salvage: the interrupt path synced best-so-far records to the
+            # host, so the engine is checkpointable at the last completed
+            # iteration (off-boundary under local search — best-effort).
+            engine.checkpoint(ck_path)
+            print(f"salvage checkpoint written to {ck_path} "
+                  f"(iteration {engine.state.iteration})")
     else:
         rc = 0
+        if ck_path is not None:
+            engine.checkpoint(ck_path)
+            print(f"final checkpoint written to {ck_path} "
+                  f"(iteration {engine.state.iteration})")
     t = Table(["replica", "seed", "best length"], title="per-replica results")
     for b, res in enumerate(batch.results):
         t.add_row([b, engine.state.params[b].seed, res.best_length])
     print(t.render())
     print(f"best overall: {batch.best_length} (replica {batch.best_row})")
     _ls_stats_line(args, batch)
-    iterations_run = batch.iterations_run or args.iterations
+    iterations_run = batch.iterations_run or iterations
     print(
         f"wall-clock (batched functional simulation): {batch.wall_seconds:.2f}s "
         f"for {args.replicas} x {iterations_run} iterations "
@@ -914,6 +1022,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait=args.max_wait_ms / 1000.0,
             workers=args.workers,
             max_pending=args.max_pending,
+            retry_budget=args.retry_budget,
+            checkpoint_dir=args.checkpoint_dir,
             backend=backend,
             device=device,
         )
@@ -963,18 +1073,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ServeError
-    from repro.serve import stats_over_tcp
+    from repro.serve import health_over_tcp, stats_over_tcp
 
+    plane = "health" if args.health else "stats"
     try:
-        snap = asyncio.run(stats_over_tcp(args.host, args.port))
+        if args.health:
+            snap = asyncio.run(health_over_tcp(args.host, args.port))
+        else:
+            snap = asyncio.run(stats_over_tcp(args.host, args.port))
     except (ServeError, OSError) as exc:
         print(
-            f"error: cannot scrape stats from {args.host}:{args.port}: {exc}",
+            f"error: cannot scrape {plane} from {args.host}:{args.port}: {exc}",
             file=sys.stderr,
         )
         return 1
     if args.as_json:
         print(json.dumps(snap, sort_keys=True))
+        return 0
+    if args.health:
+        t = Table(
+            ["probe", "value"], title=f"service health @ {args.host}:{args.port}"
+        )
+        for key, value in snap.items():
+            if key == "queue_depths":
+                for bucket, depth in sorted(value.items()):
+                    t.add_row([f"queue[{bucket}]", depth])
+            else:
+                t.add_row([key, value])
+        print(t.render())
         return 0
     t = Table(
         ["counter", "value"], title=f"service stats @ {args.host}:{args.port}"
@@ -985,6 +1111,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "resolved_by_target",
         "resolved_by_deadline",
         "failed",
+        "requests_timed_out",
+        "requests_shed",
+        "requests_retried",
+        "batches_bisected",
+        "checkpoints_written",
         "batches",
         "rows_packed",
         "ls_batches",

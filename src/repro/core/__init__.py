@@ -16,6 +16,14 @@ from repro.core.batch import (
     BatchRunResult,
     BoundaryUpdate,
 )
+from repro.core.checkpoint import (
+    EngineCheckpoint,
+    capture_checkpoint,
+    engine_fingerprint,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
 from repro.core.mmas import MaxMinAntSystem, MMASParams, MMASRunResult
 from repro.core.choice import ChoiceKernel
 from repro.core.colony import AntSystem, RunResult
@@ -51,6 +59,12 @@ __all__ = [
     "BatchEngine",
     "BatchRunResult",
     "BoundaryUpdate",
+    "EngineCheckpoint",
+    "capture_checkpoint",
+    "engine_fingerprint",
+    "load_checkpoint",
+    "restore_engine",
+    "save_checkpoint",
     "ColonyState",
     "ChoiceKernel",
     "TourConstruction",

@@ -589,6 +589,45 @@ class BatchEngine:
     def B(self) -> int:
         return self.state.B
 
+    # ----------------------------------------------------------- checkpoint
+
+    def checkpoint(self, path=None):
+        """Snapshot the engine's mutable state (optionally writing ``path``).
+
+        Thin delegation to :mod:`repro.core.checkpoint` — returns the
+        :class:`~repro.core.checkpoint.EngineCheckpoint`; with ``path``
+        the snapshot is also written atomically to disk.  Capture at a
+        ``report_every`` boundary (the ``on_boundary`` hook) or while the
+        engine is idle; see the module docstring for the exactness
+        contract.
+        """
+        from repro.core.checkpoint import capture_checkpoint, save_checkpoint
+
+        ck = capture_checkpoint(self)
+        if path is not None:
+            save_checkpoint(ck, path)
+            metrics = self.phase_clock.metrics
+            if metrics.enabled:
+                metrics.inc("engine.checkpoints_written")
+        return ck
+
+    def restore(self, source) -> "BatchEngine":
+        """Install checkpointed state (an
+        :class:`~repro.core.checkpoint.EngineCheckpoint` or a file path)
+        into this engine; returns ``self`` for chaining.  The engine must
+        be configured exactly like the one that wrote the checkpoint
+        (fingerprint-validated)."""
+        from repro.core.checkpoint import (
+            EngineCheckpoint,
+            load_checkpoint,
+            restore_engine,
+        )
+
+        if not isinstance(source, EngineCheckpoint):
+            source = load_checkpoint(source)
+        restore_engine(self, source)
+        return self
+
     # ------------------------------------------------------------ iteration
 
     def _seed_fold(self) -> None:

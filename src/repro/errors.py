@@ -27,6 +27,10 @@ __all__ = [
     "ServeError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "ServeTimeoutError",
+    "InjectedFaultError",
+    "WorkerKilledError",
+    "CheckpointError",
 ]
 
 
@@ -180,3 +184,44 @@ class ServiceClosedError(ServeError):
 
 class ServiceOverloadedError(ServeError):
     """The service's pending-request capacity is exhausted (backpressure)."""
+
+
+class ServeTimeoutError(ServeError):
+    """A request exceeded its wall-clock timeout before completing.
+
+    Enforced lazily at flush/retry boundaries: the service does not run a
+    per-request timer, it checks deadlines whenever the request would next
+    be (re)scheduled onto a worker.
+    """
+
+
+class InjectedFaultError(ServeError):
+    """A deterministic fault-injection plan fired (chaos testing only).
+
+    Raised by :class:`repro.serve.faults.FaultInjector` inside worker
+    batches; in production code paths this error never occurs.
+    """
+
+
+class WorkerKilledError(BaseException):
+    """A fault plan simulated the death of a worker mid-batch.
+
+    Deliberately **not** an :class:`Exception`: real worker death (OOM
+    killer, segfault in a native extension) does not flow through normal
+    ``except Exception`` recovery, so the chaos seam models it as a
+    ``BaseException`` that only the service's outermost BaseException
+    barrier may catch.  ``concurrent.futures`` captures BaseExceptions
+    raised on worker threads, so the futures plumbing survives.
+    """
+
+
+# -------------------------------------------------------------------- checkpoint
+
+
+class CheckpointError(ReproError):
+    """An engine checkpoint could not be written, read, or restored.
+
+    Covers unreadable files, magic/version mismatches, and fingerprint
+    mismatches (restoring a checkpoint into an engine whose configuration
+    differs from the one that wrote it).
+    """

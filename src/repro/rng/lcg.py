@@ -219,3 +219,16 @@ class ParkMillerLCG(DeviceRNG):
     def state(self) -> np.ndarray:
         """Copy of the per-stream states (for tests and checkpointing)."""
         return self._state.copy()
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"state": self.backend.to_host(self._state).copy()}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        state = np.asarray(arrays["state"], dtype=np.int64)
+        self._check_state_shape(state, "state")
+        if bool((state < 1).any()) or bool((state >= LCG_IM).any()):
+            raise ValueError(
+                f"LCG states must lie in [1, {LCG_IM - 1}]; checkpoint holds "
+                "out-of-range values"
+            )
+        self._state = self.backend.from_host(state.copy())

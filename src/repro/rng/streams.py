@@ -170,6 +170,38 @@ class DeviceRNG(abc.ABC):
         self.samples_drawn += rounds * self.n_streams
         return block
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Host copies of the generator's mutable per-stream state.
+
+        The checkpoint seam: together with ``samples_drawn`` this is
+        everything needed to resume the stream bit-identically.  Keys are
+        generator-specific (``{"state": ...}`` for the LCG, the six state
+        words for XORWOW); :meth:`load_state_arrays` accepts exactly what
+        this returns.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state capture"
+        )
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        """Replace the per-stream state with a :meth:`state_arrays` capture.
+
+        The stream count must match; draws after the load continue the
+        captured sequence exactly (pinned by the checkpoint parity suite).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state restore"
+        )
+
+    def _check_state_shape(self, arr: np.ndarray, key: str) -> None:
+        if arr.shape != (self.n_streams,):
+            raise ValueError(
+                f"state array {key!r} has shape {arr.shape}; this generator "
+                f"holds {self.n_streams} streams"
+            )
+
     def uniform_scalar(self, stream: int = 0) -> float:
         """Draw one vector but return only ``stream``'s sample.
 

@@ -100,3 +100,21 @@ class XorwowRNG(DeviceRNG):
             self._v.copy(),
             self._d.copy(),
         )
+
+    _STATE_WORDS = ("x", "y", "z", "w", "v", "d")
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        to_host = self.backend.to_host
+        return {
+            word: to_host(getattr(self, f"_{word}")).copy()
+            for word in self._STATE_WORDS
+        }
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        words = []
+        for word in self._STATE_WORDS:
+            arr = np.asarray(arrays[word], dtype=np.uint32)
+            self._check_state_shape(arr, word)
+            words.append(arr)
+        for word, arr in zip(self._STATE_WORDS, words):
+            setattr(self, f"_{word}", self.backend.from_host(arr.copy()))

@@ -13,7 +13,13 @@ architecture, :mod:`repro.serve.client` for in-process use and
 from __future__ import annotations
 
 from repro.serve.client import AsyncSolveClient
-from repro.serve.protocol import request_over_tcp, serve_tcp, stats_over_tcp
+from repro.serve.faults import FaultInjector, FaultPlan, malformed_wire_lines
+from repro.serve.protocol import (
+    health_over_tcp,
+    request_over_tcp,
+    serve_tcp,
+    stats_over_tcp,
+)
 from repro.serve.service import (
     BatchKey,
     ServiceStats,
@@ -26,11 +32,15 @@ from repro.serve.service import (
 __all__ = [
     "AsyncSolveClient",
     "BatchKey",
+    "FaultInjector",
+    "FaultPlan",
     "ServiceStats",
     "SolveHandle",
     "SolveRequest",
     "SolveService",
     "SolveUpdate",
+    "health_over_tcp",
+    "malformed_wire_lines",
     "request_over_tcp",
     "serve_tcp",
     "stats_over_tcp",

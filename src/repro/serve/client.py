@@ -44,6 +44,8 @@ class AsyncSolveClient:
         iterations: int = 20,
         report_every: int = 1,
         deadline: float | None = None,
+        timeout: float | None = None,
+        priority: int = 0,
         target_length: int | None = None,
         construction: int = 8,
         pheromone: int = 1,
@@ -60,6 +62,8 @@ class AsyncSolveClient:
             iterations=iterations,
             report_every=report_every,
             deadline=deadline,
+            timeout=timeout,
+            priority=priority,
             target_length=target_length,
             construction=construction,
             pheromone=pheromone,
@@ -80,3 +84,8 @@ class AsyncSolveClient:
         wrapped service (same payload the TCP ``{"op": "stats"}`` line
         returns)."""
         return self.service.stats.snapshot()
+
+    def health(self) -> dict:
+        """Live :meth:`~repro.serve.service.SolveService.health` probe
+        (same payload the TCP ``{"op": "health"}`` line returns)."""
+        return self.service.health()

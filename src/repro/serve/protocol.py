@@ -35,23 +35,37 @@ requests interleave (match on ``id``).  Closing the connection does not
 cancel accepted work.
 
 Admin lines carry an ``op`` instead of an ``instance`` — the live stats
-plane::
+and health planes::
 
     {"op": "stats", "id": "s1"}
     {"type": "stats", "id": "s1", "stats": {"submitted": 12, ...,
      "request_latency_seconds": {"count": 12, "p50": ..., "p95": ...}}}
+    {"op": "health", "id": "h1"}
+    {"type": "health", "id": "h1", "health": {"accepting": true,
+     "queued": 0, "inflight_batches": 1, "workers_alive": 2,
+     "last_batch_age_seconds": 0.8, ...}}
 
 ``stats`` answers with the service's
 :meth:`~repro.serve.service.ServiceStats.snapshot` (batch counters,
 flush-cause counts, queue-wait / batch-wall / request-latency
-distributions); unknown ops get an ``error`` line.  ``gpu-aco stats`` is
-the CLI client.
+distributions); ``health`` with
+:meth:`~repro.serve.service.SolveService.health` (queue depths, worker
+liveness, last-batch age); unknown ops get an ``error`` line.  ``gpu-aco
+stats`` is the CLI client for both.
+
+Wire hardening: a line longer than ``max_line_bytes`` (default 1 MiB) or
+one that is not valid UTF-8 JSON is answered with a structured ``error``
+line and the connection **survives** — oversized input is discarded in
+bounded chunks, never buffered whole.  The client helpers take connect /
+read timeouts and bounded, jittered reconnect-retries for transient
+connection errors.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 import numpy as np
 
@@ -62,8 +76,10 @@ from repro.serve.service import SolveHandle, SolveRequest, SolveService, SolveUp
 from repro.tsp.instance import TSPInstance
 
 __all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
     "decode_request",
     "encode_request",
+    "health_over_tcp",
     "instance_from_json",
     "instance_to_json",
     "request_over_tcp",
@@ -72,6 +88,10 @@ __all__ = [
 ]
 
 _PARAM_FIELDS = ("alpha", "beta", "rho", "n_ants", "nn", "seed", "eta_shift")
+
+#: default cap on one wire line; oversized lines are discarded in bounded
+#: chunks and answered with an ``error`` line (the connection survives)
+DEFAULT_MAX_LINE_BYTES = 1 << 20
 
 
 # ------------------------------------------------------------- encode / decode
@@ -121,6 +141,10 @@ def encode_request(request: SolveRequest, req_id: str) -> bytes:
     }
     if request.deadline is not None:
         payload["deadline"] = request.deadline
+    if request.timeout is not None:
+        payload["timeout"] = request.timeout
+    if request.priority:
+        payload["priority"] = request.priority
     if request.target_length is not None:
         payload["target_length"] = request.target_length
     if request.local_search != "none":
@@ -133,10 +157,12 @@ def encode_request(request: SolveRequest, req_id: str) -> bytes:
 
 def _parse_line(line: bytes | str) -> dict:
     """One wire line as a JSON object; :class:`~repro.errors.ServeError`
-    on anything else."""
+    on anything else (broken JSON *and* undecodable bytes — both are
+    client errors that must become error responses, not dropped
+    connections)."""
     try:
         obj = json.loads(line)
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ServeError(f"bad JSON: {exc}") from None
     if not isinstance(obj, dict):
         raise ServeError("request must be a JSON object")
@@ -176,6 +202,10 @@ def decode_request_obj(obj: dict, *, default_id: str) -> tuple[str, SolveRequest
             deadline=(
                 None if obj.get("deadline") is None else float(obj["deadline"])
             ),
+            timeout=(
+                None if obj.get("timeout") is None else float(obj["timeout"])
+            ),
+            priority=int(obj.get("priority", 0)),
             target_length=(
                 None
                 if obj.get("target_length") is None
@@ -248,7 +278,51 @@ def _encode_stats(req_id: str, stats: dict) -> bytes:
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
+def _encode_health(req_id: str, health: dict) -> bytes:
+    payload = {"type": "health", "id": req_id, "health": health}
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
 # --------------------------------------------------------------------- server
+
+
+async def _read_wire_line(
+    reader: asyncio.StreamReader,
+) -> tuple[bytes, int]:
+    """One line from a limit-bounded reader; ``(line, discarded_bytes)``.
+
+    The reader's ``limit`` (set at ``start_server`` time) bounds how much
+    an unterminated line may buffer.  An over-limit line is consumed and
+    thrown away in limit-sized chunks up to its terminating newline —
+    memory stays bounded no matter how long the line is — and reported as
+    ``(b"", discarded)`` with ``discarded > 0`` so the caller can answer
+    with a structured error.  EOF returns ``(b"", 0)``; a final
+    unterminated line within the limit is returned as-is.
+    """
+    try:
+        return await reader.readuntil(b"\n"), 0
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial, 0  # EOF (possibly an unterminated final line)
+    except asyncio.LimitOverrunError as exc:
+        discarded = 0
+        consumed = exc.consumed
+        while True:
+            # Drop the buffered over-limit bytes, then keep scanning for
+            # the newline; every pass consumes what the buffer holds.
+            chunk = await reader.read(max(consumed, 1))
+            discarded += len(chunk)
+            if not chunk:  # EOF inside the oversized line
+                break
+            try:
+                tail = await reader.readuntil(b"\n")
+                discarded += len(tail)
+                break
+            except asyncio.IncompleteReadError as eof:
+                discarded += len(eof.partial)
+                break
+            except asyncio.LimitOverrunError as more:
+                consumed = more.consumed
+        return b"", discarded
 
 
 async def _stream_response(
@@ -294,7 +368,21 @@ async def _handle_connection(
     counter = 0
     try:
         while True:
-            line = await reader.readline()
+            line, discarded = await _read_wire_line(reader)
+            if discarded:
+                counter += 1
+                async with lock:
+                    writer.write(
+                        _encode_error(
+                            None,
+                            ServeError(
+                                f"line too long ({discarded} bytes discarded); "
+                                "one request per newline-terminated line"
+                            ),
+                        )
+                    )
+                    await writer.drain()
+                continue
             if not line:  # EOF
                 break
             if not line.strip():
@@ -305,13 +393,22 @@ async def _handle_connection(
                 obj = _parse_line(line)
                 if "op" in obj:
                     # Admin plane: answered inline, never queued behind
-                    # solve work (snapshot() is lock-bounded, not solving).
+                    # solve work (snapshot()/health() are lock-bounded,
+                    # not solving).
                     op = str(obj["op"])
                     op_id = str(obj.get("id", f"req-{counter}"))
-                    if op != "stats":
-                        raise ServeError(f"unknown op {op!r} (supported: 'stats')")
+                    if op == "stats":
+                        payload = _encode_stats(
+                            op_id, service.stats.snapshot()
+                        )
+                    elif op == "health":
+                        payload = _encode_health(op_id, service.health())
+                    else:
+                        raise ServeError(
+                            f"unknown op {op!r} (supported: 'stats', 'health')"
+                        )
                     async with lock:
-                        writer.write(_encode_stats(op_id, service.stats.snapshot()))
+                        writer.write(payload)
                         await writer.drain()
                     continue
                 req_id, request = decode_request_obj(
@@ -346,14 +443,24 @@ async def _handle_connection(
 
 
 async def serve_tcp(
-    service: SolveService, host: str = "127.0.0.1", port: int = 8642
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
 ) -> asyncio.AbstractServer:
     """Start the JSON-lines TCP front-end on an already-started service.
 
     Returns the :class:`asyncio.AbstractServer`; the caller owns both
     lifetimes (close the server, then drain the service).  ``port=0``
     binds an ephemeral port (see ``server.sockets[0].getsockname()``).
+    ``max_line_bytes`` bounds per-connection buffering: longer lines are
+    discarded in bounded chunks and answered with an ``error`` line.
     """
+    if max_line_bytes < 1:
+        raise ServeError(
+            f"max_line_bytes must be >= 1, got {max_line_bytes}"
+        )
 
     async def handler(reader, writer):
         try:
@@ -364,31 +471,98 @@ async def serve_tcp(
             # cancelled as "Exception in callback" noise.
             writer.close()
 
-    return await asyncio.start_server(handler, host, port)
+    return await asyncio.start_server(
+        handler, host, port, limit=max_line_bytes
+    )
 
 
 # --------------------------------------------------------------------- client
 
 
+async def _connect_with_retries(
+    host: str,
+    port: int,
+    *,
+    connect_timeout: float | None,
+    connect_retries: int,
+    retry_backoff: float,
+    jitter_seed: int,
+):
+    """``open_connection`` with a timeout and bounded jittered retries.
+
+    Transient failures (refused/reset/unreachable, or a connect that
+    times out) are retried up to ``connect_retries`` times with seeded
+    exponential backoff; the final failure surfaces as
+    :class:`~repro.errors.ServeError` carrying the underlying cause.
+    """
+    rng = random.Random(jitter_seed)
+    attempt = 0
+    while True:
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            if attempt >= connect_retries:
+                raise ServeError(
+                    f"cannot connect to {host}:{port} after "
+                    f"{attempt + 1} attempt(s): {exc!r}"
+                ) from exc
+            delay = retry_backoff * (2**attempt) * (1.0 + rng.random())
+            await asyncio.sleep(delay)
+            attempt += 1
+
+
+async def _read_response_line(
+    reader: asyncio.StreamReader, read_timeout: float | None
+) -> bytes:
+    """One response line, bounded by ``read_timeout`` seconds (None = no
+    bound); a timeout surfaces as :class:`~repro.errors.ServeError`."""
+    try:
+        return await asyncio.wait_for(reader.readline(), read_timeout)
+    except asyncio.TimeoutError:
+        raise ServeError(
+            f"no response from server within {read_timeout}s"
+        ) from None
+
+
 async def request_over_tcp(
-    host: str, port: int, request: SolveRequest, *, req_id: str = "r0"
+    host: str,
+    port: int,
+    request: SolveRequest,
+    *,
+    req_id: str = "r0",
+    connect_timeout: float | None = None,
+    read_timeout: float | None = None,
+    connect_retries: int = 0,
+    retry_backoff: float = 0.05,
+    jitter_seed: int = 0,
 ) -> tuple[list[dict], dict]:
     """Fire one request at a running server; return ``(updates, final)``.
 
     ``updates`` are the decoded ``update`` payloads in arrival order;
     ``final`` is the ``result`` payload.  Raises
     :class:`~repro.errors.ServeError` when the server answers with an
-    ``error`` response or closes early.  Mainly a smoke-test/client
+    ``error`` response, closes early, cannot be reached within
+    ``connect_timeout`` (after ``connect_retries`` jittered re-attempts),
+    or goes silent past ``read_timeout``.  Mainly a smoke-test/client
     building block — production clients should keep one connection and
     pipeline.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _connect_with_retries(
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        connect_retries=connect_retries,
+        retry_backoff=retry_backoff,
+        jitter_seed=jitter_seed,
+    )
     updates: list[dict] = []
     try:
         writer.write(encode_request(request, req_id))
         await writer.drain()
         while True:
-            line = await reader.readline()
+            line = await _read_response_line(reader, read_timeout)
             if not line:
                 raise ServeError("server closed the connection mid-request")
             obj = json.loads(line)
@@ -413,27 +587,39 @@ async def request_over_tcp(
             pass
 
 
-async def stats_over_tcp(host: str, port: int, *, req_id: str = "stats-0") -> dict:
-    """Scrape a running server's live stats snapshot over one connection.
-
-    Sends ``{"op": "stats"}`` and returns the decoded ``stats`` payload
-    (:meth:`~repro.serve.service.ServiceStats.snapshot`).  Raises
-    :class:`~repro.errors.ServeError` on an ``error`` response or early
-    close.  This is what ``gpu-aco stats`` calls.
-    """
-    reader, writer = await asyncio.open_connection(host, port)
+async def _admin_over_tcp(
+    host: str,
+    port: int,
+    op: str,
+    req_id: str,
+    *,
+    connect_timeout: float | None = None,
+    read_timeout: float | None = None,
+    connect_retries: int = 0,
+    retry_backoff: float = 0.05,
+    jitter_seed: int = 0,
+) -> dict:
+    """One admin round-trip (``stats`` / ``health``); returns the payload."""
+    reader, writer = await _connect_with_retries(
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        connect_retries=connect_retries,
+        retry_backoff=retry_backoff,
+        jitter_seed=jitter_seed,
+    )
     try:
         writer.write(
-            (json.dumps({"op": "stats", "id": req_id}) + "\n").encode("utf-8")
+            (json.dumps({"op": op, "id": req_id}) + "\n").encode("utf-8")
         )
         await writer.drain()
-        line = await reader.readline()
+        line = await _read_response_line(reader, read_timeout)
         if not line:
             raise ServeError("server closed the connection mid-request")
         obj = json.loads(line)
         kind = obj.get("type")
-        if kind == "stats":
-            return obj["stats"]
+        if kind == op:
+            return obj[op]
         if kind == "error":
             raise ServeError(
                 f"server error {obj.get('error')}: {obj.get('message')}"
@@ -445,3 +631,31 @@ async def stats_over_tcp(host: str, port: int, *, req_id: str = "stats-0") -> di
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
+
+
+async def stats_over_tcp(
+    host: str, port: int, *, req_id: str = "stats-0", **net_kwargs
+) -> dict:
+    """Scrape a running server's live stats snapshot over one connection.
+
+    Sends ``{"op": "stats"}`` and returns the decoded ``stats`` payload
+    (:meth:`~repro.serve.service.ServiceStats.snapshot`).  Raises
+    :class:`~repro.errors.ServeError` on an ``error`` response or early
+    close; accepts the same ``connect_timeout`` / ``read_timeout`` /
+    ``connect_retries`` / ``retry_backoff`` / ``jitter_seed`` knobs as
+    :func:`request_over_tcp`.  This is what ``gpu-aco stats`` calls.
+    """
+    return await _admin_over_tcp(host, port, "stats", req_id, **net_kwargs)
+
+
+async def health_over_tcp(
+    host: str, port: int, *, req_id: str = "health-0", **net_kwargs
+) -> dict:
+    """Probe a running server's liveness over one connection.
+
+    Sends ``{"op": "health"}`` and returns the decoded ``health`` payload
+    (:meth:`~repro.serve.service.SolveService.health`: queue depths,
+    worker liveness, last-batch age).  Same network knobs as
+    :func:`stats_over_tcp`.
+    """
+    return await _admin_over_tcp(host, port, "health", req_id, **net_kwargs)

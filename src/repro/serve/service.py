@@ -32,11 +32,14 @@ across batches.  Worker threads talk back only via
 from __future__ import annotations
 
 import asyncio
+import itertools
+import random
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import NamedTuple
 
 from repro.backend import WorkBuffers, resolve_backend
@@ -46,10 +49,12 @@ from repro.core.params import ACOParams
 from repro.errors import (
     ACOConfigError,
     ServeError,
+    ServeTimeoutError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
 from repro.obs import MetricsRegistry
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.simt.device import TESLA_M2050, DeviceSpec
 from repro.tsp.instance import TSPInstance
 
@@ -120,6 +125,19 @@ class SolveRequest:
         runs one local-search policy.  The ls knobs are only valid with an
         algorithm selected (accepting them with ``"none"`` would split
         buckets of execution-identical requests).
+    timeout:
+        Optional hard wall-clock budget in **seconds from submission**.
+        Unlike ``deadline`` (which resolves with the best-so-far), a
+        timed-out request **fails** with
+        :class:`~repro.errors.ServeTimeoutError`.  Enforced lazily at
+        scheduling points — batch launch, report boundaries, and retry
+        time — not by a per-request timer.
+    priority:
+        Load-shed ordering (higher = more important, default 0).  When
+        :meth:`SolveService.submit_nowait` finds the service at capacity
+        it sheds the lowest-priority queued request that ranks strictly
+        below the newcomer before refusing.  Not part of the bucket key —
+        priorities pack together; they only decide who is shed first.
     """
 
     instance: TSPInstance
@@ -134,6 +152,8 @@ class SolveRequest:
     local_search: str = "none"
     ls_passes: int | None = None
     ls_target: str = "iteration-best"
+    timeout: float | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         from repro.core.variant import LOCAL_SEARCH, LS_TARGETS, VARIANTS
@@ -189,6 +209,8 @@ class SolveRequest:
             )
         if self.deadline is not None and self.deadline <= 0.0:
             raise ACOConfigError(f"deadline must be > 0, got {self.deadline}")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ACOConfigError(f"timeout must be > 0, got {self.timeout}")
         if self.target_length is not None and self.target_length < 1:
             raise ACOConfigError(
                 f"target_length must be >= 1, got {self.target_length}"
@@ -277,8 +299,9 @@ class SolveHandle:
             yield item
 
 
-#: what ended a request: a full run, an early-out, or a failed batch
-REQUEST_OUTCOMES = ("completed", "target", "deadline", "failed")
+#: what ended a request: a full run, an early-out, a failed batch, a
+#: hard wall-clock timeout, or a load-shed eviction
+REQUEST_OUTCOMES = ("completed", "target", "deadline", "failed", "timeout", "shed")
 
 #: why a bucket launched: filled to ``max_batch``, aged past ``max_wait``,
 #: or flushed by the drain path
@@ -311,6 +334,11 @@ class ServiceStats:
     resolved_by_target: int = 0
     resolved_by_deadline: int = 0
     failed: int = 0
+    requests_timed_out: int = 0  #: hard wall-clock timeouts (failures)
+    requests_shed: int = 0  #: load-shed evictions under overload
+    requests_retried: int = 0  #: rows re-run after a batch failure
+    batches_bisected: int = 0  #: failed packs split for quarantine
+    checkpoints_written: int = 0  #: engine checkpoints persisted
     batches: int = 0
     rows_packed: int = 0  #: total rows across all batches (sum of B)
     ls_batches: int = 0  #: batches that ran with local search enabled
@@ -392,10 +420,34 @@ class ServiceStats:
                 self.resolved_by_target += 1
             elif outcome == "deadline":
                 self.resolved_by_deadline += 1
+            elif outcome == "timeout":
+                self.requests_timed_out += 1
+            elif outcome == "shed":
+                self.requests_shed += 1
             else:
                 self.failed += 1
         self.request_latency.observe(latency)
         self.registry.inc(f"serve.resolved.{outcome}")
+
+    def observe_retry(self, rows: int) -> None:
+        """``rows`` requests being re-run after their batch failed (worker
+        failures are observed on the loop thread, but keep the lock — the
+        snapshot path reads from anywhere)."""
+        with self._lock:
+            self.requests_retried += rows
+        self.registry.inc("serve.requests_retried", rows)
+
+    def observe_bisection(self) -> None:
+        """One failed pack split into halves for quarantine."""
+        with self._lock:
+            self.batches_bisected += 1
+        self.registry.inc("serve.batches_bisected")
+
+    def observe_checkpoint(self) -> None:
+        """One engine checkpoint written (worker thread)."""
+        with self._lock:
+            self.checkpoints_written += 1
+        self.registry.inc("serve.checkpoints_written")
 
     # ------------------------------------------------------------- summaries
 
@@ -433,6 +485,11 @@ class ServiceStats:
                 "resolved_by_target": self.resolved_by_target,
                 "resolved_by_deadline": self.resolved_by_deadline,
                 "failed": self.failed,
+                "requests_timed_out": self.requests_timed_out,
+                "requests_shed": self.requests_shed,
+                "requests_retried": self.requests_retried,
+                "batches_bisected": self.batches_bisected,
+                "checkpoints_written": self.checkpoints_written,
                 "batches": self.batches,
                 "rows_packed": self.rows_packed,
                 "ls_batches": self.ls_batches,
@@ -464,13 +521,30 @@ class _Pending:
     executor-future completion is the synchronisation point).
     """
 
-    __slots__ = ("request", "handle", "submitted_at", "deadline_at", "resolved", "early")
+    __slots__ = (
+        "request",
+        "handle",
+        "submitted_at",
+        "deadline_at",
+        "timeout_at",
+        "retries_left",
+        "resolved",
+        "early",
+    )
 
-    def __init__(self, request: SolveRequest, handle: SolveHandle, now: float) -> None:
+    def __init__(
+        self,
+        request: SolveRequest,
+        handle: SolveHandle,
+        now: float,
+        retry_budget: int = 0,
+    ) -> None:
         self.request = request
         self.handle = handle
         self.submitted_at = now
         self.deadline_at = None if request.deadline is None else now + request.deadline
+        self.timeout_at = None if request.timeout is None else now + request.timeout
+        self.retries_left = retry_budget
         self.resolved = False
         self.early: str | None = None  # "target" | "deadline"
 
@@ -492,8 +566,29 @@ class SolveService:
     max_pending:
         Backpressure bound on requests in flight (queued + running).
         :meth:`submit` suspends the caller while the service is at the
-        bound; :meth:`submit_nowait` raises
-        :class:`~repro.errors.ServiceOverloadedError` instead.
+        bound; :meth:`submit_nowait` sheds lower-priority queued work
+        first and raises :class:`~repro.errors.ServiceOverloadedError`
+        only when nothing outranked is queued.
+    retry_budget:
+        Re-run attempts each request gets after batch failures.  A failed
+        pack's live rows are re-run in halves (quarantine bisection), so
+        an innocent rider co-batched with one poisoned request burns
+        ``ceil(log2(max_batch))`` budget isolating it; the default covers
+        that for ``max_batch=8``.  ``0`` disables retries (first failure
+        rejects the whole pack, the pre-isolation behaviour).
+    retry_backoff / retry_jitter_seed:
+        Exponential-backoff base in seconds between retry waves
+        (``base * 2^attempt``, with a seeded multiplicative jitter in
+        ``[1, 2)``).  ``0`` retries immediately (tests).  The jitter RNG
+        is seeded, so backoff schedules are reproducible.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` (or ready
+        :class:`~repro.serve.faults.FaultInjector`) — the deterministic
+        chaos seam.  ``None`` (production) injects nothing.
+    checkpoint_dir:
+        When set, every completed batch's final engine state is written
+        there as a numbered checkpoint
+        (:mod:`repro.core.checkpoint` format) — the warm-start feed.
     backend / device / amortize:
         Engine construction knobs, shared by every batch.
 
@@ -511,6 +606,11 @@ class SolveService:
         max_wait: float = 0.05,
         workers: int = 1,
         max_pending: int = 256,
+        retry_budget: int = 3,
+        retry_backoff: float = 0.05,
+        retry_jitter_seed: int = 0,
+        faults: FaultPlan | FaultInjector | None = None,
+        checkpoint_dir: str | Path | None = None,
         backend=None,
         device: DeviceSpec = TESLA_M2050,
         amortize: bool = True,
@@ -525,10 +625,32 @@ class SolveService:
             raise ACOConfigError(
                 f"max_pending ({max_pending}) must be >= max_batch ({max_batch})"
             )
+        if retry_budget < 0:
+            raise ACOConfigError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        if retry_backoff < 0.0:
+            raise ACOConfigError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.workers = workers
         self.max_pending = max_pending
+        self.retry_budget = retry_budget
+        self.retry_backoff = retry_backoff
+        # Loop-thread-only RNG: retry waves are scheduled from async code,
+        # so a seeded generator makes backoff schedules reproducible.
+        self._retry_rng = random.Random(retry_jitter_seed)
+        self._faults = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        )
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._batch_seq = itertools.count()
         self.device = device
         self.amortize = amortize
         self._backend = resolve_backend(backend)
@@ -541,7 +663,9 @@ class SolveService:
         self._dispatcher: asyncio.Task | None = None
         self._wake: asyncio.Event | None = None
         self._slots: asyncio.Semaphore | None = None
+        self._slots_taken = 0  # loop-thread mirror of acquired slots
         self._executor: ThreadPoolExecutor | None = None
+        self._last_batch_at: float | None = None
         self._tls = threading.local()
 
     # ---------------------------------------------------------------- lifecycle
@@ -605,12 +729,54 @@ class SolveService:
         """Requests queued in buckets (not yet launched)."""
         return sum(len(q) for q in self._buckets.values())
 
+    def health(self) -> dict:
+        """Liveness snapshot (the ``{"op": "health"}`` wire payload).
+
+        Queue depths per bucket, in-flight batch count, capacity
+        occupancy, worker-thread liveness, and the age of the last batch
+        to finish — the numbers an external prober needs to distinguish
+        "busy", "wedged" and "idle".
+        """
+        threads = (
+            getattr(self._executor, "_threads", ())
+            if self._executor is not None
+            else ()
+        )
+        # ThreadPoolExecutor spawns threads lazily; before the first batch
+        # an idle pool has none, which is healthy, not dead.  Dead means
+        # "spawned but no longer alive".
+        alive = (
+            sum(1 for t in threads if t.is_alive())
+            if threads
+            else (self.workers if self._executor is not None else 0)
+        )
+        last = self._last_batch_at
+        return {
+            "accepting": self._accepting,
+            "queued": self.pending,
+            "queue_depths": {
+                str(k): len(q) for k, q in sorted(
+                    self._buckets.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "inflight_batches": len(self._inflight),
+            "slots_taken": self._slots_taken,
+            "max_pending": self.max_pending,
+            "workers": self.workers,
+            "workers_alive": alive,
+            "last_batch_age_seconds": (
+                None if last is None else round(time.monotonic() - last, 6)
+            ),
+        }
+
     # --------------------------------------------------------------- submission
 
     def _make_pending(self, request: SolveRequest) -> SolveHandle:
         assert self._loop is not None
         handle = SolveHandle(request, self._loop)
-        pending = _Pending(request, handle, time.monotonic())
+        pending = _Pending(
+            request, handle, time.monotonic(), retry_budget=self.retry_budget
+        )
         key = request.bucket_key
         bucket = self._buckets.setdefault(key, deque())
         bucket.append(pending)
@@ -645,14 +811,11 @@ class SolveService:
             # Drain began while we waited for capacity.
             self._slots.release()
             raise ServiceClosedError("service drained while awaiting capacity")
+        self._slots_taken += 1
         return self._make_pending(request)
 
-    def submit_nowait(self, request: SolveRequest) -> SolveHandle:
-        """Like :meth:`submit` but raises
-        :class:`~repro.errors.ServiceOverloadedError` instead of waiting
-        when the service is at its ``max_pending`` bound."""
-        if not self._accepting:
-            raise ServiceClosedError("service is not accepting requests")
+    def _try_acquire_slot(self) -> bool:
+        """Acquire one capacity slot without suspending; False when full."""
         assert self._slots is not None
         # Semaphore.acquire completes synchronously when a slot is free;
         # drive the coroutine one step instead of suspending the caller.
@@ -665,6 +828,65 @@ class SolveService:
         finally:
             if not acquired:
                 coro.close()
+        if acquired:
+            self._slots_taken += 1
+        return acquired
+
+    def _shed_below(self, priority: int) -> bool:
+        """Evict one queued request ranking strictly below ``priority``.
+
+        Policy: shed the *lowest*-priority bucket work first; among equals,
+        the youngest (it has invested the least queue time).  Only queued
+        (unlaunched) requests are sheddable — rows already packed into a
+        running batch are never revoked.  The victim fails with
+        :class:`~repro.errors.ServiceOverloadedError`, is counted as
+        outcome ``"shed"``, and frees its capacity slot.
+        """
+        victim: _Pending | None = None
+        victim_key: BatchKey | None = None
+        for key, bucket in self._buckets.items():
+            for p in bucket:
+                if p.request.priority >= priority:
+                    continue
+                if victim is None or (
+                    p.request.priority,
+                    -p.submitted_at,
+                ) < (victim.request.priority, -victim.submitted_at):
+                    victim = p
+                    victim_key = key
+        if victim is None:
+            return False
+        assert victim_key is not None
+        bucket = self._buckets[victim_key]
+        bucket.remove(victim)
+        if not bucket:
+            del self._buckets[victim_key]
+        victim.resolved = True
+        self.stats.observe_resolution(
+            "shed", time.monotonic() - victim.submitted_at
+        )
+        victim.handle._reject(
+            ServiceOverloadedError(
+                f"request shed under load (priority {victim.request.priority})"
+            )
+        )
+        assert self._slots is not None
+        self._slots.release()
+        self._slots_taken -= 1
+        return True
+
+    def submit_nowait(self, request: SolveRequest) -> SolveHandle:
+        """Like :meth:`submit` but never waits: at the ``max_pending``
+        bound it frees capacity by shedding one queued request of
+        strictly lower priority (outcome ``"shed"``), and raises
+        :class:`~repro.errors.ServiceOverloadedError` only when nothing
+        outranked is queued."""
+        if not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        assert self._slots is not None
+        acquired = self._try_acquire_slot()
+        if not acquired and self._shed_below(request.priority):
+            acquired = self._try_acquire_slot()
         if not acquired:
             raise ServiceOverloadedError(
                 f"service at capacity ({self.max_pending} requests in flight)"
@@ -735,42 +957,134 @@ class SolveService:
     # ------------------------------------------------------------------ workers
 
     async def _run_and_resolve(self, key: BatchKey, pack: list[_Pending]) -> None:
+        """Drive one launched pack to resolution, slots released exactly once.
+
+        All execution (including quarantine bisection and retries) happens
+        inside :meth:`_execute_pack`; this wrapper owns the capacity slots
+        so recursion cannot double-release them.
+        """
+        try:
+            await self._execute_pack(key, pack, attempt=0)
+        finally:
+            assert self._slots is not None and self._wake is not None
+            for _ in pack:
+                self._slots.release()
+            self._slots_taken -= len(pack)
+            self._wake.set()
+
+    def _reject_pending(
+        self, p: _Pending, exc: ServeError, outcome: str, now: float
+    ) -> None:
+        p.resolved = True
+        self.stats.observe_resolution(outcome, now - p.submitted_at)
+        p.handle._reject(exc)
+
+    def _drop_timed_out(self, pack: list[_Pending]) -> list[_Pending]:
+        """Fail rows whose hard timeout passed; return the still-live rows.
+
+        Timeouts are enforced lazily at scheduling points (launch and
+        retry time here, report boundaries inside the run), so a row that
+        timed out while queued behind a failure never burns engine time.
+        """
+        now = time.monotonic()
+        live: list[_Pending] = []
+        for p in pack:
+            if p.resolved:
+                continue
+            if p.timeout_at is not None and now >= p.timeout_at:
+                self._reject_pending(
+                    p,
+                    ServeTimeoutError(
+                        f"request timed out after {p.request.timeout}s"
+                    ),
+                    "timeout",
+                    now,
+                )
+            else:
+                live.append(p)
+        return live
+
+    async def _execute_pack(
+        self, key: BatchKey, pack: list[_Pending], attempt: int
+    ) -> None:
+        """Run a pack; on failure, quarantine-and-retry by bisection.
+
+        A failed batch rejects nobody outright (beyond exhausted retry
+        budgets): its live rows are re-run in halves, recursively, so a
+        single poisoned request is isolated into ever-smaller packs until
+        it fails alone — while every innocent co-batched rider lands in a
+        poison-free half and completes with its solo-identical result.
+        Backoff between waves is exponential with seeded jitter; budgets
+        strictly decrease per wave, so recursion terminates.
+        """
         assert self._loop is not None and self._executor is not None
+        runnable = self._drop_timed_out(pack)
+        if not runnable:
+            return
         try:
             batch = await self._loop.run_in_executor(
-                self._executor, self._run_batch_sync, key, pack
+                self._executor, self._run_batch_sync, key, runnable
             )
         except asyncio.CancelledError:
             raise
-        except BaseException as exc:  # incl. stray interrupts: never hang riders
-            wrapped = ServeError(f"batch execution failed: {exc!r}")
-            wrapped.__cause__ = exc
-            now = time.monotonic()
-            for p in pack:
-                # Early-resolved riders already hold their snapshot result
-                # and were counted at their resolving boundary (on the
-                # worker thread); only live riders become failures.
-                if not p.resolved:
-                    p.resolved = True
-                    self.stats.observe_resolution(
-                        "failed", now - p.submitted_at
-                    )
-                    p.handle._reject(wrapped)
+        except BaseException as exc:  # incl. worker death: never hang riders
+            await self._quarantine_and_retry(key, runnable, attempt, exc)
         else:
             self.stats.observe_batch(key, batch)
-            now = time.monotonic()
-            for p, row in zip(pack, batch.results):
+            now = self._last_batch_at = time.monotonic()
+            for p, row in zip(runnable, batch.results):
                 if not p.resolved:
                     p.resolved = True
                     self.stats.observe_resolution(
                         "completed", now - p.submitted_at
                     )
                     p.handle._resolve(row)
-        finally:
-            assert self._slots is not None and self._wake is not None
-            for _ in pack:
-                self._slots.release()
-            self._wake.set()
+
+    async def _quarantine_and_retry(
+        self,
+        key: BatchKey,
+        pack: list[_Pending],
+        attempt: int,
+        exc: BaseException,
+    ) -> None:
+        """One failure wave: charge budgets, reject the exhausted, re-run
+        the rest in halves after a jittered exponential backoff."""
+        self._last_batch_at = time.monotonic()
+        wrapped = ServeError(f"batch execution failed: {exc!r}")
+        wrapped.__cause__ = exc
+        now = time.monotonic()
+        retryable: list[_Pending] = []
+        for p in pack:
+            # Early-resolved riders already hold their snapshot result and
+            # were counted at their resolving boundary (worker thread).
+            if p.resolved:
+                continue
+            p.retries_left -= 1
+            if p.retries_left < 0:
+                self._reject_pending(p, wrapped, "failed", now)
+            else:
+                retryable.append(p)
+        if not retryable:
+            return
+        self.stats.observe_retry(len(retryable))
+        if self.retry_backoff > 0.0:
+            delay = (
+                self.retry_backoff
+                * (2**attempt)
+                * (1.0 + self._retry_rng.random())
+            )
+            await asyncio.sleep(delay)
+        if len(retryable) == 1:
+            await self._execute_pack(key, retryable, attempt + 1)
+            return
+        # Bisection: a poisoned row drags at most half the pack into the
+        # next failure; log2(max_batch) waves isolate it completely.
+        self.stats.observe_bisection()
+        mid = len(retryable) // 2
+        await asyncio.gather(
+            self._execute_pack(key, retryable[:mid], attempt + 1),
+            self._execute_pack(key, retryable[mid:], attempt + 1),
+        )
 
     def _worker_arena(self) -> WorkBuffers:
         """The calling worker thread's private scratch arena (one per
@@ -787,9 +1101,18 @@ class SolveService:
 
         Per-boundary duties (all through ``call_soon_threadsafe``): push a
         :class:`SolveUpdate` to every live rider, resolve riders whose
-        target length is met or whose deadline expired, and stop the batch
-        early once every rider has resolved.
+        target length is met or whose deadline expired, fail riders whose
+        hard timeout passed, and stop the batch early once every rider
+        has resolved.  When a fault injector is installed, its scheduled
+        faults fire here — batch start and report boundaries — exactly
+        where real worker failures originate.
         """
+        injector = self._faults
+        ordinal = -1
+        if injector is not None:
+            ordinal = injector.start_batch(
+                [p.request.instance.name for p in pack]
+            )
         engine = BatchEngine(
             [p.request.instance for p in pack],
             [p.request.params for p in pack],
@@ -810,12 +1133,32 @@ class SolveService:
         loop = self._loop
         assert loop is not None
         run_start = time.monotonic()
+        boundary_index = 0
 
         def on_boundary(update: BoundaryUpdate) -> bool:
+            nonlocal boundary_index
+            if injector is not None:
+                injector.on_boundary(ordinal, boundary_index)
+            boundary_index += 1
             now = time.monotonic()
             all_resolved = True
             for b, p in enumerate(pack):
                 if p.resolved:
+                    continue
+                if p.timeout_at is not None and now >= p.timeout_at:
+                    # Hard timeout: fail the rider mid-run (the batch keeps
+                    # going for the others).  ServiceStats locks internally,
+                    # so worker-thread mutation cannot tear.
+                    p.resolved = True
+                    self.stats.observe_resolution(
+                        "timeout", now - p.submitted_at
+                    )
+                    loop.call_soon_threadsafe(
+                        p.handle._reject,
+                        ServeTimeoutError(
+                            f"request timed out after {p.request.timeout}s"
+                        ),
+                    )
                     continue
                 best = int(update.best_lengths[b])
                 loop.call_soon_threadsafe(
@@ -841,15 +1184,35 @@ class SolveService:
                     )
                     p.resolved = True
                     p.early = "target" if hit_target else "deadline"
-                    # Worker-thread stats mutation: ServiceStats locks
-                    # internally, so this cannot tear against the loop
-                    # thread's counters.
                     self.stats.observe_resolution(p.early, now - p.submitted_at)
                     loop.call_soon_threadsafe(p.handle._resolve, row)
                 else:
                     all_resolved = False
             return all_resolved
 
-        return engine.run(
+        batch = engine.run(
             key.iterations, report_every=key.report_every, on_boundary=on_boundary
         )
+        if self.checkpoint_dir is not None:
+            self._write_batch_checkpoint(engine, key)
+        return batch
+
+    def _write_batch_checkpoint(self, engine: BatchEngine, key: BatchKey) -> None:
+        """Persist the finished batch's engine state (worker thread).
+
+        One numbered file per batch under ``checkpoint_dir`` — the
+        pheromone warm-start feed.  Failures here must not fail the batch
+        (results are already computed); they surface as a failed-write
+        counter in the registry instead.
+        """
+        from repro.core.checkpoint import save_checkpoint
+        from repro.errors import CheckpointError
+
+        seq = next(self._batch_seq)
+        path = self.checkpoint_dir / f"batch-{seq:06d}-n{key.n}.npz"
+        try:
+            save_checkpoint(engine, path)
+        except CheckpointError:
+            self.stats.registry.inc("serve.checkpoint_write_failures")
+        else:
+            self.stats.observe_checkpoint()

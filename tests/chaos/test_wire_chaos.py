@@ -1,0 +1,187 @@
+"""Wire-level chaos: the TCP front-end must survive hostile bytes.
+
+Replays the deterministic malformed-line corpus
+(:func:`~repro.serve.faults.malformed_wire_lines`) against a live server:
+every garbage line gets a structured ``error`` response, the connection
+survives, and a well-formed request afterwards still completes.  Also
+pins the client-side connect-retry/timeout seam.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import ACOParams
+from repro.errors import ServeError
+from repro.serve import (
+    SolveRequest,
+    SolveService,
+    health_over_tcp,
+    malformed_wire_lines,
+    request_over_tcp,
+    serve_tcp,
+    stats_over_tcp,
+)
+from repro.serve.protocol import DEFAULT_MAX_LINE_BYTES, encode_request
+from repro.tsp import uniform_instance
+
+MAX_LINE = 4096
+
+
+def _request(seed: int, **kwargs) -> SolveRequest:
+    kwargs.setdefault("iterations", 4)
+    kwargs.setdefault("report_every", 4)
+    return SolveRequest(
+        instance=uniform_instance(12, seed=800 + seed),
+        params=ACOParams(seed=seed, nn=7),
+        **kwargs,
+    )
+
+
+async def _with_server(fn, **serve_kwargs):
+    serve_kwargs.setdefault("max_line_bytes", MAX_LINE)
+    async with SolveService(max_batch=2, max_wait=0.01, workers=1) as service:
+        server = await serve_tcp(service, port=0, **serve_kwargs)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await fn(service, port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+
+class TestMalformedLines:
+    def test_corpus_is_deterministic(self):
+        a = malformed_wire_lines(seed=4, oversized_bytes=MAX_LINE)
+        b = malformed_wire_lines(seed=4, oversized_bytes=MAX_LINE)
+        assert a == b
+        assert len(a[0]) > MAX_LINE  # the oversized entry really oversizes
+
+    def test_every_garbage_line_gets_an_error_and_connection_survives(self):
+        async def scenario(service, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                for line in malformed_wire_lines(oversized_bytes=MAX_LINE):
+                    writer.write(line)
+                    await writer.drain()
+                    resp = json.loads(await reader.readline())
+                    assert resp["type"] == "error", resp
+                # The same connection still serves a real request.
+                writer.write(encode_request(_request(1), "after-chaos"))
+                await writer.drain()
+                while True:
+                    obj = json.loads(await reader.readline())
+                    if obj["type"] == "result":
+                        assert obj["id"] == "after-chaos"
+                        return
+                    assert obj["type"] in ("accepted", "update")
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(_with_server(scenario))
+
+    def test_oversized_line_is_discarded_not_buffered(self):
+        """A line far past the cap is answered (and discarded) — the
+        error response reports how much was thrown away."""
+
+        async def scenario(service, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"x" * (MAX_LINE * 8) + b"\n")
+                await writer.drain()
+                resp = json.loads(await reader.readline())
+                assert resp["type"] == "error"
+                assert "too long" in resp["message"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(_with_server(scenario))
+
+    def test_default_line_cap_is_one_mib(self):
+        assert DEFAULT_MAX_LINE_BYTES == 1 << 20
+
+
+class TestAdminPlaneUnderChaos:
+    def test_stats_and_health_work_after_garbage(self):
+        async def scenario(service, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"plain text, not json at all\n")
+                await writer.drain()
+                assert json.loads(await reader.readline())["type"] == "error"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            snap = await stats_over_tcp("127.0.0.1", port)
+            assert "requests_shed" in snap
+            health = await health_over_tcp("127.0.0.1", port)
+            assert health["accepting"] is True
+            assert health["workers_alive"] >= 1
+
+        asyncio.run(_with_server(scenario))
+
+    def test_unknown_op_is_an_error_line(self):
+        async def scenario(service, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b'{"op": "reboot", "id": "x"}\n')
+                await writer.drain()
+                resp = json.loads(await reader.readline())
+                assert resp["type"] == "error"
+                assert "health" in resp["message"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(_with_server(scenario))
+
+
+class TestClientNetworking:
+    def test_connect_failure_surfaces_as_serve_error(self):
+        async def main():
+            # A port nothing listens on: retries exhaust, then ServeError.
+            with pytest.raises(ServeError, match="cannot connect"):
+                await stats_over_tcp(
+                    "127.0.0.1",
+                    1,  # reserved port, nothing listens
+                    connect_retries=1,
+                    retry_backoff=0.001,
+                    connect_timeout=0.5,
+                )
+
+        asyncio.run(main())
+
+    def test_request_read_timeout(self):
+        """A server that accepts but never answers trips the read timeout."""
+
+        async def main():
+            async def silent(reader, writer):
+                await asyncio.sleep(10)
+
+            server = await asyncio.start_server(silent, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(ServeError, match="no response"):
+                    await request_over_tcp(
+                        "127.0.0.1", port, _request(2), read_timeout=0.1
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())
+
+    def test_timeout_and_priority_round_trip_the_wire(self):
+        async def scenario(service, port):
+            req = _request(3, timeout=30.0, priority=2)
+            updates, final = await request_over_tcp(
+                "127.0.0.1", port, req, read_timeout=30.0
+            )
+            assert final["best_length"] > 0
+
+        asyncio.run(_with_server(scenario))

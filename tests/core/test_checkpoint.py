@@ -1,0 +1,199 @@
+"""Engine checkpoint format: versioning, validation, atomicity, metrics.
+
+Bit-identical resume parity lives in
+:mod:`tests.property.test_checkpoint_parity`; this file pins the file
+format itself — magic/version gates, fingerprint mismatch rejection,
+atomic replace semantics and the pre-run (``has_best=False``) path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ACOParams,
+    BatchEngine,
+    EngineCheckpoint,
+    capture_checkpoint,
+    engine_fingerprint,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.core.checkpoint import CHECKPOINT_MAGIC, FORMAT_VERSION
+from repro.errors import CheckpointError
+from repro.tsp import uniform_instance
+
+ITERATIONS = 6
+K = 3
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return uniform_instance(16, seed=3100)
+
+
+def _engine(instance, **kwargs):
+    return BatchEngine(
+        instance, [ACOParams(seed=s, nn=7) for s in (11, 19)], **kwargs
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_meta_and_arrays(self, instance, tmp_path):
+        engine = _engine(instance)
+        engine.run(ITERATIONS, report_every=K)
+        ck = capture_checkpoint(engine)
+        path = save_checkpoint(ck, tmp_path / "ck.npz")
+        loaded = load_checkpoint(path)
+        assert loaded.meta["magic"] == CHECKPOINT_MAGIC
+        assert loaded.meta["format_version"] == FORMAT_VERSION
+        assert loaded.iteration == ITERATIONS
+        assert loaded.fingerprint == ck.fingerprint
+        assert set(loaded.arrays) == set(ck.arrays)
+        for name, arr in ck.arrays.items():
+            np.testing.assert_array_equal(loaded.arrays[name], arr)
+
+    def test_engine_methods_mirror_module_functions(self, instance, tmp_path):
+        engine = _engine(instance)
+        engine.run(ITERATIONS, report_every=K)
+        ck = engine.checkpoint(tmp_path / "m.npz")
+        assert isinstance(ck, EngineCheckpoint)
+        other = _engine(instance)
+        assert other.restore(tmp_path / "m.npz") is other
+        np.testing.assert_array_equal(
+            other.state.pheromone, engine.state.pheromone
+        )
+        assert other.state.iteration == ITERATIONS
+
+    def test_fingerprint_is_json_native(self, instance):
+        fp = engine_fingerprint(_engine(instance))
+        assert fp == json.loads(json.dumps(fp))
+
+    def test_capture_before_any_run(self, instance, tmp_path):
+        """``has_best=False``: a never-run engine checkpoints and resumes."""
+        fresh = _engine(instance)
+        path = save_checkpoint(fresh, tmp_path / "zero.npz")
+        restored = _engine(instance)
+        restored.restore(load_checkpoint(path))
+        a = restored.run(ITERATIONS, report_every=K)
+        b = _engine(instance).run(ITERATIONS, report_every=K)
+        for ra, rb in zip(a.results, b.results):
+            assert ra.best_length == rb.best_length
+            np.testing.assert_array_equal(ra.best_tour, rb.best_tour)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_npz_without_meta(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(CheckpointError, match="bad metadata"):
+            load_checkpoint(path)
+
+    def _tampered(self, instance, tmp_path, **meta_overrides):
+        engine = _engine(instance)
+        engine.run(2)
+        ck = capture_checkpoint(engine)
+        meta = dict(ck.meta, **meta_overrides)
+        path = tmp_path / "tampered.npz"
+        save_checkpoint(EngineCheckpoint(meta=meta, arrays=ck.arrays), path)
+        return path
+
+    def test_wrong_magic(self, instance, tmp_path):
+        path = self._tampered(instance, tmp_path, magic="other-format")
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_future_format_version(self, instance, tmp_path):
+        path = self._tampered(
+            instance, tmp_path, format_version=FORMAT_VERSION + 1
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_fingerprint_mismatch_names_differing_keys(
+        self, instance, tmp_path
+    ):
+        engine = _engine(instance)
+        engine.run(2)
+        path = save_checkpoint(engine, tmp_path / "rho.npz")
+        other = BatchEngine(
+            instance, [ACOParams(seed=s, nn=7, rho=0.9) for s in (11, 19)]
+        )
+        with pytest.raises(CheckpointError, match="rows"):
+            restore_engine(other, load_checkpoint(path))
+
+    def test_fingerprint_mismatch_on_different_instance(self, tmp_path):
+        engine = _engine(uniform_instance(16, seed=3100))
+        engine.run(2)
+        path = save_checkpoint(engine, tmp_path / "inst.npz")
+        other = _engine(uniform_instance(16, seed=3101))
+        with pytest.raises(CheckpointError, match="rows"):
+            restore_engine(other, load_checkpoint(path))
+
+    def test_variant_mismatch(self, instance, tmp_path):
+        engine = _engine(instance)
+        engine.run(2)
+        path = save_checkpoint(engine, tmp_path / "var.npz")
+        other = _engine(instance, variant="mmas")
+        with pytest.raises(CheckpointError):
+            restore_engine(other, load_checkpoint(path))
+
+
+class TestAtomicity:
+    def test_failed_write_keeps_previous_checkpoint(
+        self, instance, tmp_path, monkeypatch
+    ):
+        engine = _engine(instance)
+        engine.run(2)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(engine, path)
+        before = path.read_bytes()
+        engine.run(2)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(CheckpointError, match="disk full"):
+            save_checkpoint(engine, path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_no_tmp_left_after_success(self, instance, tmp_path):
+        engine = _engine(instance)
+        engine.run(2)
+        save_checkpoint(engine, tmp_path / "ck.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+
+class TestMetrics:
+    def test_checkpoint_counter_increments(self, instance, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        engine = _engine(instance, metrics=metrics)
+        engine.run(2)
+        engine.checkpoint(tmp_path / "a.npz")
+        engine.checkpoint(tmp_path / "b.npz")
+        counters = metrics.snapshot()["counters"]
+        assert counters["engine.checkpoints_written"] == 2
+
+    def test_capture_without_path_writes_nothing(self, instance, tmp_path):
+        engine = _engine(instance)
+        engine.run(2)
+        engine.checkpoint()
+        assert list(tmp_path.iterdir()) == []

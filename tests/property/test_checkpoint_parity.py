@@ -1,0 +1,148 @@
+"""Checkpoint/resume bit-identity: the fault-tolerance licence.
+
+``run(N)`` must equal ``run(c); save; load into a fresh engine; run(N-c)``
+in every observable — per-row best tours and lengths, the pheromone stack,
+and the RNG stream position — at **every** K-boundary ``c``, across the
+variant grid and with local search on and off.  An 8-row instance/seed
+grid (4 distinct instances x 2 seeds each) packs the full heterogeneous
+shape the serving tier produces; 5 boundaries cover resume-at-start,
+interior boundaries and resume-with-nothing-left.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import ACOParams, BatchEngine, load_checkpoint, save_checkpoint
+from repro.tsp import uniform_instance
+
+N = 16
+ITERATIONS = 10
+K = 2  # boundaries at 2, 4, 6, 8, 10
+BOUNDARIES = tuple(range(K, ITERATIONS + 1, K))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    """8 rows: 4 distinct instances x 2 seeds, varied (alpha, beta, rho)."""
+    base = ACOParams(nn=7)
+    out = []
+    for i in range(4):
+        inst = uniform_instance(N, seed=4200 + i)
+        for j, seed in enumerate((11 + i, 61 + i)):
+            out.append(
+                (
+                    inst,
+                    dataclasses.replace(
+                        base,
+                        seed=seed,
+                        alpha=1.0 + 0.5 * j,
+                        beta=2.0 + i % 2,
+                        rho=0.3 + 0.1 * i,
+                    ),
+                )
+            )
+    return out
+
+
+def _engine(rows, variant, local_search):
+    return BatchEngine(
+        [inst for inst, _ in rows],
+        [p for _, p in rows],
+        variant=variant,
+        local_search=local_search,
+        local_search_options=(
+            {"passes": 1, "target": "iteration-best"}
+            if local_search != "none"
+            else None
+        ),
+    )
+
+
+def _state_snapshot(engine):
+    return {
+        "best_lengths": np.asarray(engine.state.best_lengths).copy(),
+        "best_tours": np.asarray(engine.state.best_tours).copy(),
+        "pheromone": np.asarray(
+            engine.backend.to_host(engine.state.pheromone)
+        ).copy(),
+        "rng": engine.rng.state_arrays(),
+        "samples_drawn": engine.rng.samples_drawn,
+        "iteration": engine.state.iteration,
+    }
+
+
+def _assert_snapshots_equal(got, ref):
+    assert got["iteration"] == ref["iteration"]
+    assert got["samples_drawn"] == ref["samples_drawn"]
+    np.testing.assert_array_equal(got["best_lengths"], ref["best_lengths"])
+    np.testing.assert_array_equal(got["best_tours"], ref["best_tours"])
+    np.testing.assert_array_equal(got["pheromone"], ref["pheromone"])
+    assert set(got["rng"]) == set(ref["rng"])
+    for word, arr in ref["rng"].items():
+        np.testing.assert_array_equal(got["rng"][word], arr)
+
+
+@pytest.mark.parametrize("local_search", ["none", "2opt"])
+@pytest.mark.parametrize("variant", ["as", "acs", "mmas"])
+def test_resume_bit_identical_at_every_boundary(
+    rows, variant, local_search, tmp_path
+):
+    ref_engine = _engine(rows, variant, local_search)
+    ref_batch = ref_engine.run(ITERATIONS, report_every=K)
+    ref = _state_snapshot(ref_engine)
+
+    for cut in BOUNDARIES:
+        prefix = _engine(rows, variant, local_search)
+        prefix.run(cut, report_every=K)
+        path = tmp_path / f"{variant}-{local_search}-{cut}.npz"
+        save_checkpoint(prefix, path)
+
+        resumed = _engine(rows, variant, local_search)
+        resumed.restore(load_checkpoint(path))
+        remaining = ITERATIONS - cut
+        if remaining:
+            tail = resumed.run(remaining, report_every=K)
+            for b, res in enumerate(tail.results):
+                assert res.best_length == ref_batch.results[b].best_length, (
+                    f"row {b} diverged resuming at {cut}"
+                )
+                np.testing.assert_array_equal(
+                    res.best_tour, ref_batch.results[b].best_tour
+                )
+        _assert_snapshots_equal(_state_snapshot(resumed), ref)
+
+
+def test_checkpoint_capture_does_not_perturb_the_run(rows, tmp_path):
+    """Writing checkpoints mid-run must not change the numerics."""
+    clean = _engine(rows, "as", "none")
+    clean_batch = clean.run(ITERATIONS, report_every=K)
+
+    observed = _engine(rows, "as", "none")
+    path = tmp_path / "mid.npz"
+    observed_batch = observed.run(
+        ITERATIONS,
+        report_every=K,
+        on_boundary=lambda update: save_checkpoint(observed, path) and None,
+    )
+    for b in range(len(rows)):
+        assert (
+            observed_batch.results[b].best_length
+            == clean_batch.results[b].best_length
+        )
+    _assert_snapshots_equal(_state_snapshot(observed), _state_snapshot(clean))
+
+
+def test_double_restore_is_idempotent(rows, tmp_path):
+    engine = _engine(rows, "mmas", "none")
+    engine.run(4, report_every=K)
+    path = save_checkpoint(engine, tmp_path / "idem.npz")
+    ck = load_checkpoint(path)
+    target = _engine(rows, "mmas", "none")
+    target.restore(ck)
+    once = _state_snapshot(target)
+    target.restore(ck)
+    _assert_snapshots_equal(_state_snapshot(target), once)

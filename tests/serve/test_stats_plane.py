@@ -64,12 +64,16 @@ class TestServiceStats:
             ("target", 0.1),
             ("deadline", 1.0),
             ("failed", 0.2),
+            ("timeout", 0.3),
+            ("shed", 0.05),
         ):
             stats.observe_resolution(outcome, latency)
         assert stats.completed == 1
         assert stats.resolved_by_target == 1
         assert stats.resolved_by_deadline == 1
         assert stats.failed == 1
+        assert stats.requests_timed_out == 1
+        assert stats.requests_shed == 1
         assert stats.request_latency.count == len(REQUEST_OUTCOMES)
         with pytest.raises(ACOConfigError):
             stats.observe_resolution("lost", 0.1)

@@ -78,11 +78,23 @@ class TestErrorHierarchy:
                 assert issubclass(cls, KeyboardInterrupt)
                 assert not issubclass(cls, errors.ReproError)
                 continue
+            if name == "WorkerKilledError":
+                # Second deliberate outlier: a simulated worker death must
+                # punch through bare `except Exception` recovery blocks the
+                # way a real SIGKILL would, so it derives from BaseException
+                # (see its docstring).  The retry machinery catches it by
+                # name.
+                assert issubclass(cls, BaseException)
+                assert not issubclass(cls, Exception)
+                assert not issubclass(cls, errors.ReproError)
+                continue
             assert issubclass(cls, errors.ReproError)
 
     def test_serve_errors_group(self):
         assert issubclass(errors.ServiceClosedError, errors.ServeError)
         assert issubclass(errors.ServiceOverloadedError, errors.ServeError)
+        assert issubclass(errors.ServeTimeoutError, errors.ServeError)
+        assert issubclass(errors.InjectedFaultError, errors.ServeError)
         assert issubclass(errors.ServeError, errors.ReproError)
 
     def test_subsystem_groups(self):

@@ -426,6 +426,72 @@ class TestObservabilityFlags:
         assert report["artefact"]["results"]
 
 
+class TestCheckpointCLI:
+    def _best(self, out: str) -> int:
+        for line in out.splitlines():
+            if line.startswith("best overall:"):
+                return int(line.split()[2])
+        raise AssertionError(f"no 'best overall' line in:\n{out}")
+
+    def test_checkpoint_then_resume_matches_clean_run(self, tmp_path, capsys):
+        ck = tmp_path / "ck.npz"
+        base = ["solve", "att48", "--report-every", "3", "--seed", "5"]
+        assert cli_main(base + ["--iterations", "6", "--checkpoint", str(ck)]) == 0
+        assert ck.exists()
+        capsys.readouterr()
+        assert cli_main(
+            base + ["--iterations", "12", "--resume", str(ck)]
+        ) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed from" in resumed_out
+        assert cli_main(base + ["--iterations", "12", "--profile"]) == 0
+        clean_out = capsys.readouterr().out
+        assert self._best(resumed_out) == self._best(clean_out)
+
+    def test_resume_at_or_past_target_is_a_noop(self, tmp_path, capsys):
+        ck = tmp_path / "done.npz"
+        base = ["solve", "att48", "--report-every", "2", "--seed", "3"]
+        assert cli_main(base + ["--iterations", "4", "--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        assert cli_main(base + ["--iterations", "4", "--resume", str(ck)]) == 0
+        assert "nothing to run" in capsys.readouterr().out
+
+    def test_checkpoint_every_validation(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        with pytest.raises(SystemExit):
+            cli_main(["solve", "att48", "--checkpoint-every", "3"])
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["solve", "att48", "--report-every", "2", "--checkpoint",
+                 str(ck), "--checkpoint-every", "3"]
+            )
+
+    def test_resume_from_garbage_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a checkpoint")
+        with pytest.raises(SystemExit) as err:
+            cli_main(["solve", "att48", "--iterations", "4", "--resume", str(bad)])
+        assert "cannot resume" in str(err.value)
+
+    def test_resume_config_mismatch_fails_cleanly(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        assert cli_main(
+            ["solve", "att48", "--iterations", "4", "--report-every", "2",
+             "--seed", "5", "--checkpoint", str(ck)]
+        ) == 0
+        with pytest.raises(SystemExit) as err:
+            cli_main(
+                ["solve", "att48", "--iterations", "8", "--seed", "6",
+                 "--resume", str(ck)]
+            )
+        assert "cannot resume" in str(err.value)
+
+    def test_health_unreachable_server_fails_cleanly(self, capsys):
+        rc = cli_main(["stats", "--port", "1", "--health"])
+        assert rc == 1
+        assert "cannot scrape health" in capsys.readouterr().err
+
+
 class TestExperimentsCommand:
     def test_single_artefact(self, capsys):
         assert exp_main(["table3"]) == 0
