@@ -75,6 +75,50 @@ def validate_bench_backend(payload: dict) -> None:
         )
 
 
+# --------------------------------------------------------- BENCH_batch.json
+#
+# Schema of the artefact bench_batch_throughput.py writes at the repo root:
+# sequential vs batched colonies/sec across B, the PR-2 baseline artefact.
+
+#: top-level keys -> required type
+BENCH_BATCH_SCHEMA: dict[str, type] = {
+    "instance": str,  # TSPLIB/suite instance name
+    "pheromone": int,  # pheromone strategy version shared by all rows
+    "results": list,  # list of per-(construction, B) row dicts
+}
+
+#: per-row keys -> required type
+BENCH_BATCH_ROW_SCHEMA: dict[str, type] = {
+    "B": int,  # batched colony count
+    "construction": int,  # construction strategy version
+    "iterations": int,  # iterations per measured run
+    "sequential_seconds": float,  # wall-clock of B sequential runs
+    "batched_seconds": float,  # wall-clock of one B-wide batched run
+    "speedup": float,  # sequential_seconds / batched_seconds
+    "sequential_colonies_per_sec": float,
+    "batched_colonies_per_sec": float,
+}
+
+
+def validate_bench_batch(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_batch.json schema above."""
+    for key, typ in BENCH_BATCH_SCHEMA.items():
+        assert key in payload, f"BENCH_batch missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_batch[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_batch has no result rows"
+    for row in payload["results"]:
+        for key, typ in BENCH_BATCH_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_batch row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_batch row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["B"] >= 1, f"row B={row['B']} must be positive"
+
+
 # ---------------------------------------------------------- BENCH_loop.json
 #
 # Schema of the artefact bench_loop_amortization.py writes at the repo root:
@@ -264,10 +308,40 @@ def validate_bench_ls(payload: dict) -> None:
 #: runner loads this registry to validate whatever a script wrote.
 BENCH_ARTIFACTS: dict = {
     "bench_backend_throughput.py": ("BENCH_backend.json", validate_bench_backend),
+    "bench_batch_throughput.py": ("BENCH_batch.json", validate_bench_batch),
     "bench_loop_amortization.py": ("BENCH_loop.json", validate_bench_loop),
     "bench_local_search.py": ("BENCH_ls.json", validate_bench_ls),
     "bench_variant_throughput.py": ("BENCH_variant.json", validate_bench_variant),
 }
+
+#: artefact filename -> validator, derived from the script registry above.
+ARTIFACT_VALIDATORS: dict = {
+    artefact: validator for artefact, validator in BENCH_ARTIFACTS.values()
+}
+
+
+def validate_bench_artifact(path, payload: dict | None = None) -> str:
+    """Validate one ``BENCH_*.json`` artefact against its registered schema.
+
+    Shared entry point for the ``gpu-aco bench`` runner, the test-suite and
+    the CI ``lint-invariants`` job: dispatches on the file's basename through
+    :data:`ARTIFACT_VALIDATORS` and returns the artefact name on success.
+    ``payload`` skips the disk read when the caller already parsed the JSON.
+    Raises ``ValueError`` for unregistered artefact names and ``AssertionError``
+    (with a pointed message) for schema violations.
+    """
+    import json
+
+    name = os.path.basename(str(path))
+    validator = ARTIFACT_VALIDATORS.get(name)
+    if validator is None:
+        known = ", ".join(sorted(ARTIFACT_VALIDATORS))
+        raise ValueError(f"no schema registered for {name!r} (known: {known})")
+    if payload is None:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    validator(payload)
+    return name
 
 
 def emit_result(result: ExperimentResult) -> None:

@@ -33,6 +33,13 @@ Subcommands
 ``bench``
     Run a ``benchmarks/bench_*.py`` script and validate the JSON artefact
     it writes against the schema pinned in ``benchmarks/conftest.py``.
+``lint``
+    Repo-invariant static analysis (``repro.lint``): backend purity in
+    hot paths, seeded-RNG determinism, no host sync inside K-loop
+    interiors, lock discipline on ``# guarded-by:`` attributes.  Exits 1
+    when any error-severity finding (or syntax error) survives
+    suppression; ``--json`` emits the findings, ``--rule ID`` narrows,
+    ``--list-rules`` enumerates.
 ``devices``
     Print the simulated device inventory (the paper's Table I).
 ``backends``
@@ -76,6 +83,9 @@ Examples
     gpu-aco bench loop -- --quick
     gpu-aco bench --json loop -- --quick
     gpu-aco bench --list
+    gpu-aco lint src benchmarks
+    gpu-aco lint --rule lock-discipline --json src
+    gpu-aco lint --list-rules
     gpu-aco devices
     gpu-aco backends
 """
@@ -377,6 +387,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "(prefix with -- to separate)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-invariant static analysis (backend purity, "
+        "determinism, host-sync, lock discipline)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to check (default: src/ and benchmarks/ "
+        "when run from a checkout)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable mode: print one JSON object with every "
+        "finding instead of the table",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="list registered rules and exit",
+    )
+
     sub.add_parser("devices", help="print the simulated device inventory")
     sub.add_parser(
         "backends", help="list registered array backends and their availability"
@@ -672,7 +715,7 @@ def _solve_replicas(
             ck = load_checkpoint(resume_path)
             engine.restore(ck)
         except CheckpointError as exc:
-            raise SystemExit(f"error: cannot resume from {resume_path}: {exc}")
+            raise SystemExit(f"error: cannot resume from {resume_path}: {exc}") from exc
         iterations = args.iterations - ck.iteration
         if iterations <= 0:
             print(
@@ -1198,6 +1241,38 @@ def _cmd_devices() -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the repo-invariant linter (``repro.lint``) over the given paths."""
+    from repro.lint import all_rules, lint_paths, select_rules
+    from repro.lint.report import render_findings, render_json, render_rule_list
+
+    if args.list_rules:
+        print(render_rule_list(all_rules()))
+        return 0
+    try:
+        rules = select_rules(args.rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    paths = list(args.paths or [])
+    if not paths:
+        paths = [p for p in ("src", "benchmarks") if os.path.isdir(p)]
+        if not paths:
+            print(
+                "error: no paths given and no src/ or benchmarks/ under the "
+                "current directory",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths, rules=rules)
+    print(render_json(result) if args.as_json else render_findings(result))
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -1216,6 +1291,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_backends()
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "experiments":
             from repro.experiments.__main__ import main as exp_main
 

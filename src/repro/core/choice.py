@@ -32,6 +32,7 @@ def compute_choice(tau, eta, alpha: float, beta: float, *, xp=np, out=None):
     power pass actually runs, so the common ``alpha = 1`` case performs no
     per-call allocation at all.
     """
+    # lint: hot-region
     tau_p = tau if alpha == 1.0 else xp.power(tau, alpha, out=out)
     eta_scratch = out if tau_p is tau else None
     eta_p = eta if beta == 1.0 else xp.power(eta, beta, out=eta_scratch)
@@ -50,8 +51,11 @@ def compute_choice_batch(tau, eta, alpha, beta, *, xp=np, out=None, eta_pow=None
     engine-constant, so callers with an arena hoist the (expensive) power
     pass out of the iteration entirely; the product is bit-identical.
     """
-    a_one = bool((alpha == 1.0).all())
-    b_one = bool((beta == 1.0).all())
+    # lint: hot-region
+    # Engine-constant branch select: alpha/beta never change during a run,
+    # so this scalar sync picks one code path, not per-iteration data.
+    a_one = bool((alpha == 1.0).all())  # lint: ignore[host-sync]
+    b_one = bool((beta == 1.0).all())  # lint: ignore[host-sync]
     tau_p = tau if a_one else xp.power(tau, alpha[:, None, None], out=out)
     if b_one:
         eta_p = eta

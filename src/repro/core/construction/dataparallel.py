@@ -324,8 +324,8 @@ class DataParallelConstruction(TourConstruction):
         tours = tours.reshape(B, m, n + 1)
         return BatchConstructionResult(
             tours=tours,
-            reports=self._batch_reports(bstate, np.zeros(B)) if collect else [],
-            fallback_steps=np.zeros(B),
+            reports=self._batch_reports(bstate, xp.zeros(B)) if collect else [],
+            fallback_steps=xp.zeros(B),
         )
 
     # --------------------------------------------------------------- ledger

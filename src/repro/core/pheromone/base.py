@@ -55,6 +55,7 @@ def evaporate_batch(bstate) -> None:
     Elementwise multiply with a per-row ``(1 - rho)`` — bit-identical to the
     solo scalar multiply on each row.
     """
+    # lint: hot-region
     bstate.pheromone *= (1.0 - bstate.rho)[:, None, None]
 
 
@@ -104,6 +105,7 @@ def deposit_all_batch(
     buffers reused across iterations — the returned arrays are then arena
     views, valid until the next deposit.
     """
+    # lint: hot-region
     bk = bstate.backend
     xp = bk.xp
     n, B = bstate.n, bstate.B

@@ -461,7 +461,9 @@ class TrailLimitsUpdate(UpdatePolicy):
                 "MMAS trail limits need per-row nearest-neighbour tour "
                 "lengths; build the batch state through BatchColonyState.create"
             )
-        rho = np.array([p.rho for p in bstate.params], dtype=np.float64)
+        # Host math by design: c_nn is a host vector, result crosses the
+        # seam via bk.from_host on the next line.
+        rho = np.array([p.rho for p in bstate.params], dtype=np.float64)  # lint: ignore[backend-purity]
         tau_max = 1.0 / (rho * bstate.c_nn.astype(np.float64))
         self.tau_max = bk.from_host(tau_max).copy()
         self.tau_min = self.tau_max / (self.mmas.tau_min_divisor * bstate.n)
@@ -554,9 +556,11 @@ class TrailLimitsUpdate(UpdatePolicy):
         """Reset the given rows' trails to ``tau_max`` (all rows if None)."""
         xp = bstate.backend.xp
         assert self.tau_max is not None and self.reinit_count is not None
+        # Host-side row indices by design (callers pass python/host lists);
+        # shipped across the seam via backend.from_host below.
         if rows is None:
-            rows = np.arange(bstate.B)
-        rows = np.asarray(rows, dtype=np.int64)
+            rows = np.arange(bstate.B)  # lint: ignore[backend-purity]
+        rows = np.asarray(rows, dtype=np.int64)  # lint: ignore[backend-purity]
         if rows.size == 0:
             return
         sel = bstate.backend.from_host(rows)
@@ -575,6 +579,7 @@ class TrailLimitsUpdate(UpdatePolicy):
         counters accumulate on the backend; host transfer of the counts
         happens only when a view reads them.
         """
+        # lint: hot-region
         xp = bstate.backend.xp
         assert self.tau_max is not None and self.reinit_count is not None
         low = self.branching_factors(bstate) < self.reinit_branching

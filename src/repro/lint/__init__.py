@@ -1,0 +1,42 @@
+"""repro.lint — AST-based invariant checker for this codebase.
+
+Generic linters cannot see this repo's load-bearing invariants: array
+math in hot paths must flow through the ``ArrayBackend`` seam, engine
+randomness through seeded ``DeviceRNG`` streams, no host sync inside
+``report_every`` K-blocks, and ``ServiceStats`` mutations only under
+their lock.  ``repro.lint`` makes each one a machine-checked gate
+(``gpu-aco lint``, CI job ``lint-invariants``).
+
+Rules: ``backend-purity``, ``determinism``, ``host-sync``,
+``lock-discipline``.  Suppress a single line with ``# lint:
+ignore[rule-id]``; mark K-loop interiors with ``# lint: hot-region`` (or
+``@hot_region``), worker-thread code with ``# lint: worker-thread`` (or
+``@worker_thread``); declare lock ownership with ``# guarded-by:
+<lock>`` on the attribute's declaration.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .context import FileContext, module_key
+from .finding import Finding, Severity
+from .markers import hot_region, worker_thread
+from .registry import Rule, all_rules, get_rule, register, select_rules
+from .runner import LintResult, iter_python_files, lint_paths
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "FileContext",
+    "module_key",
+    "Finding",
+    "Severity",
+    "hot_region",
+    "worker_thread",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "select_rules",
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+]

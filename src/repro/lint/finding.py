@@ -1,0 +1,57 @@
+"""Finding and severity model of the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  Rules
+attach a :class:`Severity`; only ``ERROR`` findings gate CI (``gpu-aco
+lint`` exits 1), ``WARNING`` findings print but pass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit status."""
+
+    ERROR = "error"  #: gate: presence fails the lint run
+    WARNING = "warning"  #: advisory: printed, never fails the run
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, which rule, what and how severe.
+
+    Orders by location first (file, line, col) so reports read like a
+    compiler's output; ``as_dict`` is the ``--json`` wire form.
+    """
+
+    file: str  #: path as scanned (relative when the scan root was)
+    line: int  #: 1-based source line
+    col: int  #: 0-based column offset
+    rule: str = field(compare=False)  #: rule id, e.g. ``"backend-purity"``
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    #: the offending source line, stripped (context for the table/report)
+    snippet: str = field(compare=False, default="")
+
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """Compiler-style one-liner: ``file:line:col: severity[rule] message``."""
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )

@@ -1,0 +1,28 @@
+"""Runtime-neutral region markers the linter recognises as decorators.
+
+``# lint: hot-region`` / ``# lint: worker-thread`` comments work
+anywhere; these decorators are the structured alternative for functions
+whose region membership should survive refactors that move code between
+files (the decorator travels with the function, a comment may not).
+
+Both are identity decorators — zero runtime cost, no wrapper frame.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def hot_region(fn: F) -> F:
+    """Mark ``fn`` as a K-loop interior: no host sync allowed inside."""
+    fn.__lint_hot_region__ = True
+    return fn
+
+
+def worker_thread(fn: F) -> F:
+    """Mark ``fn`` as running on an engine worker thread: it must not
+    touch event-loop-confined (``guarded-by: loop``) state."""
+    fn.__lint_worker_thread__ = True
+    return fn

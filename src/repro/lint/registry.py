@@ -1,0 +1,84 @@
+"""Rule base class and registry.
+
+A rule is a class with an ``id``, a ``severity``, a one-line
+``description`` and a ``check(ctx, config)`` generator yielding
+:class:`~repro.lint.finding.Finding`s.  Rules self-register via the
+:func:`register` decorator; the runner iterates :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .config import LintConfig
+from .context import FileContext
+from .finding import Finding, Severity
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node,
+        message: str,
+        *,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            file=ctx.path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=severity or self.severity,
+            message=message,
+            snippet=ctx.snippet(line),
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _RULES[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (imports the rule package so
+    registration side effects have happened)."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    from . import rules  # noqa: F401
+
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def select_rules(rule_ids: Iterable[str] | None = None) -> list[Rule]:
+    if not rule_ids:
+        return all_rules()
+    return [get_rule(r) for r in rule_ids]

@@ -1,0 +1,43 @@
+"""Rendering for lint results: findings table, rule listing, JSON."""
+
+from __future__ import annotations
+
+import json
+
+from ..util.tables import Table
+from .registry import Rule
+from .runner import LintResult
+
+
+def render_findings(result: LintResult) -> str:
+    """Human-readable report: one table of findings plus a summary line."""
+    parts: list[str] = []
+    if result.findings:
+        table = Table(
+            ["location", "severity", "rule", "message"],
+            title="lint findings",
+        )
+        for f in result.findings:
+            table.add_row(
+                [f"{f.file}:{f.line}:{f.col}", f.severity.value, f.rule, f.message]
+            )
+        parts.append(table.render())
+    for path, err in sorted(result.parse_errors.items()):
+        parts.append(f"{path}: error[parse] {err}")
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{result.error_count} error(s), {result.warning_count} warning(s)"
+    )
+    parts.append(summary)
+    return "\n".join(parts)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: list[Rule]) -> str:
+    table = Table(["rule", "severity", "description"], title="lint rules")
+    for rule in rules:
+        table.add_row([rule.id, rule.severity.value, rule.description])
+    return table.render()

@@ -1,0 +1,5 @@
+"""Rule modules — importing this package registers every rule."""
+
+from . import backend_purity, determinism, host_sync, lock_discipline
+
+__all__ = ["backend_purity", "determinism", "host_sync", "lock_discipline"]

@@ -1,0 +1,64 @@
+"""host-sync: no device→host transfer inside ``report_every`` K-blocks.
+
+PR 3's amortization win depends on K-iteration blocks staying
+device-resident with host transfer only at boundaries — the static twin
+of ``test_report_every``'s runtime pin.  Functions are opted in as
+K-loop interiors with a ``# lint: hot-region`` comment or the
+``@hot_region`` decorator (:mod:`repro.lint.markers`); nested closures
+inherit the mark.
+
+Inside a hot region this flags:
+
+* explicit transfer methods: ``.to_host(...)``, ``.item()``,
+  ``.tolist()``, and zero-argument ``.get()`` (the CuPy array transfer —
+  ``dict.get(key)`` takes arguments and is not flagged);
+* implicit syncs: ``float(x)`` / ``int(x)`` / ``bool(x)`` over a
+  non-literal operand, which force a scalar off the device.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import LintConfig
+from ..context import FileContext
+from ..finding import Severity
+from ..registry import Rule, register
+
+
+@register
+class HostSyncRule(Rule):
+    id = "host-sync"
+    severity = Severity.ERROR
+    description = (
+        "no host transfer/sync (.to_host/.item/.get/float()) inside "
+        "# lint: hot-region functions"
+    )
+
+    def check(self, ctx: FileContext, config: LintConfig):
+        if not ctx.hot_functions:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or ctx.in_annotation(node):
+                continue
+            if not ctx.in_hot_region(node):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in config.host_sync_methods:
+                if fn.attr == "get" and (node.args or node.keywords):
+                    continue  # dict.get(key[, default]) — not an array transfer
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`.{fn.attr}()` forces a device→host transfer inside a "
+                    "K-loop interior — move it to the report_every boundary",
+                )
+            elif isinstance(fn, ast.Name) and fn.id in config.host_sync_builtins:
+                if len(node.args) == 1 and not isinstance(node.args[0], ast.Constant):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{fn.id}(...)` on a non-literal implicitly syncs a "
+                        "device scalar inside a K-loop interior — keep the "
+                        "value on-device until the boundary",
+                    )

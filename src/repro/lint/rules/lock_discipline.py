@@ -1,0 +1,191 @@
+"""lock-discipline: guarded attributes may only mutate under their lock.
+
+``# guarded-by: <lock>`` annotations on attribute declarations (dataclass
+fields or ``self.x = ...`` in ``__init__``/``__post_init__``) declare the
+lock protecting that attribute.  This rule flags any *mutation* of a
+guarded attribute — assignment, augmented assignment, subscript store, or
+a mutating container-method call (``.append``/``.update``/…) — made via
+``self.<attr>`` outside a ``with self.<lock>:`` block.
+
+Reads are deliberately NOT flagged: ``threading.Lock`` is not reentrant,
+and this codebase's pattern is unguarded read-only properties invoked
+*inside* an already-locked ``snapshot()`` (see ``ServiceStats``).
+
+The special guard name ``loop`` means "event-loop-confined, not
+lock-protected": mutation is allowed from loop-side code and flagged only
+inside functions marked ``# lint: worker-thread`` (or ``@worker_thread``),
+which run on engine worker threads.
+
+Constructor bodies (``__init__``/``__post_init__``) are exempt — the
+object is not yet shared.  Scope limitation: only ``self.<attr>`` chains
+are matched, i.e. mutations from within the owning class; cross-object
+mutations need their own annotation on the owning class.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import LintConfig
+from ..context import FileContext
+from ..finding import Severity
+from ..registry import Rule, register
+
+#: container methods that mutate their receiver in place
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+    }
+)
+_CTOR_NAMES = frozenset({"__init__", "__post_init__"})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.x`` (possibly behind subscripts: ``self.x[k]``) -> ``"x"``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    severity = Severity.ERROR
+    description = (
+        "attributes annotated `# guarded-by: <lock>` must only mutate "
+        "under `with self.<lock>:` (guard `loop` = event-loop-confined)"
+    )
+
+    def check(self, ctx: FileContext, config: LintConfig):
+        if not ctx.guard_comments:
+            return
+        guards = self._collect_guards(ctx)
+        if not any(guards.values()):
+            return
+        for node in ast.walk(ctx.tree):
+            for attr, site in self._mutations(node):
+                cls = ctx.enclosing_class(site)
+                if cls is None:
+                    continue
+                lock = guards.get(id(cls), {}).get(attr)
+                if lock is None:
+                    continue
+                fn = ctx.enclosing_function(site)
+                if fn is not None and fn.name in _CTOR_NAMES:
+                    continue  # not yet shared
+                if lock == config.loop_guard_name:
+                    if ctx.in_worker_thread(site):
+                        yield self.finding(
+                            ctx,
+                            site,
+                            f"`self.{attr}` is event-loop-confined "
+                            "(guarded-by: loop) but mutated from a "
+                            "worker-thread function — marshal through "
+                            "call_soon_threadsafe",
+                        )
+                elif not self._holds_lock(ctx, site, lock):
+                    yield self.finding(
+                        ctx,
+                        site,
+                        f"`self.{attr}` is guarded-by `{lock}` but mutated "
+                        f"outside `with self.{lock}:`",
+                    )
+
+    # ------------------------------------------------------------ guards
+
+    def _guard_at(self, ctx: FileContext, line: int) -> str | None:
+        lock = ctx.guard_comments.get(line)
+        if lock is not None:
+            return lock
+        prev = line - 1
+        if prev in ctx.own_line_comments:
+            return ctx.guard_comments.get(prev)
+        return None
+
+    def _collect_guards(self, ctx: FileContext) -> dict[int, dict[str, str]]:
+        """``id(ClassDef) -> {attr name -> lock name}`` from annotations on
+        class-body field declarations and ``self.x = ...`` statements."""
+        out: dict[int, dict[str, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                out.setdefault(id(node), {})
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                continue
+            lock = self._guard_at(ctx, node.lineno)
+            if lock is None:
+                continue
+            cls = ctx.enclosing_class(node)
+            if cls is None:
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):  # class-body field declaration
+                    out[id(cls)][t.id] = lock
+                else:
+                    attr = _self_attr(t)
+                    if attr is not None:
+                        out[id(cls)][attr] = lock
+        return out
+
+    # --------------------------------------------------------- mutations
+
+    @staticmethod
+    def _mutations(node: ast.AST):
+        """Yield ``(attr, location node)`` for each self-attribute mutation
+        expressed by ``node``."""
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                attr = _self_attr(t)
+                if attr is not None:
+                    yield attr, node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _self_attr(node.target)
+            if attr is not None and (
+                not isinstance(node, ast.AnnAssign) or node.value is not None
+            ):
+                yield attr, node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            attr = _self_attr(node.func.value)
+            if attr is not None:
+                yield attr, node
+
+    @staticmethod
+    def _holds_lock(ctx: FileContext, node: ast.AST, lock: str) -> bool:
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    expr = item.context_expr
+                    attr = _self_attr(expr)
+                    if attr == lock:
+                        return True
+            elif isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A `with self._lock:` in a *calling* frame cannot be seen
+                # statically; crossing a function boundary means the lock
+                # must be taken (or the site suppressed) in this frame.
+                return False
+        return False

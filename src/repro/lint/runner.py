@@ -1,0 +1,104 @@
+"""Lint driver: walk paths, build contexts, run rules, collect findings."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .context import FileContext
+from .finding import Finding, Severity
+from .registry import Rule, select_rules
+
+#: directories never descended into when expanding a path argument
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "node_modules", ".pytest_cache", ".ruff_cache"}
+)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run over a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: files that failed to parse: path -> error message.  A syntax error
+    #: is itself an error-severity condition (the gate must not silently
+    #: skip unparseable code).
+    parse_errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR) + len(
+            self.parse_errors
+        )
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.error_count else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "parse_errors": dict(self.parse_errors),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(root, name)
+                if full not in seen:
+                    seen.add(full)
+                    out.append(full)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: list[str],
+    *,
+    rules: list[Rule] | None = None,
+    rule_ids: list[str] | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Run the (selected) rules over every python file under ``paths``."""
+    config = config or DEFAULT_CONFIG
+    active = rules if rules is not None else select_rules(rule_ids)
+    result = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.parse_errors[path] = str(exc)
+            continue
+        result.files_checked += 1
+        ctx = FileContext(path, source, tree)
+        for rule in active:
+            for finding in rule.check(ctx, config):
+                if ctx.is_suppressed(finding.line, finding.rule):
+                    continue
+                result.findings.append(finding)
+    result.findings.sort()
+    return result

@@ -42,7 +42,7 @@ class Counter:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, delta: int = 1) -> None:
@@ -63,7 +63,7 @@ class Gauge:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -109,11 +109,11 @@ class ReservoirHistogram:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self.max_samples = max_samples
-        self._reservoir = Timer()
-        self._count = 0
-        self._total = 0.0
-        self._min: float | None = None
-        self._max: float | None = None
+        self._reservoir = Timer()  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._total = 0.0  # guarded-by: _lock
+        self._min: float | None = None  # guarded-by: _lock
+        self._max: float | None = None  # guarded-by: _lock
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
 
@@ -222,9 +222,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, ReservoirHistogram] = {}
+        self._counters: dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: dict[str, ReservoirHistogram] = {}  # guarded-by: _lock
 
     # -------------------------------------------------------- get-or-create
 

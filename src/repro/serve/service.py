@@ -329,26 +329,27 @@ class ServiceStats:
     :attr:`_lock` — unguarded ``+=`` from two threads can tear.
     """
 
-    submitted: int = 0
-    completed: int = 0  #: resolved with a full run
-    resolved_by_target: int = 0
-    resolved_by_deadline: int = 0
-    failed: int = 0
-    requests_timed_out: int = 0  #: hard wall-clock timeouts (failures)
-    requests_shed: int = 0  #: load-shed evictions under overload
-    requests_retried: int = 0  #: rows re-run after a batch failure
-    batches_bisected: int = 0  #: failed packs split for quarantine
-    checkpoints_written: int = 0  #: engine checkpoints persisted
-    batches: int = 0
-    rows_packed: int = 0  #: total rows across all batches (sum of B)
-    ls_batches: int = 0  #: batches that ran with local search enabled
-    batches_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
-    rows_per_bucket: dict[BatchKey, int] = field(default_factory=dict)
+    submitted: int = 0  # guarded-by: _lock
+    completed: int = 0  #: resolved with a full run — guarded-by: _lock
+    resolved_by_target: int = 0  # guarded-by: _lock
+    resolved_by_deadline: int = 0  # guarded-by: _lock
+    failed: int = 0  # guarded-by: _lock
+    requests_timed_out: int = 0  #: hard wall-clock timeouts — guarded-by: _lock
+    requests_shed: int = 0  #: load-shed evictions — guarded-by: _lock
+    requests_retried: int = 0  #: rows re-run after a batch failure — guarded-by: _lock
+    batches_bisected: int = 0  #: failed packs split for quarantine — guarded-by: _lock
+    checkpoints_written: int = 0  #: engine checkpoints persisted — guarded-by: _lock
+    batches: int = 0  # guarded-by: _lock
+    rows_packed: int = 0  #: total rows across all batches — guarded-by: _lock
+    ls_batches: int = 0  #: batches with local search enabled — guarded-by: _lock
+    batches_per_bucket: dict[BatchKey, int] = field(default_factory=dict)  # guarded-by: _lock
+    rows_per_bucket: dict[BatchKey, int] = field(default_factory=dict)  # guarded-by: _lock
+    # guarded-by: _lock
     flush_causes: dict[str, int] = field(
         default_factory=lambda: dict.fromkeys(FLUSH_CAUSES, 0)
     )
-    engine_wall_seconds: float = 0.0  #: sum of batch-level walls
-    colony_iterations: int = 0  #: sum over batches of B * iterations_run
+    engine_wall_seconds: float = 0.0  #: sum of batch-level walls — guarded-by: _lock
+    colony_iterations: int = 0  #: sum of B * iterations_run — guarded-by: _lock
     registry: MetricsRegistry = field(
         default_factory=MetricsRegistry, repr=False
     )
@@ -641,7 +642,7 @@ class SolveService:
         self.retry_backoff = retry_backoff
         # Loop-thread-only RNG: retry waves are scheduled from async code,
         # so a seeded generator makes backoff schedules reproducible.
-        self._retry_rng = random.Random(retry_jitter_seed)
+        self._retry_rng = random.Random(retry_jitter_seed)  # guarded-by: loop
         self._faults = (
             FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
         )
@@ -650,22 +651,24 @@ class SolveService:
         )
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        # Consumed via next() from worker threads too — atomic in CPython,
+        # so deliberately NOT loop-confined.
         self._batch_seq = itertools.count()
         self.device = device
         self.amortize = amortize
         self._backend = resolve_backend(backend)
         self.stats = ServiceStats()
-        self._buckets: dict[BatchKey, deque[_Pending]] = {}
-        self._inflight: set[asyncio.Task] = set()
-        self._accepting = False
-        self._closed = False
+        self._buckets: dict[BatchKey, deque[_Pending]] = {}  # guarded-by: loop
+        self._inflight: set[asyncio.Task] = set()  # guarded-by: loop
+        self._accepting = False  # guarded-by: loop
+        self._closed = False  # guarded-by: loop
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._dispatcher: asyncio.Task | None = None
+        self._dispatcher: asyncio.Task | None = None  # guarded-by: loop
         self._wake: asyncio.Event | None = None
         self._slots: asyncio.Semaphore | None = None
-        self._slots_taken = 0  # loop-thread mirror of acquired slots
+        self._slots_taken = 0  # loop-thread mirror of acquired slots — guarded-by: loop
         self._executor: ThreadPoolExecutor | None = None
-        self._last_batch_at: float | None = None
+        self._last_batch_at: float | None = None  # guarded-by: loop
         self._tls = threading.local()
 
     # ---------------------------------------------------------------- lifecycle
@@ -1090,6 +1093,7 @@ class SolveService:
         """The calling worker thread's private scratch arena (one per
         worker, reused across batches — the cross-engine amortisation
         seam)."""
+        # lint: worker-thread
         work = getattr(self._tls, "work", None)
         if work is None:
             work = WorkBuffers(self._backend)
@@ -1107,6 +1111,7 @@ class SolveService:
         faults fire here — batch start and report boundaries — exactly
         where real worker failures originate.
         """
+        # lint: worker-thread
         injector = self._faults
         ordinal = -1
         if injector is not None:
@@ -1208,6 +1213,7 @@ class SolveService:
         from repro.core.checkpoint import save_checkpoint
         from repro.errors import CheckpointError
 
+        # lint: worker-thread
         seq = next(self._batch_seq)
         path = self.checkpoint_dir / f"batch-{seq:06d}-n{key.n}.npz"
         try:

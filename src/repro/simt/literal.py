@@ -133,6 +133,11 @@ def run_grid(
     for block in range(grid_dim):
         shared = make_shared(block)
         out.append(
-            run_block(lambda tid, sh, *a: program(tid, sh, block, *a), block_dim, shared, *args)
+            run_block(
+                lambda tid, sh, *a, _b=block: program(tid, sh, _b, *a),
+                block_dim,
+                shared,
+                *args,
+            )
         )
     return out

@@ -425,7 +425,7 @@ def two_opt_batch(
             # the improving rows (boundary-time code; B is tens, not
             # thousands).  The reversal between sorted positions realises
             # the computed gain exactly (symmetric matrix).
-            h_rows = np.nonzero(to_host(apply_rows))[0]
+            h_rows = np.nonzero(to_host(apply_rows))[0]  # lint: ignore[backend-purity]
             h_i = to_host(i_sel)
             h_j = to_host(j_sel)
             for b in h_rows:

@@ -82,7 +82,7 @@ class TestFunctionalEquivalence:
 
         tours, lengths = tours_and_lengths
         results = []
-        for version, cls in sorted(PHEROMONE_VERSIONS.items()):
+        for _version, cls in sorted(PHEROMONE_VERSIONS.items()):
             st = ColonyState.create(small_instance, ACOParams(seed=3), TESLA_M2050)
             cls().update(st, tours, lengths)
             results.append(st.pheromone)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.core.params import ACOParams
@@ -56,5 +58,5 @@ class TestValidation:
 
     def test_frozen(self):
         p = ACOParams()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             p.alpha = 2.0  # type: ignore[misc]

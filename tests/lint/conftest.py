@@ -1,0 +1,42 @@
+"""Fixture-tree harness for the invariant-linter suite.
+
+``lint_tree`` writes snippet files into a temp directory laid out like the
+package (``core/batch.py``, ``serve/service.py`` …) and runs the linter
+from inside it with relative paths — exactly how ``module_key`` classifies
+real files, so rule scoping behaves identically to a ``src/`` run.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path, monkeypatch):
+    """Build ``{relative path: source}`` and lint it; returns LintResult."""
+
+    def build(files: dict[str, str], *, rules: list[str] | None = None):
+        roots: list[str] = []
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            root = rel.split("/")[0]
+            if root not in roots:
+                roots.append(root)
+        monkeypatch.chdir(tmp_path)
+        return lint_paths(sorted(roots), rule_ids=rules)
+
+    return build
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+def lines_of(result, rule):
+    return [f.line for f in result.findings if f.rule == rule]

@@ -1,0 +1,144 @@
+"""backend-purity: raw numpy in hot-path seam functions, mutation-style."""
+
+from __future__ import annotations
+
+from .conftest import lines_of, rule_ids
+
+SEAM_VIOLATION = """
+    import numpy as np
+
+
+    def build(weights, xp):
+        acc = xp.cumsum(weights, axis=1)
+        darts = np.zeros(acc.shape[0])
+        return acc, darts
+"""
+
+
+class TestTruePositives:
+    def test_np_call_in_seam_function_fires(self, lint_tree):
+        res = lint_tree({"core/batch.py": SEAM_VIOLATION})
+        assert rule_ids(res) == ["backend-purity"]
+        f = res.findings[0]
+        assert f.file == "core/batch.py"
+        assert f.line == 7  # the np.zeros line
+        assert "np.zeros" in f.message
+        assert "build" in f.message
+        assert f.severity.value == "error"
+
+    def test_import_alias_is_resolved(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/choice.py": """
+                import numpy as numpy_mod
+
+
+                def kernel(tau, xp):
+                    return numpy_mod.power(tau, 2.0)
+                """
+            }
+        )
+        assert rule_ids(res) == ["backend-purity"]
+
+    def test_every_hot_path_module_is_in_scope(self, lint_tree):
+        files = {
+            name: SEAM_VIOLATION
+            for name in (
+                "core/batch.py",
+                "core/variant.py",
+                "core/choice.py",
+                "core/construction/dataparallel.py",
+                "core/pheromone/base.py",
+                "tsp/local_search.py",
+            )
+        }
+        res = lint_tree(files)
+        assert len(res.findings) == len(files)
+        assert set(rule_ids(res)) == {"backend-purity"}
+
+
+class TestFalsePositiveGuards:
+    def test_dtype_and_constant_contexts_allowed(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/batch.py": """
+                import numpy as np
+
+
+                def kernel(w, xp):
+                    a = w.astype(np.float64)
+                    b = xp.where(w > 0, a, -np.inf)
+                    info = np.finfo(np.float64)
+                    d = np.dtype("int64")
+                    return b, info, d
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_host_staging_through_from_host_allowed(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/variant.py": """
+                import numpy as np
+
+
+                def stage(rows, bk):
+                    return bk.from_host(np.stack(rows))
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_non_seam_function_is_out_of_scope(self, lint_tree):
+        # Solo host-path reference code has no xp in sight — exempt.
+        res = lint_tree(
+            {
+                "tsp/local_search.py": """
+                import numpy as np
+
+
+                def two_opt_solo(tour, dist):
+                    gains = np.empty(len(tour))
+                    return np.argmax(gains)
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_non_hot_module_is_out_of_scope(self, lint_tree):
+        res = lint_tree({"core/report.py": SEAM_VIOLATION})
+        assert res.findings == []
+
+    def test_np_random_left_to_determinism_rule(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/batch.py": """
+                import numpy as np
+
+
+                def sample(xp):
+                    return np.random.rand(4)
+                """
+            },
+            rules=["backend-purity"],
+        )
+        assert res.findings == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_line(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/batch.py": """
+                import numpy as np
+
+
+                def stage(rows, bk):
+                    buf = np.empty(len(rows))  # lint: ignore[backend-purity]
+                    bad = np.zeros(len(rows))
+                    return bk.from_host(buf), bad
+                """
+            }
+        )
+        assert lines_of(res, "backend-purity") == [7]

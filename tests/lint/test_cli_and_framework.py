@@ -1,0 +1,203 @@
+"""Framework behaviour: CLI surface, --json schema, exit codes, self-check."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import Severity, all_rules, get_rule, lint_paths, module_key
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_CORE = """\
+import numpy as np
+
+
+def sample(n):
+    return np.random.rand(n)
+"""
+
+CLEAN = """\
+def identity(x):
+    return x
+"""
+
+
+class TestRegistry:
+    def test_all_four_rule_families_registered(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == [
+            "backend-purity",
+            "determinism",
+            "host-sync",
+            "lock-discipline",
+        ]
+        assert all(r.severity is Severity.ERROR for r in all_rules())
+        assert all(r.description for r in all_rules())
+
+    def test_unknown_rule_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="lock-discipline"):
+            get_rule("no-such-rule")
+
+
+class TestModuleKey:
+    def test_installed_package_paths_normalise(self):
+        assert module_key("src/repro/core/batch.py") == "core/batch.py"
+        assert (
+            module_key("/opt/x/src/repro/tsp/local_search.py")
+            == "tsp/local_search.py"
+        )
+
+    def test_scan_relative_paths_pass_through(self):
+        assert module_key("core/batch.py") == "core/batch.py"
+        assert module_key("./benchmarks/conftest.py") == "benchmarks/conftest.py"
+
+
+class TestExitCodesAndJson:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "mod.py"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_error_finding_exits_one(self, tmp_path, monkeypatch, capsys):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "sampler.py").write_text(BAD_CORE)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "core"]) == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out
+        assert "core/sampler.py:5" in out
+
+    def test_json_schema(self, tmp_path, monkeypatch, capsys):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "sampler.py").write_text(BAD_CORE)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "--json", "core"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "errors",
+            "warnings",
+            "files_checked",
+            "parse_errors",
+            "findings",
+        }
+        assert payload["errors"] == 1 and payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "file",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+            "snippet",
+        }
+        assert finding["rule"] == "determinism"
+        assert finding["severity"] == "error"
+        assert finding["file"] == "core/sampler.py"
+        assert finding["line"] == 5
+        assert finding["snippet"] == "return np.random.rand(n)"
+
+    def test_rule_selection_narrows_the_run(self, tmp_path, monkeypatch, capsys):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "sampler.py").write_text(BAD_CORE)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "--rule", "lock-discipline", "core"]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", "--rule", "determinism", "core"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "--rule", "bogus", "."]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "nope/"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "backend-purity",
+            "determinism",
+            "host-sync",
+            "lock-discipline",
+        ):
+            assert rule_id in out
+
+    def test_syntax_error_fails_the_gate(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "--json", "broken.py"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert "broken.py" in payload["parse_errors"]
+
+
+class TestSuppressionMechanics:
+    def test_bare_ignore_silences_every_rule(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/sampler.py": """
+                import numpy as np
+
+
+                def sample(n):
+                    return np.random.rand(n)  # lint: ignore
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_standalone_comment_covers_the_next_line(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/sampler.py": """
+                import numpy as np
+
+
+                def sample(n):
+                    # lint: ignore[determinism]
+                    return np.random.rand(n)
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_ignore_for_another_rule_does_not_cover(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/sampler.py": """
+                import numpy as np
+
+
+                def sample(n):
+                    return np.random.rand(n)  # lint: ignore[host-sync]
+                """
+            }
+        )
+        assert [f.rule for f in res.findings] == ["determinism"]
+
+
+class TestHeadSelfCheck:
+    def test_lint_src_and_benchmarks_clean_at_head(self):
+        # The CI gate's exact contract: the tree this test ships with
+        # carries zero error-severity findings.
+        res = lint_paths(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")]
+        )
+        assert res.parse_errors == {}
+        assert [f.render() for f in res.findings] == []
+        assert res.exit_code == 0
+        assert res.files_checked > 100

@@ -1,0 +1,175 @@
+"""determinism: unpinned randomness/time in engine scope, mutation-style."""
+
+from __future__ import annotations
+
+from .conftest import lines_of, rule_ids
+
+
+class TestTruePositives:
+    def test_np_random_in_core_fires(self, lint_tree):
+        # The acceptance-criterion mutation: np.random added to a core/ file.
+        res = lint_tree(
+            {
+                "core/sampler.py": """
+                import numpy as np
+
+
+                def sample(n):
+                    return np.random.rand(n)
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+        f = res.findings[0]
+        assert f.file == "core/sampler.py"
+        assert f.line == 6
+        assert "numpy.random.rand" in f.message
+
+    def test_stdlib_random_fires(self, lint_tree):
+        res = lint_tree(
+            {
+                "rng/jitter.py": """
+                import random
+
+
+                def jitter():
+                    return random.random()
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+
+    def test_seeded_stdlib_random_still_fires_in_engine_scope(self, lint_tree):
+        # Engine randomness must be DeviceRNG streams — a seeded
+        # random.Random is only pinned as an exception in obs.metrics.
+        res = lint_tree(
+            {
+                "core/noise.py": """
+                import random
+
+                RNG = random.Random(42)
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+
+    def test_unseeded_default_rng_fires(self, lint_tree):
+        res = lint_tree(
+            {
+                "tsp/shuffle.py": """
+                import numpy as np
+
+
+                def shuffle():
+                    return np.random.default_rng()
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+        assert "unseeded" in res.findings[0].message
+
+    def test_wall_clock_read_fires(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/loop.py": """
+                import time
+
+
+                def run():
+                    start = time.time()
+                    mono = time.monotonic()
+                    return start, mono
+                """
+            }
+        )
+        assert lines_of(res, "determinism") == [6, 7]
+
+    def test_from_import_alias_is_resolved(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/loop.py": """
+                from time import perf_counter
+
+
+                def run():
+                    return perf_counter()
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+
+
+class TestDocumentedAllowlist:
+    def test_perf_counter_allowed_in_phase_accounting_modules(self, lint_tree):
+        # core/batch.py and tsp/local_search.py carry documented
+        # observability-only allowlist entries (LintConfig).
+        src = """
+            from time import perf_counter
+
+
+            def run(xp):
+                return perf_counter()
+        """
+        res = lint_tree({"core/batch.py": src, "tsp/local_search.py": src})
+        assert lines_of(res, "determinism") == []
+
+    def test_time_time_not_covered_by_perf_counter_allowlist(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/batch.py": """
+                import time
+
+
+                def run():
+                    return time.time()
+                """
+            }
+        )
+        assert rule_ids(res) == ["determinism"]
+
+    def test_seeded_numpy_generator_is_the_sanctioned_idiom(self, lint_tree):
+        # tsp/generator.py's construction pattern must stay clean.
+        res = lint_tree(
+            {
+                "tsp/generator.py": """
+                import numpy as np
+
+
+                def make_rng(seed):
+                    return np.random.default_rng(np.random.SeedSequence(seed))
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_outside_engine_scope_is_exempt(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                import random
+                import time
+
+
+                def backoff(seed):
+                    rng = random.Random(seed)
+                    return rng, time.monotonic()
+                """
+            }
+        )
+        assert res.findings == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_line(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/sampler.py": """
+                import numpy as np
+
+
+                def sample(n):
+                    return np.random.rand(n)  # lint: ignore[determinism]
+                """
+            }
+        )
+        assert res.findings == []

@@ -1,0 +1,124 @@
+"""host-sync: device→host transfers inside K-loop interiors, mutation-style."""
+
+from __future__ import annotations
+
+from .conftest import lines_of, rule_ids
+
+
+class TestTruePositives:
+    def test_transfer_methods_fire_inside_hot_region(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance(state, xp):
+                    # lint: hot-region
+                    best = state.lengths.item()
+                    host = state.backend.to_host(state.tours)
+                    raw = state.lengths.get()
+                    return best, host, raw
+                """
+            }
+        )
+        assert rule_ids(res) == ["host-sync"] * 3
+        assert lines_of(res, "host-sync") == [4, 5, 6]
+        assert res.findings[0].file == "core/engine.py"
+
+    def test_implicit_scalar_sync_fires(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance(lengths):
+                    # lint: hot-region
+                    return float(lengths.min())
+                """
+            }
+        )
+        assert rule_ids(res) == ["host-sync"]
+        assert "float" in res.findings[0].message
+
+    def test_decorator_marker_is_equivalent_to_comment(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                from repro.lint.markers import hot_region
+
+
+                @hot_region
+                def advance(lengths):
+                    return lengths.item()
+                """
+            }
+        )
+        assert rule_ids(res) == ["host-sync"]
+
+    def test_nested_closure_inherits_the_region(self, lint_tree):
+        # A closure defined inside a K-loop interior runs per iteration.
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance(state):
+                    # lint: hot-region
+                    def peek():
+                        return state.lengths.item()
+
+                    return peek
+                """
+            }
+        )
+        assert rule_ids(res) == ["host-sync"]
+
+
+class TestFalsePositiveGuards:
+    def test_unmarked_function_is_out_of_scope(self, lint_tree):
+        # Boundary-time code transfers by design (e.g. two_opt_batch's
+        # ragged reversal loop) — only marked interiors are policed.
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def boundary(state):
+                    return state.backend.to_host(state.tours)
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_dict_get_with_key_not_flagged(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance(cache, key):
+                    # lint: hot-region
+                    return cache.get(key, None)
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_conversion_of_literal_not_flagged(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance():
+                    # lint: hot-region
+                    return float("inf"), int(3)
+                """
+            }
+        )
+        assert res.findings == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_line(self, lint_tree):
+        res = lint_tree(
+            {
+                "core/engine.py": """
+                def advance(flags):
+                    # lint: hot-region
+                    # Engine-constant branch select, synced once per run.
+                    a = bool(flags.all())  # lint: ignore[host-sync]
+                    b = bool(flags.any())
+                    return a, b
+                """
+            }
+        )
+        assert lines_of(res, "host-sync") == [6]

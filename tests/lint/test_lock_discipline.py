@@ -1,0 +1,186 @@
+"""lock-discipline: guarded attributes mutated off-lock, mutation-style."""
+
+from __future__ import annotations
+
+from .conftest import lines_of, rule_ids
+
+#: A ServiceStats-shaped fixture with the acceptance-criterion mutation:
+#: a guarded counter bumped outside its lock.
+UNGUARDED_STATS = """
+    import threading
+    from dataclasses import dataclass
+
+
+    @dataclass
+    class ServiceStats:
+        submitted: int = 0  # guarded-by: _lock
+        batches: int = 0  # guarded-by: _lock
+
+        def __post_init__(self):
+            self._lock = threading.Lock()
+
+        def observe_submitted(self):
+            with self._lock:
+                self.submitted += 1
+
+        def observe_batch(self):
+            self.batches += 1
+"""
+
+
+class TestTruePositives:
+    def test_unguarded_service_stats_mutation_fires(self, lint_tree):
+        res = lint_tree({"serve/service.py": UNGUARDED_STATS})
+        assert rule_ids(res) == ["lock-discipline"]
+        f = res.findings[0]
+        assert f.file == "serve/service.py"
+        assert f.line == 19  # the bare `self.batches += 1`
+        assert "batches" in f.message and "_lock" in f.message
+
+    def test_plain_assignment_and_container_mutation_fire(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                import threading
+
+
+                class Stats:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.total = 0.0  # guarded-by: _lock
+                        self.rows = []  # guarded-by: _lock
+                        self.causes = {}  # guarded-by: _lock
+
+                    def record(self, wall, row, cause):
+                        self.total = self.total + wall
+                        self.rows.append(row)
+                        self.causes[cause] = self.causes.get(cause, 0) + 1
+                """
+            }
+        )
+        assert rule_ids(res) == ["lock-discipline"] * 3
+        assert lines_of(res, "lock-discipline") == [13, 14, 15]
+
+    def test_loop_confined_state_mutated_from_worker_thread_fires(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                class Service:
+                    def __init__(self):
+                        self._buckets = {}  # guarded-by: loop
+
+                    def _flush(self, key):
+                        self._buckets.pop(key, None)
+
+                    def _run_batch_sync(self, key):
+                        # lint: worker-thread
+                        self._buckets.pop(key, None)
+                """
+            }
+        )
+        assert rule_ids(res) == ["lock-discipline"]
+        assert lines_of(res, "lock-discipline") == [11]
+        assert "call_soon_threadsafe" in res.findings[0].message
+
+
+class TestFalsePositiveGuards:
+    def test_mutation_under_the_lock_is_clean(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                import threading
+
+
+                class Stats:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0  # guarded-by: _lock
+
+                    def observe(self):
+                        with self._lock:
+                            self.count += 1
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_constructor_initialisation_is_exempt(self, lint_tree):
+        # __init__/__post_init__ run before the object is shared, so even
+        # an off-lock read-modify-write of a guarded attribute is fine.
+        res = lint_tree(
+            {
+                "obs/metrics.py": """
+                class Counter:
+                    def __init__(self):
+                        self.count = 0  # guarded-by: _lock
+                        self.count += 1
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_reads_are_never_flagged(self, lint_tree):
+        # threading.Lock is not reentrant: unguarded read-only properties
+        # are called from inside locked snapshot() blocks by design.
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                import threading
+
+
+                class Stats:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.batches = 0  # guarded-by: _lock
+                        self.rows = 0  # guarded-by: _lock
+
+                    @property
+                    def mean_batch_size(self):
+                        return self.rows / self.batches if self.batches else 0.0
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_unannotated_attributes_are_out_of_scope(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                class Service:
+                    def __init__(self):
+                        self.count = 0
+
+                    def bump(self):
+                        self.count += 1
+                """
+            }
+        )
+        assert res.findings == []
+
+    def test_loop_state_from_loop_side_code_is_clean(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": """
+                class Service:
+                    def __init__(self):
+                        self._buckets = {}  # guarded-by: loop
+
+                    def submit(self, key, pending):
+                        self._buckets.setdefault(key, []).append(pending)
+                """
+            }
+        )
+        assert res.findings == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_line(self, lint_tree):
+        res = lint_tree(
+            {
+                "serve/service.py": UNGUARDED_STATS.replace(
+                    "self.batches += 1",
+                    "self.batches += 1  # lint: ignore[lock-discipline]",
+                )
+            }
+        )
+        assert res.findings == []

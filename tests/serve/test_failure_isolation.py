@@ -16,6 +16,7 @@ import pytest
 from repro.core import ACOParams
 from repro.errors import (
     ACOConfigError,
+    ServeError,
     ServeTimeoutError,
     ServiceOverloadedError,
 )
@@ -185,7 +186,7 @@ class TestRetryPolicy:
                 faults=plan,
             ) as service:
                 handle = await service.submit(_request(1))
-                with pytest.raises(Exception) as err:
+                with pytest.raises(ServeError) as err:
                     await handle.result()
                 assert "batch execution failed" in str(err.value)
                 snap = service.stats.snapshot()

@@ -123,7 +123,7 @@ class TestLifecycleDistributions:
     def test_latency_histograms_cover_every_request(self):
         async def drive():
             async with SolveService(max_batch=2, max_wait=0.01) as service:
-                for i in range(4):
+                for _ in range(4):
                     handle = await service.submit(_request())
                     await handle.result()
                 return service.stats

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.errors import LaunchConfigError
@@ -73,7 +75,7 @@ class TestDerived:
         assert DEVICES["m2050"] is TESLA_M2050
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             TESLA_C1060.sm_count = 99  # type: ignore[misc]
 
 

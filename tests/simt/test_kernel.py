@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.errors import LaunchConfigError
@@ -58,7 +60,7 @@ class TestLaunchConfig:
 
     def test_frozen(self):
         cfg = LaunchConfig(grid=1, block=32)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.grid = 2  # type: ignore[misc]
 
 

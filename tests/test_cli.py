@@ -222,6 +222,61 @@ class TestBenchCommand:
         assert any(not row["amortized"] for row in payload["results"])
 
 
+def _bench_conftest():
+    """Load benchmarks/conftest.py the way the CLI and CI job do."""
+    import importlib.util
+    import pathlib
+
+    conftest = (
+        pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "conftest.py"
+    )
+    spec = importlib.util.spec_from_file_location("_bench_conftest", conftest)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchArtifactValidation:
+    def test_checked_in_artifacts_validate(self):
+        # The CI lint-invariants job's exact contract: every BENCH_*.json
+        # at the repo root passes its registered schema.
+        import pathlib
+
+        module = _bench_conftest()
+        root = pathlib.Path(__file__).resolve().parents[1]
+        artefacts = sorted(root.glob("BENCH_*.json"))
+        assert artefacts, "no checked-in BENCH_*.json artefacts found"
+        for path in artefacts:
+            assert module.validate_bench_artifact(path) == path.name
+
+    def test_every_registered_script_has_a_validator(self):
+        module = _bench_conftest()
+        for artefact, validator in module.BENCH_ARTIFACTS.values():
+            assert module.ARTIFACT_VALIDATORS[artefact] is validator
+
+    def test_unknown_artifact_name_rejected(self, tmp_path):
+        module = _bench_conftest()
+        bogus = tmp_path / "BENCH_bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(ValueError, match="no schema registered"):
+            module.validate_bench_artifact(bogus)
+
+    def test_schema_violation_raises(self, tmp_path):
+        module = _bench_conftest()
+        bad = tmp_path / "BENCH_batch.json"
+        bad.write_text(json.dumps({"instance": "att48", "results": []}))
+        with pytest.raises(AssertionError, match="BENCH_batch missing key"):
+            module.validate_bench_artifact(bad)
+
+    def test_payload_shortcut_skips_the_disk_read(self):
+        module = _bench_conftest()
+        with pytest.raises(AssertionError, match="no result rows"):
+            module.validate_bench_artifact(
+                "BENCH_batch.json",
+                payload={"instance": "x", "pheromone": 1, "results": []},
+            )
+
+
 class TestSolveVariants:
     def test_solve_acs(self, capsys):
         rc = cli_main(
