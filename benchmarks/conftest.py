@@ -304,6 +304,75 @@ def validate_bench_ls(payload: dict) -> None:
         )
 
 
+# --------------------------------------------------------- BENCH_shard.json
+#
+# Schema of the artefact bench_shard_scaling.py writes at the repo root:
+# requests/sec through the ShardRouter tier for fleets of 1, 2 and 4
+# worker-process shards, identical bursts, interleaved rotated best-of
+# timing (fleets long-lived; spawn/warm-up outside the timed window).
+
+#: top-level keys -> required type
+BENCH_SHARD_SCHEMA: dict[str, type] = {
+    "backend": str,  # backend every worker resolved
+    "iterations": int,  # iterations per request
+    "sizes": list,  # instance sizes, one per shard of a 4-fleet
+    "seeds_per_size": int,  # requests per size in a burst
+    "requests_per_burst": int,  # len(sizes) * seeds_per_size
+    "repeats": int,  # timed sweeps per fleet (best-of)
+    "shard_counts": list,  # fleet sizes covered, e.g. [1, 2, 4]
+    "protocol": str,  # timing protocol identifier
+    "host": dict,  # {"cpus": ...} — scaling context (see script docstring)
+    "results": list,  # per-fleet rows
+    "speedup_4_over_1": float,  # rps(4 shards) / rps(1 shard)
+}
+
+#: per-row keys -> required type
+BENCH_SHARD_ROW_SCHEMA: dict[str, type] = {
+    "shards": int,  # fleet size the row measured
+    "best_seconds": float,  # best burst wall across sweeps
+    "requests_per_sec": float,  # requests_per_burst / best_seconds
+    "speedup_vs_1": float,  # rps(this fleet) / rps(1 shard)
+}
+
+
+def validate_bench_shard(payload: dict) -> None:
+    """Assert ``payload`` matches the BENCH_shard.json schema above."""
+    for key, typ in BENCH_SHARD_SCHEMA.items():
+        assert key in payload, f"BENCH_shard missing key {key!r}"
+        assert isinstance(payload[key], typ), (
+            f"BENCH_shard[{key!r}] should be {typ.__name__}, "
+            f"got {type(payload[key]).__name__}"
+        )
+    assert payload["results"], "BENCH_shard has no result rows"
+    assert "cpus" in payload["host"], "BENCH_shard host block needs 'cpus'"
+    assert payload["requests_per_burst"] == (
+        len(payload["sizes"]) * payload["seeds_per_size"]
+    ), "requests_per_burst disagrees with sizes x seeds_per_size"
+    rps: dict[int, float] = {}
+    for row in payload["results"]:
+        for key, typ in BENCH_SHARD_ROW_SCHEMA.items():
+            assert key in row, f"BENCH_shard row missing key {key!r}"
+            assert isinstance(row[key], typ), (
+                f"BENCH_shard row[{key!r}] should be {typ.__name__}, "
+                f"got {type(row[key]).__name__}"
+            )
+        assert row["requests_per_sec"] > 0, "non-positive throughput row"
+        rps[row["shards"]] = row["requests_per_sec"]
+    assert sorted(rps) == sorted(payload["shard_counts"]), (
+        f"rows cover fleets {sorted(rps)}, "
+        f"declared {sorted(payload['shard_counts'])}"
+    )
+    assert {1, 4} <= set(rps), "BENCH_shard needs 1-shard and 4-shard rows"
+    # The scaling contract: a 4-shard fleet must out-serve a single shard
+    # under the interleaved protocol.
+    assert rps[4] > rps[1], (
+        f"4-shard fleet ({rps[4]} req/s) not above 1-shard ({rps[1]} req/s)"
+    )
+    assert payload["speedup_4_over_1"] > 1.0, (
+        f"speedup_4_over_1 is {payload['speedup_4_over_1']}, expected > 1.0"
+    )
+
+
 #: script filename -> (artefact filename, validator); the `gpu-aco bench`
 #: runner loads this registry to validate whatever a script wrote.
 BENCH_ARTIFACTS: dict = {
@@ -311,6 +380,7 @@ BENCH_ARTIFACTS: dict = {
     "bench_batch_throughput.py": ("BENCH_batch.json", validate_bench_batch),
     "bench_loop_amortization.py": ("BENCH_loop.json", validate_bench_loop),
     "bench_local_search.py": ("BENCH_ls.json", validate_bench_ls),
+    "bench_shard_scaling.py": ("BENCH_shard.json", validate_bench_shard),
     "bench_variant_throughput.py": ("BENCH_variant.json", validate_bench_variant),
 }
 

@@ -326,6 +326,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a checkpoint of every completed batch engine into DIR",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N worker processes behind a BatchKey-hash router (each "
+        "worker is a full solve service with the settings above); 0 "
+        "(default) serves in-process with no router tier",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -1041,19 +1050,91 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """Run the router tier over N worker-process shards until interrupted.
+
+    Each worker is a full ``SolveService`` built from the same flags the
+    in-process path uses; the router hashes ``BatchKey`` to shards,
+    spills overflow to the least-loaded healthy shard, and respawns dead
+    workers.  SIGINT/SIGTERM drain gracefully: the front listener
+    closes, workers finish accepted work, then the fleet exits.
+    """
+    import asyncio
+    import signal
+
+    from repro.errors import ServeError
+    from repro.shard import ShardConfig, ShardRouter, serve_router_tcp
+
+    backend = _resolve_backend_arg(args.backend)
+    config = ShardConfig(
+        host=args.host,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1000.0,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        retry_budget=args.retry_budget,
+        backend=backend.name,
+        device=args.device,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def _main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # non-unix loops
+                pass
+        async with ShardRouter(args.shards, config) as router:
+            server = await serve_router_tcp(router, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(
+                f"routing on {host}:{port} over {args.shards} worker "
+                f"shard(s) [backend {backend.name}, max_batch "
+                f"{args.max_batch}, max_wait {args.max_wait_ms:.0f} ms, "
+                f"{args.workers} thread(s)/shard] — Ctrl-C drains gracefully",
+                flush=True,
+            )
+            try:
+                await stop.wait()
+            finally:
+                print("\ndraining: no new requests; shards finishing "
+                      "accepted work ...", flush=True)
+                server.close()
+                await server.wait_closed()
+        print("drained; fleet stopped.")
+
+    try:
+        asyncio.run(_main())
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\ninterrupted — fleet stopped", file=sys.stderr)
+        return 130
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the async micro-batching solve service until interrupted.
 
     SIGINT/SIGTERM trigger the graceful-drain path: the TCP listener
     closes (no new requests), queued requests flush as final batches,
     in-flight engine runs complete and every stream is terminated before
-    the process exits.
+    the process exits.  ``--shards N`` (N >= 1) switches to the
+    multi-process router tier; ``--shards 0`` is this unchanged
+    single-process path.
     """
     import asyncio
     import signal
 
     from repro.serve import SolveService, serve_tcp
 
+    if args.shards < 0:
+        raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
+    if args.shards > 0:
+        return _cmd_serve_sharded(args)
     backend = _resolve_backend_arg(args.backend)
     device = DEVICES[args.device]
     try:
@@ -1133,21 +1214,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.as_json:
         print(json.dumps(snap, sort_keys=True))
         return 0
+    source = snap.get("source", "service")
     if args.health:
         t = Table(
-            ["probe", "value"], title=f"service health @ {args.host}:{args.port}"
+            ["probe", "value"],
+            title=f"{source} health @ {args.host}:{args.port}",
         )
         for key, value in snap.items():
             if key == "queue_depths":
                 for bucket, depth in sorted(value.items()):
                     t.add_row([f"queue[{bucket}]", depth])
+            elif key == "per_shard":
+                for sid, summ in sorted(value.items(), key=lambda kv: kv[0]):
+                    state = summ.get("state", "?")
+                    t.add_row(
+                        [
+                            f"shard[{sid}]",
+                            f"{state} pid={summ.get('pid')} "
+                            f"outstanding={summ.get('outstanding', 0)} "
+                            f"gen={summ.get('generation', 0)}",
+                        ]
+                    )
+            elif key == "router":
+                for rkey, rval in sorted(value.items()):
+                    t.add_row([f"router[{rkey}]", rval])
             else:
                 t.add_row([key, value])
         print(t.render())
         return 0
     t = Table(
-        ["counter", "value"], title=f"service stats @ {args.host}:{args.port}"
+        ["counter", "value"], title=f"{source} stats @ {args.host}:{args.port}"
     )
+    t.add_row(["source", source])
     for key in (
         "submitted",
         "completed",
@@ -1166,6 +1264,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         t.add_row([key, snap.get(key, 0)])
     for cause, count in sorted(snap.get("flush_causes", {}).items()):
         t.add_row([f"flush[{cause}]", count])
+    for rkey, rval in sorted(snap.get("router", {}).items()):
+        t.add_row([f"router[{rkey}]", rval])
     print(t.render())
     h = Table(
         ["distribution", "count", "mean", "p50", "p95", "p99", "max"],

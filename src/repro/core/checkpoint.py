@@ -54,6 +54,7 @@ __all__ = [
     "FORMAT_VERSION",
     "EngineCheckpoint",
     "engine_fingerprint",
+    "instance_digest",
     "capture_checkpoint",
     "save_checkpoint",
     "load_checkpoint",
@@ -83,6 +84,12 @@ def _instance_digest(instance) -> str:
             return digest  # not weakref-able: compute, don't cache
         _DIGEST_CACHE[key] = digest
     return digest
+
+
+#: Public name for the canonical per-instance content digest.  Checkpoint
+#: rows and the shard router's shared-memory instance cache key off the
+#: same value, so "equal instance" means the same thing in both systems.
+instance_digest = _instance_digest
 
 
 def engine_fingerprint(engine) -> dict:

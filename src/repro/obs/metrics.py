@@ -175,10 +175,13 @@ class ReservoirHistogram:
         return self.percentile(99.0)
 
     def merge(self, other: "ReservoirHistogram") -> "ReservoirHistogram":
-        """Fold ``other`` into this histogram (combining per-thread
-        instances); exact fields combine exactly, reservoirs concatenate
-        (slightly over-weighting whichever side sampled less — acceptable
-        for the per-thread-merge use this exists for).  Returns ``self``."""
+        """Fold ``other`` into this histogram (combining per-thread or
+        per-shard instances); exact fields (``count``/``total``/``min``/
+        ``max``) combine exactly, reservoirs concatenate and truncate to
+        ``self.max_samples`` (slightly over-weighting whichever side
+        sampled less — acceptable for merge use).  Aggregators that must
+        keep every source sample (the shard router) are built with a
+        ``max_samples`` large enough to hold the union.  Returns ``self``."""
         with other._lock:
             count, total = other._count, other._total
             omin, omax = other._min, other._max
@@ -195,7 +198,13 @@ class ReservoirHistogram:
         return self
 
     def snapshot(self) -> dict:
-        """JSON-friendly summary with the standard percentile triple."""
+        """JSON-friendly summary with the standard percentile triple.
+
+        ``samples`` carries the raw reservoir so a snapshot shipped over
+        the wire round-trips through :meth:`from_snapshot` without losing
+        the quantile substrate (full float precision — only the derived
+        summary fields are rounded for display).
+        """
         with self._lock:
             reservoir = self._reservoir
             return {
@@ -207,7 +216,34 @@ class ReservoirHistogram:
                 "p50": round(reservoir.percentile(50.0), 6),
                 "p95": round(reservoir.percentile(95.0), 6),
                 "p99": round(reservoir.percentile(99.0), 6),
+                "samples": list(reservoir.laps),
             }
+
+    @classmethod
+    def from_snapshot(
+        cls, snap: dict, *, name: str = "", max_samples: int | None = None
+    ) -> "ReservoirHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` payload.
+
+        The exact fields (``count``/``total``/``min``/``max``) and the
+        reservoir come back verbatim; this is how the shard router folds
+        per-worker histograms scraped off the ``{"op": "stats"}`` wire
+        into one aggregate (``from_snapshot`` each side, then
+        :meth:`merge`).  Snapshots predating the ``samples`` field
+        reconstruct with an empty reservoir (summaries stay exact,
+        quantiles degrade to 0).
+        """
+        samples = [float(v) for v in snap.get("samples", ())]
+        if max_samples is None:
+            max_samples = max(len(samples), 512)
+        hist = cls(name=name, max_samples=max_samples)
+        hist._count = int(snap["count"])
+        hist._total = float(snap["total"])
+        if hist._count:
+            hist._min = float(snap["min"])
+            hist._max = float(snap["max"])
+        hist._reservoir.laps.extend(samples[:max_samples])
+        return hist
 
 
 class MetricsRegistry:

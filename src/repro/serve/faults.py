@@ -67,6 +67,14 @@ class FaultPlan:
         exactly like a real mid-run crash.
     poison_instances:
         Instance names whose presence always fails the batch.
+    kill_workers:
+        Router-level schedule (ignored by :class:`FaultInjector`): 0-based
+        *routed-request* ordinals after whose forwarding the shard router
+        SIGKILLs the worker **process** that request was routed to — real
+        OS-level death, not the simulated in-thread
+        :class:`~repro.errors.WorkerKilledError` of ``kill_batches``.
+        Deterministic because the router assigns routing ordinals in
+        arrival order; the failover tests drive shard death with this.
     """
 
     seed: int = 0
@@ -75,6 +83,7 @@ class FaultPlan:
     kill_batches: tuple[int, ...] = ()
     fail_boundaries: dict[int, int] = field(default_factory=dict)
     poison_instances: tuple[str, ...] = ()
+    kill_workers: tuple[int, ...] = ()
 
 
 class FaultInjector:

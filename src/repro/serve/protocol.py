@@ -118,8 +118,15 @@ def instance_from_json(obj: dict) -> TSPInstance:
         from repro.tsp.suite import load_instance
 
         return load_instance(str(obj["suite"]))
+    if "shm" in obj:
+        # Shard-tier form: the router published the coords into a shared-
+        # memory block keyed by content digest; resolve (and cache) it in
+        # this worker process.
+        from repro.shard.shm import resolve_shared_instance
+
+        return resolve_shared_instance(obj)
     if "coords" not in obj:
-        raise ServeError("instance needs either 'suite' or 'coords'")
+        raise ServeError("instance needs 'suite', 'coords' or 'shm'")
     return TSPInstance(
         name=str(obj.get("name", "inline")),
         coords=np.asarray(obj["coords"], dtype=np.float64),
@@ -127,11 +134,22 @@ def instance_from_json(obj: dict) -> TSPInstance:
     )
 
 
-def encode_request(request: SolveRequest, req_id: str) -> bytes:
-    """One request as a JSON line (the in-process -> wire direction)."""
+def encode_request(
+    request: SolveRequest, req_id: str, *, instance_obj: dict | None = None
+) -> bytes:
+    """One request as a JSON line (the in-process -> wire direction).
+
+    ``instance_obj`` overrides the instance's wire form — the shard
+    router forwards ``{"suite": ...}`` stubs and shared-memory stubs this
+    way instead of re-inlining coords per request.
+    """
     payload: dict = {
         "id": req_id,
-        "instance": instance_to_json(request.instance),
+        "instance": (
+            instance_obj
+            if instance_obj is not None
+            else instance_to_json(request.instance)
+        ),
         "iterations": request.iterations,
         "report_every": request.report_every,
         "construction": request.construction,

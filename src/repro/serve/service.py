@@ -481,6 +481,9 @@ class ServiceStats:
         """
         with self._lock:
             summary = {
+                # Which tier produced this payload: a worker shard answers
+                # "service"; the shard router's fold answers "router".
+                "source": "service",
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "resolved_by_target": self.resolved_by_target,
@@ -755,6 +758,7 @@ class SolveService:
         )
         last = self._last_batch_at
         return {
+            "source": "service",
             "accepting": self._accepting,
             "queued": self.pending,
             "queue_depths": {

@@ -1,0 +1,56 @@
+"""Multi-process sharded serving: a router tier over N worker shards.
+
+The ROADMAP's "millions of users" spine: one asyncio front **router**
+speaking the same JSON-lines TCP wire as ``gpu-aco serve``, hashing each
+request's :class:`~repro.serve.service.BatchKey` to one of N long-lived
+worker **processes**, each running today's
+:class:`~repro.serve.service.SolveService` end-to-end.  Process shards
+step around the GIL ceiling that caps numpy-backend throughput in a
+single serve process.
+
+Layers (one module each):
+
+* :mod:`repro.shard.shm` — shared-memory instance cache: inline
+  coordinate instances are serialized into ``multiprocessing.shared_memory``
+  once per distinct :func:`~repro.core.checkpoint.instance_digest`, and
+  workers attach by digest instead of re-parsing coords per shard.
+* :mod:`repro.shard.worker` — the child-process entry point: build a
+  ``SolveService`` from a picklable :class:`~repro.shard.worker.ShardConfig`,
+  serve the standard wire on an ephemeral port, report the port through a
+  pipe, drain gracefully on SIGTERM.
+* :mod:`repro.shard.supervisor` — one :class:`~repro.shard.supervisor.WorkerShard`
+  per worker: spawn/ready-handshake/trunk-connect/terminate/kill lifecycle.
+* :mod:`repro.shard.router` — :class:`~repro.shard.router.ShardRouter`:
+  BatchKey-hash routing with health-scored spill to the least-loaded
+  healthy shard, failover (dead shard → re-route + respawn), rolling
+  drain/restart, router-level shedding, and
+  :func:`~repro.shard.router.serve_router_tcp`, the client-facing front.
+* :mod:`repro.shard.stats` — fold per-shard
+  :meth:`~repro.serve.service.ServiceStats.snapshot` payloads (exact
+  counter sums + lossless :class:`~repro.obs.ReservoirHistogram` merges)
+  into one router-level ``{"op": "stats"}`` payload.
+
+``gpu-aco serve --shards N`` is the CLI surface; ``N=0`` keeps the
+single-process in-process path byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.shard.router import ShardRouter, serve_router_tcp, shard_index
+from repro.shard.shm import InstanceShmCache, resolve_shared_instance
+from repro.shard.stats import fold_health, fold_stats
+from repro.shard.supervisor import WorkerShard
+from repro.shard.worker import ShardConfig, worker_main
+
+__all__ = [
+    "InstanceShmCache",
+    "ShardConfig",
+    "ShardRouter",
+    "WorkerShard",
+    "fold_health",
+    "fold_stats",
+    "resolve_shared_instance",
+    "serve_router_tcp",
+    "shard_index",
+    "worker_main",
+]

@@ -1,0 +1,156 @@
+"""Shared-memory instance cache keyed by canonical instance digests.
+
+A burst of requests over the same coordinate instance would otherwise
+re-serialize its coords once per request *and* per shard.  The router
+instead publishes each distinct instance into one
+:class:`multiprocessing.shared_memory.SharedMemory` block — keyed by the
+same :func:`~repro.core.checkpoint.instance_digest` the checkpoint layer
+uses, so "equal instance" means exactly one thing across both systems —
+and forwards requests carrying a tiny ``{"shm": ..., "digest": ...}``
+stub.  Each worker attaches a given block at most once, copies the
+coords out, verifies the digest, and caches the rebuilt
+:class:`~repro.tsp.instance.TSPInstance` by digest for every later
+request (from any shard's traffic mix) that names it.
+
+Block layout: the raw little-endian float64 bytes of the ``(n, 2)``
+coordinate array, nothing else — name/digest/edge-weight-type travel in
+the wire stub.  Workers copy out and close immediately; only the router
+holds blocks open (and unlinks them at :meth:`InstanceShmCache.close`).
+
+CPython 3.11 subtlety: *attaching* a block calls
+``resource_tracker.register`` again — infamous for spurious exit-time
+unlinks between unrelated processes (3.13 grew ``track=False`` for
+that).  Here it is benign and must be left alone: ``multiprocessing``
+children share their parent's tracker process (the fd rides the spawn
+preparation data), whose cache is a per-name set — the worker's attach
+register is a no-op duplicate of the router's create register, and the
+one entry is removed exactly once by the router's ``unlink``.
+Explicitly unregistering from a worker would *steal* the router's
+registration (and crash-cleanup coverage) out of that shared set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.checkpoint import instance_digest
+from repro.errors import ServeError
+from repro.tsp.instance import TSPInstance
+
+__all__ = ["InstanceShmCache", "resolve_shared_instance", "shared_instance_stub"]
+
+
+class InstanceShmCache:
+    """Router-side owner of one shared-memory block per instance digest.
+
+    Single-threaded (asyncio loop) use; blocks live until :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        # digest -> (SharedMemory, wire stub); loop-confined.
+        self._blocks: dict[str, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def wire_form(self, instance: TSPInstance) -> dict | None:
+        """The ``{"shm": ...}`` stub for ``instance``, publishing its
+        coords on first sight.  ``None`` when the instance has no coords
+        (explicit-matrix instances can't ride shared memory — the caller
+        falls back to the inline wire form)."""
+        if instance.coords is None:
+            return None
+        digest = instance_digest(instance)
+        entry = self._blocks.get(digest)
+        if entry is None:
+            from multiprocessing import shared_memory
+
+            coords = np.ascontiguousarray(instance.coords, dtype=np.float64)
+            shm = shared_memory.SharedMemory(create=True, size=coords.nbytes)
+            shm.buf[: coords.nbytes] = coords.tobytes()
+            stub = {
+                "shm": shm.name,
+                "digest": digest,
+                "rows": int(coords.shape[0]),
+                "name": instance.name,
+                "edge_weight_type": instance.edge_weight_type,
+            }
+            entry = self._blocks[digest] = (shm, stub)
+        return dict(entry[1])
+
+    def close(self) -> None:
+        """Release and unlink every published block (router shutdown)."""
+        blocks, self._blocks = self._blocks, {}
+        for shm, _stub in blocks.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+#: Worker-side digest -> TSPInstance cache (per process): each distinct
+#: instance is attached, verified and rebuilt exactly once per worker.
+_LOCAL_INSTANCES: dict[str, TSPInstance] = {}
+
+
+def shared_instance_stub(obj: dict) -> bool:
+    """True when a wire instance object is a shared-memory stub."""
+    return isinstance(obj, dict) and "shm" in obj
+
+
+def resolve_shared_instance(obj: dict) -> TSPInstance:
+    """Worker-side resolution of a shared-memory instance stub.
+
+    Attach → copy coords out → close → verify the content digest →
+    cache.  Raises :class:`~repro.errors.ServeError` on a missing block,
+    a malformed stub, or a digest mismatch (all client-addressable error
+    lines, never dropped connections).
+    """
+    try:
+        name = str(obj["shm"])
+        digest = str(obj["digest"])
+        rows = int(obj["rows"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed shared-memory instance stub: {exc}") from None
+    cached = _LOCAL_INSTANCES.get(digest)
+    if cached is not None:
+        return cached
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise ServeError(
+            f"shared-memory instance block {name!r} does not exist "
+            "(router gone or stub stale)"
+        ) from None
+    # No resource_tracker unregister here — see the module docstring: the
+    # worker shares the router's tracker, and the attach-time register is
+    # a set no-op the router's unlink pairs with.
+    try:
+        nbytes = rows * 2 * 8
+        if shm.size < nbytes:
+            raise ServeError(
+                f"shared-memory block {name!r} holds {shm.size} bytes, "
+                f"need {nbytes} for {rows} coordinate rows"
+            )
+        coords = (
+            np.frombuffer(shm.buf, dtype=np.float64, count=rows * 2)
+            .reshape(rows, 2)
+            .copy()
+        )
+    finally:
+        shm.close()
+    instance = TSPInstance(
+        name=str(obj.get("name", "inline")),
+        coords=coords,
+        edge_weight_type=str(obj.get("edge_weight_type", "EUC_2D")),
+    )
+    if instance_digest(instance) != digest:
+        raise ServeError(
+            f"shared-memory instance {name!r} failed its digest check "
+            "(router/worker content mismatch)"
+        )
+    _LOCAL_INSTANCES[digest] = instance
+    return instance

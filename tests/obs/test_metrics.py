@@ -140,8 +140,59 @@ class TestReservoirHistogram:
         snap = h.snapshot()
         assert set(snap) == {
             "count", "total", "mean", "min", "max", "p50", "p95", "p99",
+            "samples",
         }
         assert snap["count"] == 1 and snap["p50"] == 1.0
+        assert snap["samples"] == [1.0]
+
+    def test_snapshot_roundtrip_is_exact(self):
+        h = ReservoirHistogram(max_samples=64, seed=3)
+        for v in range(200):
+            h.observe(float(v))
+        back = ReservoirHistogram.from_snapshot(h.snapshot(), name="back")
+        assert back.count == h.count
+        assert back.total == pytest.approx(h.total)
+        assert back.min == h.min and back.max == h.max
+        # Same reservoir -> identical quantile estimates.
+        assert back.p50 == h.p50 and back.p95 == h.p95 and back.p99 == h.p99
+        assert back.name == "back"
+
+    def test_from_snapshot_empty(self):
+        back = ReservoirHistogram.from_snapshot(ReservoirHistogram().snapshot())
+        assert back.count == 0
+        assert back.min == 0.0 and back.max == 0.0 and back.p50 == 0.0
+
+    def test_from_snapshot_without_samples_keeps_exact_fields(self):
+        # Pre-`samples` snapshots (older wire peers) still reconstruct the
+        # exact summary fields.
+        snap = {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}
+        back = ReservoirHistogram.from_snapshot(snap)
+        assert back.count == 3 and back.total == 6.0
+        assert back.min == 1.0 and back.max == 3.0
+
+    def test_shardlike_merge_is_exact_with_sane_quantiles(self):
+        # The router-aggregation shape: one from_snapshot per shard, merged
+        # into an aggregator sized to hold every source sample.
+        shards = []
+        for s in range(4):
+            h = ReservoirHistogram(max_samples=512, seed=s)
+            for v in range(100):
+                h.observe(float(s * 1000 + v))
+            shards.append(h.snapshot())
+        agg = ReservoirHistogram(
+            "agg", max_samples=sum(len(s["samples"]) for s in shards)
+        )
+        for snap in shards:
+            agg.merge(ReservoirHistogram.from_snapshot(snap))
+        assert agg.count == 400
+        assert agg.total == pytest.approx(
+            sum(s["total"] for s in shards)
+        )
+        assert agg.min == 0.0 and agg.max == 3099.0
+        # Every source sample survived, so quantiles are exact over the
+        # union: the median sits between shard 1 and shard 2's ranges.
+        assert len(agg._reservoir.laps) == 400
+        assert 1099.0 <= agg.p50 <= 2000.0
 
 
 class TestMetricsRegistry:

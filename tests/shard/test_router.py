@@ -1,0 +1,202 @@
+"""Router tier end-to-end: routing, result parity, folded stats plane.
+
+The e2e tests spawn real worker processes (``multiprocessing`` spawn
+context) behind a real TCP front — the same stack ``gpu-aco serve
+--shards N`` runs — and pin the acceptance contract: sharded results are
+bit-identical to a solo :class:`~repro.core.engine.AntSystem` run, and
+the router-aggregated histogram counts equal the sum of the per-shard
+counts.  Plain ``asyncio.run`` throughout (no pytest-asyncio here).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import ACOParams, AntSystem
+from repro.errors import ServeError
+from repro.serve import health_over_tcp, request_over_tcp, stats_over_tcp
+from repro.serve.service import SolveRequest
+from repro.shard import ShardConfig, ShardRouter, serve_router_tcp, shard_index
+from repro.tsp import uniform_instance
+
+ITERATIONS = 5
+SIZES = (20, 26)
+
+
+def _requests() -> list[SolveRequest]:
+    reqs = []
+    for n in SIZES:
+        inst = uniform_instance(n, seed=n)
+        for seed in (1, 2, 3):
+            reqs.append(
+                SolveRequest(
+                    instance=inst, params=ACOParams(seed=seed),
+                    iterations=ITERATIONS,
+                )
+            )
+    return reqs
+
+
+def _config() -> ShardConfig:
+    return ShardConfig(max_batch=4, max_wait=0.02)
+
+
+# --------------------------------------------------------------- unit layer
+
+
+def test_shard_index_is_stable_and_in_range():
+    keys = [r.bucket_key for r in _requests()]
+    for nshards in (1, 2, 3, 5):
+        for key in keys:
+            idx = shard_index(key, nshards)
+            assert 0 <= idx < nshards
+            # Content hash: identical on every evaluation (builtin hash()
+            # is salted per process and would not be).
+            assert shard_index(key, nshards) == idx
+    assert shard_index(keys[0], 1) == 0
+
+
+def test_known_routing_spread():
+    """Sizes 20/26/32 land on three distinct shards of a 3-fleet — the
+    layout the chaos test and the CI smoke burst both rely on."""
+    assignments = {
+        n: shard_index(
+            SolveRequest(
+                instance=uniform_instance(n, seed=n),
+                params=ACOParams(seed=1),
+                iterations=6,
+            ).bucket_key,
+            3,
+        )
+        for n in (20, 26, 32)
+    }
+    assert sorted(assignments.values()) == [0, 1, 2], assignments
+
+
+def test_router_constructor_validation():
+    with pytest.raises(ServeError, match="shards must be >= 1"):
+        ShardRouter(0)
+    with pytest.raises(ServeError, match="max_routed"):
+        ShardRouter(2, max_routed=0)
+
+
+def test_submit_before_start_is_draining_error():
+    async def _go():
+        router = ShardRouter(2)
+        with pytest.raises(ServeError, match="draining"):
+            await router.submit({}, "r0", None, None)
+
+    asyncio.run(_go())
+
+
+# ---------------------------------------------------------------- e2e layer
+
+
+def test_sharded_burst_bit_identical_with_exact_stats_fold():
+    reqs = _requests()
+
+    async def _go():
+        async with ShardRouter(2, _config()) as router:
+            server = await serve_router_tcp(router, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                results = await asyncio.gather(
+                    *(
+                        request_over_tcp(
+                            "127.0.0.1", port, r,
+                            req_id=f"r{i}", read_timeout=120,
+                        )
+                        for i, r in enumerate(reqs)
+                    )
+                )
+                stats = await stats_over_tcp("127.0.0.1", port)
+                health = await health_over_tcp("127.0.0.1", port)
+            finally:
+                server.close()
+                await server.wait_closed()
+            return results, stats, health
+
+    results, stats, health = asyncio.run(_go())
+
+    # Bit-identical to the solo engine, for every request in the burst.
+    for (_updates, final), request in zip(results, reqs):
+        solo = AntSystem(request.instance, request.params).run(
+            request.iterations
+        )
+        assert final["best_length"] == solo.best_length
+        assert final["best_tour"] == [int(c) for c in solo.best_tour]
+
+    # The stats plane is a service-shaped payload stamped as the router's.
+    assert stats["source"] == "router"
+    assert stats["submitted"] == len(reqs)
+    assert stats["completed"] == len(reqs)
+    assert stats["router"]["requests_routed"] == len(reqs)
+    assert stats["router"]["requests_shed"] == 0
+    assert stats["router"]["shards_respawned"] == 0
+    assert stats["router"]["outstanding"] == 0
+
+    # Acceptance pin: the folded histogram count equals the sum of the
+    # per-shard counts, exactly, for every distribution.
+    per_shard = stats["per_shard"]
+    for key in (
+        "queue_wait_seconds",
+        "batch_wall_seconds",
+        "request_latency_seconds",
+        "batch_rows",
+    ):
+        assert stats[key]["count"] == sum(
+            shard[key]["count"] for shard in per_shard.values()
+        )
+        assert "samples" not in stats[key]
+    assert stats["request_latency_seconds"]["count"] == len(reqs)
+    assert sum(s["submitted"] for s in per_shard.values()) == len(reqs)
+
+    # Health fold: every shard alive and accounted for.
+    assert health["source"] == "router"
+    assert health["shards"] == 2
+    assert health["shards_healthy"] == 2
+    assert health["accepting"] is True
+    assert set(health["per_shard"]) == {"0", "1"}
+    for summary in health["per_shard"].values():
+        assert summary["state"] == "healthy"
+        assert summary["outstanding"] == 0
+
+
+def test_rolling_restart_keeps_serving():
+    inst = uniform_instance(18, seed=18)
+
+    def _request(seed: int) -> SolveRequest:
+        return SolveRequest(
+            instance=inst, params=ACOParams(seed=seed), iterations=4
+        )
+
+    async def _go():
+        async with ShardRouter(1, _config()) as router:
+            server = await serve_router_tcp(router, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                _, before = await request_over_tcp(
+                    "127.0.0.1", port, _request(1), read_timeout=120
+                )
+                first_pid = router.shards[0].pid
+                await asyncio.wait_for(router.rolling_restart(), 120)
+                _, after = await request_over_tcp(
+                    "127.0.0.1", port, _request(1), read_timeout=120
+                )
+                stats = await stats_over_tcp("127.0.0.1", port)
+            finally:
+                server.close()
+                await server.wait_closed()
+            return before, after, first_pid, router.shards[0].pid, stats
+
+    before, after, pid_before, pid_after, stats = asyncio.run(_go())
+    assert pid_after != pid_before  # genuinely a new worker process
+    assert after["best_length"] == before["best_length"]
+    assert after["best_tour"] == before["best_tour"]
+    # Planned restarts are not failovers.
+    assert stats["router"]["shards_respawned"] == 0
+    # The replacement worker's stats plane starts fresh: only the second
+    # request is visible post-restart.
+    assert stats["submitted"] == 1
